@@ -1,0 +1,196 @@
+//! Histories: totally ordered sequences of significant events with the
+//! ACTA precedence relation.
+
+use crate::event::ActaEvent;
+use crate::predicate::Pattern;
+use acp_types::TxnId;
+use std::fmt;
+
+/// The complete history `H` of an execution.
+///
+/// Events are stored in occurrence order; the precedence relation
+/// `ε → ε'` of the formalism is index order. (The simulator timestamps
+/// give a total order; concurrent events at distinct sites are ordered
+/// by processing order, which is sound because the criteria below only
+/// relate events that are causally ordered anyway.)
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    events: Vec<ActaEvent>,
+}
+
+impl History {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (it becomes the latest in `→`).
+    pub fn push(&mut self, event: ActaEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in precedence order.
+    #[must_use]
+    pub fn events(&self) -> &[ActaEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the history empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Indices of events matching a pattern.
+    pub fn find<'a>(&'a self, pattern: &'a Pattern) -> impl Iterator<Item = usize> + 'a {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pattern.matches(e))
+            .map(|(i, _)| i)
+    }
+
+    /// Does some event match the pattern (∃ε ∈ H)?
+    #[must_use]
+    pub fn exists(&self, pattern: &Pattern) -> bool {
+        self.find(pattern).next().is_some()
+    }
+
+    /// First index matching the pattern.
+    #[must_use]
+    pub fn first(&self, pattern: &Pattern) -> Option<usize> {
+        self.find(pattern).next()
+    }
+
+    /// The precedence relation: does event `i` precede event `j`?
+    #[must_use]
+    pub fn precedes(&self, i: usize, j: usize) -> bool {
+        i < j && j < self.events.len()
+    }
+
+    /// Restrict to the events of one transaction (projection `H|T`),
+    /// preserving order. Site-level events (crashes/recoveries) are
+    /// excluded.
+    #[must_use]
+    pub fn project(&self, txn: TxnId) -> History {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.txn() == Some(txn))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// All transactions mentioned in the history, deduplicated, in first
+    /// appearance order.
+    #[must_use]
+    pub fn transactions(&self) -> Vec<TxnId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if let Some(t) = e.txn() {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "{i:>4}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ActaEvent> for History {
+    fn from_iter<I: IntoIterator<Item = ActaEvent>>(iter: I) -> Self {
+        History {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::{Outcome, SiteId};
+
+    fn sample() -> History {
+        let c = SiteId::new(0);
+        let p = SiteId::new(1);
+        let t = TxnId::new(1);
+        let u = TxnId::new(2);
+        [
+            ActaEvent::Prepared {
+                participant: p,
+                txn: t,
+            },
+            ActaEvent::Decide {
+                coordinator: c,
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+            ActaEvent::Crash { site: p },
+            ActaEvent::Decide {
+                coordinator: c,
+                txn: u,
+                outcome: Outcome::Abort,
+            },
+            ActaEvent::Enforce {
+                participant: p,
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn projection_keeps_order_and_drops_site_events() {
+        let h = sample();
+        let p = h.project(TxnId::new(1));
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.events()[0], ActaEvent::Prepared { .. }));
+        assert!(matches!(p.events()[2], ActaEvent::Enforce { .. }));
+    }
+
+    #[test]
+    fn transactions_in_first_appearance_order() {
+        let h = sample();
+        assert_eq!(h.transactions(), vec![TxnId::new(1), TxnId::new(2)]);
+    }
+
+    #[test]
+    fn precedence_is_index_order() {
+        let h = sample();
+        assert!(h.precedes(0, 1));
+        assert!(!h.precedes(1, 1));
+        assert!(!h.precedes(3, 2));
+        assert!(!h.precedes(0, 99), "out-of-range successor");
+    }
+
+    #[test]
+    fn find_with_pattern() {
+        let h = sample();
+        let decides = Pattern::decide();
+        assert_eq!(h.find(&decides).count(), 2);
+        let t1_decide = Pattern::decide().txn(TxnId::new(1));
+        assert_eq!(h.first(&t1_decide), Some(1));
+        assert!(h.exists(&Pattern::crash()));
+    }
+}

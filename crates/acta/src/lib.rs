@@ -1,0 +1,39 @@
+//! # acp-acta
+//!
+//! An executable rendition of the ACTA formalism (Chrysanthis &
+//! Ramamritham, ACM TODS 1994) as the paper uses it: transactions'
+//! *significant events* — including log operations and crashes — are
+//! collected into a complete history `H` with a precedence relation `→`,
+//! and correctness criteria are first-order predicates over `H`.
+//!
+//! Three criteria from the paper are implemented:
+//!
+//! * **Functional correctness / atomicity** ([`atomicity`]): the
+//!   coordinator and all participants reach consistent decisions.
+//! * **Operational correctness, Definition 1** ([`operational`]):
+//!   atomicity *plus* everyone can eventually forget terminated
+//!   transactions and garbage collect.
+//! * **Safe state, Definition 2** ([`safe_state`]): after the
+//!   coordinator deletes a transaction from its protocol table, every
+//!   inquiry is answered consistently with the decided outcome.
+//!
+//! Histories are produced by the simulator harness in `acp-core` and by
+//! the model checker in `acp-check`; the checkers here are pure
+//! functions over the recorded events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomicity;
+pub mod event;
+pub mod history;
+pub mod operational;
+pub mod predicate;
+pub mod safe_state;
+
+pub use atomicity::{check_atomicity, AtomicityViolation};
+pub use event::ActaEvent;
+pub use history::History;
+pub use operational::{check_operational, FinalState, OperationalViolation};
+pub use predicate::Pattern;
+pub use safe_state::{check_safe_state, SafeStateViolation};

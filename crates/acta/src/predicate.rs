@@ -1,0 +1,192 @@
+//! Event patterns: the atoms of first-order predicates over histories.
+
+use crate::event::ActaEvent;
+use acp_types::{Outcome, SiteId, TxnId};
+
+/// Which event constructor a pattern selects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// `Decide_C`.
+    Decide,
+    /// `DeletePT_C`.
+    DeletePt,
+    /// `Respond_C`.
+    Respond,
+    /// Participant prepared.
+    Prepared,
+    /// `INQ_ti`.
+    Inquire,
+    /// Participant enforcement.
+    Enforce,
+    /// Participant forget.
+    ForgetPart,
+    /// Log write.
+    LogWrite,
+    /// Site crash.
+    Crash,
+    /// Site recovery.
+    Recover,
+}
+
+fn kind_of(e: &ActaEvent) -> EventKind {
+    match e {
+        ActaEvent::Decide { .. } => EventKind::Decide,
+        ActaEvent::DeletePt { .. } => EventKind::DeletePt,
+        ActaEvent::Respond { .. } => EventKind::Respond,
+        ActaEvent::Prepared { .. } => EventKind::Prepared,
+        ActaEvent::Inquire { .. } => EventKind::Inquire,
+        ActaEvent::Enforce { .. } => EventKind::Enforce,
+        ActaEvent::ForgetPart { .. } => EventKind::ForgetPart,
+        ActaEvent::LogWrite { .. } => EventKind::LogWrite,
+        ActaEvent::Crash { .. } => EventKind::Crash,
+        ActaEvent::Recover { .. } => EventKind::Recover,
+    }
+}
+
+/// A conjunctive pattern over events: kind plus optional constraints.
+/// Unset fields match anything.
+#[derive(Clone, Debug, Default)]
+pub struct Pattern {
+    kind: Option<EventKind>,
+    txn: Option<TxnId>,
+    site: Option<SiteId>,
+    outcome: Option<Outcome>,
+}
+
+impl Pattern {
+    /// Match any event.
+    #[must_use]
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Match events of one kind.
+    #[must_use]
+    pub fn of_kind(kind: EventKind) -> Self {
+        Pattern {
+            kind: Some(kind),
+            ..Self::default()
+        }
+    }
+
+    /// Shorthand: `Decide` events.
+    #[must_use]
+    pub fn decide() -> Self {
+        Self::of_kind(EventKind::Decide)
+    }
+
+    /// Shorthand: `DeletePT` events.
+    #[must_use]
+    pub fn delete_pt() -> Self {
+        Self::of_kind(EventKind::DeletePt)
+    }
+
+    /// Shorthand: `Respond` events.
+    #[must_use]
+    pub fn respond() -> Self {
+        Self::of_kind(EventKind::Respond)
+    }
+
+    /// Shorthand: `Inquire` events.
+    #[must_use]
+    pub fn inquire() -> Self {
+        Self::of_kind(EventKind::Inquire)
+    }
+
+    /// Shorthand: `Enforce` events.
+    #[must_use]
+    pub fn enforce() -> Self {
+        Self::of_kind(EventKind::Enforce)
+    }
+
+    /// Shorthand: `Crash` events.
+    #[must_use]
+    pub fn crash() -> Self {
+        Self::of_kind(EventKind::Crash)
+    }
+
+    /// Constrain the transaction.
+    #[must_use]
+    pub fn txn(mut self, t: TxnId) -> Self {
+        self.txn = Some(t);
+        self
+    }
+
+    /// Constrain the site (coordinator or participant, per event kind).
+    #[must_use]
+    pub fn site(mut self, s: SiteId) -> Self {
+        self.site = Some(s);
+        self
+    }
+
+    /// Constrain the outcome (for `Decide`, `Respond`, `Enforce`).
+    #[must_use]
+    pub fn outcome(mut self, o: Outcome) -> Self {
+        self.outcome = Some(o);
+        self
+    }
+
+    /// Does the event satisfy every constraint?
+    #[must_use]
+    pub fn matches(&self, e: &ActaEvent) -> bool {
+        if let Some(k) = self.kind {
+            if kind_of(e) != k {
+                return false;
+            }
+        }
+        if let Some(t) = self.txn {
+            if e.txn() != Some(t) {
+                return false;
+            }
+        }
+        if let Some(s) = self.site {
+            if e.site() != s {
+                return false;
+            }
+        }
+        if let Some(o) = self.outcome {
+            let eo = match e {
+                ActaEvent::Decide { outcome, .. }
+                | ActaEvent::Respond { outcome, .. }
+                | ActaEvent::Enforce { outcome, .. } => Some(*outcome),
+                _ => None,
+            };
+            if eo != Some(o) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_are_conjunctive() {
+        let e = ActaEvent::Decide {
+            coordinator: SiteId::new(0),
+            txn: TxnId::new(1),
+            outcome: Outcome::Commit,
+        };
+        assert!(Pattern::any().matches(&e));
+        assert!(Pattern::decide().matches(&e));
+        assert!(Pattern::decide()
+            .txn(TxnId::new(1))
+            .outcome(Outcome::Commit)
+            .matches(&e));
+        assert!(!Pattern::decide().outcome(Outcome::Abort).matches(&e));
+        assert!(!Pattern::decide().txn(TxnId::new(2)).matches(&e));
+        assert!(!Pattern::inquire().matches(&e));
+        assert!(!Pattern::decide().site(SiteId::new(9)).matches(&e));
+    }
+
+    #[test]
+    fn outcome_constraint_fails_on_outcomeless_events() {
+        let e = ActaEvent::Crash {
+            site: SiteId::new(0),
+        };
+        assert!(!Pattern::any().outcome(Outcome::Commit).matches(&e));
+    }
+}

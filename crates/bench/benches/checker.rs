@@ -1,0 +1,55 @@
+//! Model-checker benchmarks (the violation-search face of E5): how fast
+//! the bounded exploration finds Theorem 1 counterexamples versus
+//! exhaustively clearing PrAny.
+
+use acp_check::{check, CheckConfig};
+use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_checker");
+    g.sample_size(10);
+    let pop = [ProtocolKind::PrA, ProtocolKind::PrC];
+    for (name, kind) in [
+        (
+            "u2pc_prn_find_violation",
+            CoordinatorKind::U2pc(ProtocolKind::PrN),
+        ),
+        (
+            "u2pc_prc_find_violation",
+            CoordinatorKind::U2pc(ProtocolKind::PrC),
+        ),
+        (
+            "prany_exhaustive_clean",
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        ),
+        (
+            "c2pc_exhaustive_clean",
+            CoordinatorKind::C2pc(ProtocolKind::PrN),
+        ),
+    ] {
+        g.bench_function(BenchmarkId::new("explore", name), |b| {
+            let config = CheckConfig::new(kind, &pop);
+            b.iter(|| check(black_box(&config)));
+        });
+    }
+
+    // Budget scaling: timer budget drives the frontier.
+    for timers in [1u8, 2, 3] {
+        g.bench_with_input(
+            BenchmarkId::new("prany_timer_budget", timers),
+            &timers,
+            |b, &timers| {
+                let mut config =
+                    CheckConfig::new(CoordinatorKind::PrAny(SelectionPolicy::PaperStrict), &pop);
+                config.timer_fires = timers;
+                b.iter(|| check(black_box(&config)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

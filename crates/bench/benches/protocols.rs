@@ -1,0 +1,165 @@
+//! Protocol benchmarks (E1–E4, E8 performance face): end-to-end
+//! simulated commit processing per protocol and outcome, scaling with
+//! participant count, and the engine-level message-processing rate.
+
+use acp_bench::one_txn_scenario;
+use acp_core::harness::run_scenario;
+use acp_core::{Coordinator, Participant};
+use acp_sim::SimTime;
+use acp_types::{CoordinatorKind, Payload, ProtocolKind, SelectionPolicy, SiteId, TxnId, Vote};
+use acp_wal::MemLog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// One full simulated transaction per iteration, per protocol/outcome.
+fn bench_one_txn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_one_txn");
+    let cases: [(&str, CoordinatorKind, Vec<ProtocolKind>); 5] = [
+        (
+            "PrN",
+            CoordinatorKind::Single(ProtocolKind::PrN),
+            vec![ProtocolKind::PrN; 2],
+        ),
+        (
+            "PrA",
+            CoordinatorKind::Single(ProtocolKind::PrA),
+            vec![ProtocolKind::PrA; 2],
+        ),
+        (
+            "PrC",
+            CoordinatorKind::Single(ProtocolKind::PrC),
+            vec![ProtocolKind::PrC; 2],
+        ),
+        (
+            "PrAny-mixed",
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            vec![ProtocolKind::PrA, ProtocolKind::PrC],
+        ),
+        (
+            "C2PC-mixed",
+            CoordinatorKind::C2pc(ProtocolKind::PrN),
+            vec![ProtocolKind::PrA, ProtocolKind::PrC],
+        ),
+    ];
+    for (name, kind, protos) in &cases {
+        for abort in [false, true] {
+            let label = format!("{name}/{}", if abort { "abort" } else { "commit" });
+            g.bench_function(BenchmarkId::new("run", label), |b| {
+                let scenario = one_txn_scenario(*kind, protos, abort);
+                b.iter(|| run_scenario(black_box(&scenario)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Scaling with participant count under PrAny.
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scaling");
+    for n in [2usize, 4, 8, 16] {
+        let protos: Vec<ProtocolKind> = (0..n).map(|i| ProtocolKind::ALL[i % 3]).collect();
+        g.bench_with_input(
+            BenchmarkId::new("prany_participants", n),
+            &protos,
+            |b, protos| {
+                let scenario = one_txn_scenario(
+                    CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+                    protos,
+                    false,
+                );
+                b.iter(|| run_scenario(black_box(&scenario)));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A 50-transaction pipelined batch.
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_batch");
+    g.sample_size(20);
+    for (name, kind) in [
+        (
+            "PrAny",
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        ),
+        ("PrN", CoordinatorKind::Single(ProtocolKind::PrN)),
+    ] {
+        g.bench_function(BenchmarkId::new("50_txns", name), |b| {
+            let protos = if name == "PrN" {
+                vec![ProtocolKind::PrN; 3]
+            } else {
+                vec![ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC]
+            };
+            let mut scenario = acp_core::harness::Scenario::new(kind, &protos);
+            for i in 0..50u64 {
+                scenario.add_txn(TxnId::new(i + 1), SimTime::from_micros(1_000 + 400 * i));
+            }
+            b.iter(|| run_scenario(black_box(&scenario)));
+        });
+    }
+    g.finish();
+}
+
+/// Raw engine message-processing rate (no simulator): coordinator +
+/// participants driven directly.
+fn bench_engine_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hot_path");
+    g.bench_function("prany_commit_round", |b| {
+        b.iter(|| {
+            let mut coord = Coordinator::new(
+                SiteId::new(0),
+                CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+                MemLog::new(),
+            );
+            coord.register_site(SiteId::new(1), ProtocolKind::PrA);
+            coord.register_site(SiteId::new(2), ProtocolKind::PrC);
+            let mut p1 = Participant::new(SiteId::new(1), ProtocolKind::PrA, MemLog::new());
+            let mut p2 = Participant::new(SiteId::new(2), ProtocolKind::PrC, MemLog::new());
+            let txn = TxnId::new(1);
+            coord.begin_commit(txn, &[SiteId::new(1), SiteId::new(2)]);
+            p1.on_prepare(SiteId::new(0), txn);
+            p2.on_prepare(SiteId::new(0), txn);
+            coord.on_message(
+                SiteId::new(1),
+                &Payload::Vote {
+                    txn,
+                    vote: Vote::Yes,
+                },
+            );
+            let actions = coord.on_message(
+                SiteId::new(2),
+                &Payload::Vote {
+                    txn,
+                    vote: Vote::Yes,
+                },
+            );
+            p1.on_message(
+                SiteId::new(0),
+                &Payload::Decision {
+                    txn,
+                    outcome: acp_types::Outcome::Commit,
+                },
+            );
+            p2.on_message(
+                SiteId::new(0),
+                &Payload::Decision {
+                    txn,
+                    outcome: acp_types::Outcome::Commit,
+                },
+            );
+            coord.on_message(SiteId::new(1), &Payload::Ack { txn });
+            black_box(actions)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_one_txn,
+    bench_scaling,
+    bench_batch,
+    bench_engine_hot_path
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E1–E4: regenerate the protocol schedules of Figures 1–4 as traces.
+//!
+//! ```sh
+//! cargo run -p acp-bench --bin exp_figures
+//! ```
+
+use acp_bench::one_txn_scenario;
+use acp_core::harness::run_scenario;
+use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy};
+
+fn show(title: &str, kind: CoordinatorKind, protos: &[ProtocolKind], abort: bool) {
+    println!("==== {title} ====");
+    let mut s = one_txn_scenario(kind, protos, abort);
+    s.max_events = 10_000;
+    let out = run_scenario(&s);
+    print!("{}", out.trace.render());
+    println!();
+}
+
+fn main() {
+    // Figure 2: basic 2PC / presumed nothing.
+    show(
+        "Figure 2 — PrN, commit",
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        &[ProtocolKind::PrN; 2],
+        false,
+    );
+    show(
+        "Figure 2 — PrN, abort",
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        &[ProtocolKind::PrN; 2],
+        true,
+    );
+    // Figure 3: presumed abort.
+    show(
+        "Figure 3 — PrA, commit",
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        &[ProtocolKind::PrA; 2],
+        false,
+    );
+    show(
+        "Figure 3 — PrA, abort",
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        &[ProtocolKind::PrA; 2],
+        true,
+    );
+    // Figure 4: presumed commit.
+    show(
+        "Figure 4a — PrC, commit",
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        &[ProtocolKind::PrC; 2],
+        false,
+    );
+    show(
+        "Figure 4b — PrC, abort",
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        &[ProtocolKind::PrC; 2],
+        true,
+    );
+    // Figure 1: Presumed Any over a PrA + PrC population.
+    show(
+        "Figure 1a — PrAny (PrA + PrC participants), commit",
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+        false,
+    );
+    show(
+        "Figure 1b — PrAny (PrA + PrC participants), abort",
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+        true,
+    );
+}

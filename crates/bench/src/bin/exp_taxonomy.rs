@@ -1,0 +1,12 @@
+//! E11 — Figure 5: the taxonomy of atomic commitment in universal
+//! distributed environments.
+//!
+//! ```sh
+//! cargo run -p acp-bench --bin exp_taxonomy
+//! ```
+
+use acp_types::taxonomy::render_taxonomy;
+
+fn main() {
+    print!("{}", render_taxonomy());
+}

@@ -1,0 +1,101 @@
+//! E5 — Theorem 1: atomicity-violation counts for U2PC coordinators
+//! over a PrA + PrC population, versus PrAny, under (a) a deterministic
+//! crash-point sweep and (b) the exhaustive bounded model checker.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_theorem1
+//! ```
+
+use acp_acta::check_atomicity;
+use acp_bench::{row, sep};
+use acp_check::{check, CheckConfig};
+use acp_core::harness::{run_scenario, Scenario};
+use acp_sim::{FailureSchedule, SimTime};
+use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId, TxnId};
+
+const POP: [ProtocolKind; 2] = [ProtocolKind::PrA, ProtocolKind::PrC];
+
+/// Sweep a single participant crash through the decision window and
+/// count runs with atomicity violations.
+fn sweep(kind: CoordinatorKind) -> (u32, u32) {
+    let mut violations = 0;
+    let mut runs = 0;
+    for crash_us in (1_100..2_400).step_by(50) {
+        for victim in [SiteId::new(1), SiteId::new(2)] {
+            for abort in [false, true] {
+                runs += 1;
+                let mut s = Scenario::new(kind, &POP);
+                s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+                if abort {
+                    s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
+                }
+                s.failures = FailureSchedule::single(
+                    victim,
+                    SimTime::from_micros(crash_us),
+                    SimTime::from_millis(400),
+                );
+                let out = run_scenario(&s);
+                if !check_atomicity(&out.history).is_empty() {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    (violations, runs)
+}
+
+fn main() {
+    let kinds = [
+        CoordinatorKind::U2pc(ProtocolKind::PrN),
+        CoordinatorKind::U2pc(ProtocolKind::PrA),
+        CoordinatorKind::U2pc(ProtocolKind::PrC),
+        CoordinatorKind::C2pc(ProtocolKind::PrN),
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+    ];
+
+    println!("E5 / Theorem 1 — atomicity of integrated coordinators over a PrA+PrC population\n");
+    let widths = [12, 22, 26, 22];
+    println!(
+        "{}",
+        row(
+            &[
+                "coordinator".into(),
+                "sweep violations/runs".into(),
+                "checker counterexamples".into(),
+                "checker states".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+
+    for kind in kinds {
+        let (v, runs) = sweep(kind);
+        let report = check(&CheckConfig::new(kind, &POP));
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.to_string(),
+                    format!("{v}/{runs}"),
+                    format!(
+                        "{}{}",
+                        report.counterexamples.len(),
+                        if report.truncated { " (truncated)" } else { "" }
+                    ),
+                    report.states_explored.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!("\nFirst mechanical counterexample for U2PC/PrC (Theorem 1 Part III):\n");
+    let report = check(&CheckConfig::new(
+        CoordinatorKind::U2pc(ProtocolKind::PrC),
+        &POP,
+    ));
+    if let Some(cx) = report.counterexamples.first() {
+        println!("{cx}");
+    }
+}

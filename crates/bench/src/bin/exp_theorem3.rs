@@ -1,0 +1,157 @@
+//! E7 — Theorem 3: large randomized correctness campaign for PrAny.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_theorem3 [seeds]
+//! ```
+
+use acp_acta::safe_state::check_all_safe_states;
+use acp_acta::{check_atomicity, check_operational};
+use acp_bench::{row, sep};
+use acp_core::harness::{run_scenario, Scenario};
+use acp_sim::{NetworkConfig, SimTime};
+use acp_types::{CoordinatorKind, Outcome, SelectionPolicy, SiteId};
+use acp_workload::{FailurePlan, PopulationMix, TxnMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CampaignStats {
+    runs: u64,
+    txns: u64,
+    commits: u64,
+    aborts: u64,
+    crashes: u64,
+    atomicity_violations: u64,
+    operational_violations: u64,
+    safe_state_violations: u64,
+}
+
+fn campaign(seeds: u64, policy: SelectionPolicy, loss: f64, crash_rate: f64) -> CampaignStats {
+    let mut stats = CampaignStats {
+        runs: 0,
+        txns: 0,
+        commits: 0,
+        aborts: 0,
+        crashes: 0,
+        atomicity_violations: 0,
+        operational_violations: 0,
+        safe_state_violations: 0,
+    };
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_sites = 3 + (seed as usize % 3);
+        let protocols = PopulationMix::uniform().sample_n(&mut rng, n_sites);
+        let mut s = Scenario::new(CoordinatorKind::PrAny(policy), &protocols);
+        s.seed = seed;
+        s.network = NetworkConfig::lossy(loss);
+        let mix = TxnMix {
+            count: 40,
+            min_participants: 2,
+            max_participants: n_sites.min(4),
+            abort_probability: 0.15,
+            read_only_probability: 0.10,
+            inter_start: SimTime::from_millis(4),
+        };
+        let plans = mix.generate(&mut rng, &s.participant_sites());
+        let horizon = plans.last().expect("plans").start_at + SimTime::from_millis(300);
+        for p in &plans {
+            let spec = s.add_txn(p.txn, p.start_at);
+            spec.participants = p.participants.clone();
+            spec.votes = p.votes.clone();
+        }
+        let all: Vec<SiteId> = std::iter::once(SiteId::new(0))
+            .chain(s.participant_sites())
+            .collect();
+        s.failures = FailurePlan {
+            crashes_per_second: crash_rate,
+            max_outage: SimTime::from_millis(60),
+        }
+        .schedule(&mut rng, &all, horizon);
+
+        let out = run_scenario(&s);
+        stats.runs += 1;
+        stats.txns += plans.len() as u64;
+        stats.commits += out
+            .decided
+            .values()
+            .filter(|o| **o == Outcome::Commit)
+            .count() as u64;
+        stats.aborts += out
+            .decided
+            .values()
+            .filter(|o| **o == Outcome::Abort)
+            .count() as u64;
+        stats.crashes += s.failures.outages.len() as u64;
+        stats.atomicity_violations += check_atomicity(&out.history).len() as u64;
+        stats.operational_violations +=
+            check_operational(&out.history, &out.final_state).len() as u64;
+        stats.safe_state_violations +=
+            check_all_safe_states(&out.history, SiteId::new(0)).len() as u64;
+    }
+    stats
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    println!("E7 / Theorem 3 — randomized campaigns, {seeds} seeds each\n");
+    let widths = [12, 8, 8, 22, 10, 10, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "policy".into(),
+                "loss".into(),
+                "crash/s".into(),
+                "txns (commit/abort)".into(),
+                "crashes".into(),
+                "atomic".into(),
+                "operational".into(),
+                "safe-state".into(),
+                "verdict".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+    for (policy, loss, rate) in [
+        (SelectionPolicy::PaperStrict, 0.0, 0.0),
+        (SelectionPolicy::PaperStrict, 0.05, 0.0),
+        (SelectionPolicy::PaperStrict, 0.0, 12.0),
+        (SelectionPolicy::PaperStrict, 0.03, 8.0),
+        (SelectionPolicy::Optimized, 0.03, 8.0),
+    ] {
+        let s = campaign(seeds, policy, loss, rate);
+        // A campaign that ran nothing proves nothing: never report it
+        // as CLEAN.
+        let clean = s.txns > 0
+            && s.atomicity_violations == 0
+            && s.operational_violations == 0
+            && s.safe_state_violations == 0;
+        println!(
+            "{}",
+            row(
+                &[
+                    policy.to_string(),
+                    format!("{loss:.2}"),
+                    format!("{rate:.0}"),
+                    format!("{} ({}/{})", s.txns, s.commits, s.aborts),
+                    s.crashes.to_string(),
+                    s.atomicity_violations.to_string(),
+                    s.operational_violations.to_string(),
+                    s.safe_state_violations.to_string(),
+                    if clean {
+                        "CLEAN"
+                    } else if s.txns == 0 {
+                        "NO DATA"
+                    } else {
+                        "VIOLATED"
+                    }
+                    .to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! # acp-bench
+//!
+//! Experiment harness: one `exp_*` binary per experiment of the
+//! reproduction plan (regenerating the paper's figures and theorems as
+//! tables/traces on stdout) plus Criterion benchmark groups for the
+//! performance-shaped claims. See DESIGN.md for the experiment index
+//! and EXPERIMENTS.md for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use acp_core::harness::{run_scenario, Scenario, ScenarioOutcome};
+use acp_sim::SimTime;
+use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SiteId, TxnId};
+
+/// Standard single-transaction scenario used across experiments:
+/// all-yes voters, reliable 200us links.
+#[must_use]
+pub fn one_txn_scenario(kind: CoordinatorKind, protos: &[ProtocolKind], abort: bool) -> Scenario {
+    let mut s = Scenario::new(kind, protos);
+    s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+    if abort {
+        s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
+    }
+    s
+}
+
+/// Run the standard scenario and return its outcome.
+#[must_use]
+pub fn run_one(kind: CoordinatorKind, protos: &[ProtocolKind], abort: bool) -> ScenarioOutcome {
+    run_scenario(&one_txn_scenario(kind, protos, abort))
+}
+
+/// Render a markdown-ish table row.
+#[must_use]
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for (c, w) in cells.iter().zip(widths) {
+        out.push_str(&format!(" {c:<w$} |"));
+    }
+    out
+}
+
+/// Render a separator row.
+#[must_use]
+pub fn sep(widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for w in widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out
+}
+
+/// Pretty site label for experiment output.
+#[must_use]
+pub fn site_label(s: SiteId, protos: &[ProtocolKind]) -> String {
+    if s.raw() == 0 {
+        "coordinator".to_string()
+    } else {
+        format!("site {} ({})", s.raw(), protos[s.raw() as usize - 1])
+    }
+}
+
+/// Format an outcome for tables.
+#[must_use]
+pub fn outcome_label(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Commit => "commit",
+        Outcome::Abort => "abort",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::SelectionPolicy;
+
+    #[test]
+    fn helpers_run() {
+        let out = run_one(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+            false,
+        );
+        assert_eq!(out.decided[&TxnId::new(1)], Outcome::Commit);
+        let r = row(&["a".into(), "bb".into()], &[3, 3]);
+        assert_eq!(r, "| a   | bb  |");
+        assert_eq!(sep(&[3, 3]), "|-----|-----|");
+    }
+}

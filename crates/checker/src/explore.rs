@@ -1,0 +1,271 @@
+//! The bounded DFS.
+
+use crate::report::{CheckReport, Counterexample};
+use crate::state::{ArmedTimer, CheckState, COORD};
+use acp_acta::check_atomicity;
+use acp_core::{Coordinator, Participant};
+use acp_types::{CoordinatorKind, ProtocolKind, SiteId, TxnId, Vote};
+use acp_wal::MemLog;
+use std::collections::HashSet;
+
+/// What to explore.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// The coordinator under test.
+    pub kind: CoordinatorKind,
+    /// Participant protocols (sites 1..=n).
+    pub participant_protocols: Vec<ProtocolKind>,
+    /// Per-participant votes (same order); missing entries vote `Yes`.
+    pub votes: Vec<Vote>,
+    /// How many crash+recover events may occur (any site, any point).
+    pub crashes: u8,
+    /// How many messages may be dropped.
+    pub drops: u8,
+    /// How many timers may fire.
+    pub timer_fires: u8,
+    /// State-count safety valve.
+    pub max_states: usize,
+}
+
+impl CheckConfig {
+    /// A default bounded configuration: one crash, one drop, two timer
+    /// firings — enough to exhibit every Theorem 1 scenario (one vote
+    /// timeout plus one recovery inquiry).
+    #[must_use]
+    pub fn new(kind: CoordinatorKind, participant_protocols: &[ProtocolKind]) -> Self {
+        CheckConfig {
+            kind,
+            participant_protocols: participant_protocols.to_vec(),
+            votes: Vec::new(),
+            crashes: 1,
+            drops: 1,
+            timer_fires: 2,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// The transaction every exploration runs.
+const TXN: TxnId = TxnId(1);
+
+fn initial_state(config: &CheckConfig) -> CheckState {
+    let mut coord = Coordinator::new(COORD, config.kind, MemLog::new());
+    let mut parts = std::collections::BTreeMap::new();
+    let mut sites = Vec::new();
+    for (i, &proto) in config.participant_protocols.iter().enumerate() {
+        let site = SiteId::new(i as u32 + 1);
+        coord.register_site(site, proto);
+        let mut p = Participant::new(site, proto, MemLog::new());
+        if let Some(&v) = config.votes.get(i) {
+            p.set_intent(TXN, v);
+        }
+        parts.insert(site, p);
+        sites.push(site);
+    }
+    let mut state = CheckState {
+        coord,
+        parts,
+        in_flight: Vec::new(),
+        timers: std::collections::BTreeSet::new(),
+        crashes_left: config.crashes,
+        drops_left: config.drops,
+        timers_left: config.timer_fires,
+        history: acp_acta::History::new(),
+        trail: Vec::new(),
+    };
+    let actions = state.coord.begin_commit(TXN, &sites);
+    state.absorb(COORD, actions);
+    state.trail.push("begin commit".into());
+    state
+}
+
+/// All successor states of `state`.
+fn successors(state: &CheckState) -> Vec<CheckState> {
+    let mut next = Vec::new();
+
+    // 1. Deliver the head message of any link.
+    for idx in state.deliverable() {
+        let mut s = state.clone();
+        let msg = s.in_flight.remove(idx);
+        s.trail
+            .push(format!("deliver {}", CheckState::describe_message(&msg)));
+        let actions = if msg.to == COORD {
+            s.coord.on_message(msg.from, &msg.payload)
+        } else {
+            s.parts
+                .get_mut(&msg.to)
+                .expect("site")
+                .on_message(msg.from, &msg.payload)
+        };
+        s.absorb(msg.to, actions);
+        next.push(s);
+    }
+
+    // 2. Drop the head message of any link (omission failure).
+    if state.drops_left > 0 {
+        for idx in state.deliverable() {
+            let mut s = state.clone();
+            let msg = s.in_flight.remove(idx);
+            s.drops_left -= 1;
+            s.trail
+                .push(format!("DROP {}", CheckState::describe_message(&msg)));
+            next.push(s);
+        }
+    }
+
+    // 3. Crash + recover any site. Messages in flight *to* the site are
+    //    lost (they would have arrived while it was down) — every subset
+    //    could be lost in general; losing all of them composes with
+    //    move 2 for partial-loss interleavings.
+    if state.crashes_left > 0 {
+        let sites: Vec<SiteId> = std::iter::once(COORD)
+            .chain(state.parts.keys().copied())
+            .collect();
+        for site in sites {
+            let mut s = state.clone();
+            s.crashes_left -= 1;
+            s.in_flight.retain(|m| m.to != site);
+            s.clear_timers(site);
+            s.trail.push(format!("CRASH+RECOVER {site}"));
+            s.history.push(acp_acta::ActaEvent::Crash { site });
+            let actions = if site == COORD {
+                s.coord.crash();
+                s.coord.recover()
+            } else {
+                let p = s.parts.get_mut(&site).expect("site");
+                p.crash();
+                p.recover()
+            };
+            s.history.push(acp_acta::ActaEvent::Recover { site });
+            s.absorb(site, actions);
+            next.push(s);
+        }
+    }
+
+    // 4. Fire any armed timer.
+    if state.timers_left > 0 {
+        let timers: Vec<ArmedTimer> = state.timers.iter().cloned().collect();
+        for t in timers {
+            let mut s = state.clone();
+            s.timers.remove(&t);
+            s.timers_left -= 1;
+            s.trail.push(format!("timer {} at {}", t.purpose, t.site));
+            let actions = if t.site == COORD {
+                s.coord.on_timer(t.token)
+            } else {
+                s.parts.get_mut(&t.site).expect("site").on_timer(t.token)
+            };
+            s.absorb(t.site, actions);
+            next.push(s);
+        }
+    }
+
+    next
+}
+
+/// Run the bounded exploration.
+#[must_use]
+pub fn check(config: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![initial_state(config)];
+    seen.insert(stack[0].fingerprint());
+
+    while let Some(state) = stack.pop() {
+        report.states_explored += 1;
+        if report.states_explored >= config.max_states {
+            report.truncated = true;
+            break;
+        }
+
+        // Invariant check at every state (not only terminal ones): a
+        // violation may be transient if later moves "fix" the history.
+        let violations = check_atomicity(&state.history);
+        if !violations.is_empty() {
+            for v in violations {
+                report.counterexamples.push(Counterexample {
+                    violation: v,
+                    trail: state.trail.clone(),
+                    history: state.history.to_string(),
+                });
+            }
+            // Do not expand a violating state further: one witness per
+            // branch keeps reports readable.
+            continue;
+        }
+
+        let succ = successors(&state);
+        if state.is_terminal() {
+            report.terminal_states += 1;
+            let table = state.coord.protocol_table_size();
+            report.max_terminal_table = report.max_terminal_table.max(table);
+            if table == 0 {
+                report.terminal_states_fully_forgotten += 1;
+            }
+        }
+        for s in succ {
+            if seen.insert(s.fingerprint()) {
+                stack.push(s);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::SelectionPolicy;
+
+    #[test]
+    fn u2pc_prc_coordinator_violates_atomicity_theorem_1_part_iii() {
+        let config = CheckConfig::new(
+            CoordinatorKind::U2pc(ProtocolKind::PrC),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        let report = check(&config);
+        assert!(!report.truncated, "exploration must complete: {report}");
+        assert!(
+            !report.clean(),
+            "U2PC/PrC must violate atomicity somewhere: {report}"
+        );
+    }
+
+    #[test]
+    fn u2pc_prn_coordinator_violates_atomicity_theorem_1_part_i() {
+        let config = CheckConfig::new(
+            CoordinatorKind::U2pc(ProtocolKind::PrN),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        let report = check(&config);
+        assert!(!report.truncated);
+        assert!(!report.clean(), "{report}");
+    }
+
+    #[test]
+    fn prany_is_clean_under_the_same_bounds_theorem_3() {
+        let config = CheckConfig::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        let report = check(&config);
+        assert!(!report.truncated, "{report}");
+        assert!(report.clean(), "{report}");
+        assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn c2pc_never_violates_but_remembers_forever_theorem_2() {
+        let config = CheckConfig::new(
+            CoordinatorKind::C2pc(ProtocolKind::PrN),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        let report = check(&config);
+        assert!(!report.truncated, "{report}");
+        assert!(report.clean(), "C2PC is functionally correct: {report}");
+        assert!(
+            report.max_terminal_table > 0,
+            "some terminal state must still remember the transaction: {report}"
+        );
+    }
+}

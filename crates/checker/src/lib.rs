@@ -1,0 +1,29 @@
+//! # acp-check
+//!
+//! A bounded model checker for the commit protocols: exhaustive DFS over
+//! message deliveries, message drops, crash/recover points and timer
+//! firings for small configurations.
+//!
+//! The paper's Theorem 1 is an existence proof ("it is possible for …");
+//! this checker turns it into a *search*: given a coordinator kind, a
+//! participant population and small failure budgets, it enumerates every
+//! reachable interleaving and reports the atomicity violations it finds
+//! (with the full ACTA history of each counterexample). Run against
+//! U2PC it mechanically rediscovers the Part I–III scenarios; run
+//! against PrAny it proves (exhaustively, for the bounded configuration)
+//! that none exist — the Theorem 3 claim.
+//!
+//! It also reports whether every terminal state has an empty protocol
+//! table, which is how Theorem 2's "remembered forever" shows up for
+//! C2PC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod report;
+pub mod state;
+
+pub use explore::{check, CheckConfig};
+pub use report::{CheckReport, Counterexample};
+pub use state::CheckState;

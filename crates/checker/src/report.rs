@@ -1,0 +1,103 @@
+//! Exploration reports.
+
+use acp_acta::AtomicityViolation;
+use std::fmt;
+
+/// A concrete interleaving that violates atomicity.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The violation the checker detected.
+    pub violation: AtomicityViolation,
+    /// The move sequence that reaches it.
+    pub trail: Vec<String>,
+    /// The ACTA history of the branch, rendered.
+    pub history: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "VIOLATION: {}", self.violation)?;
+        writeln!(f, "trail:")?;
+        for (i, step) in self.trail.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {step}")?;
+        }
+        writeln!(f, "history:")?;
+        write!(f, "{}", self.history)
+    }
+}
+
+/// The result of a bounded exploration.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Distinct states visited.
+    pub states_explored: usize,
+    /// Terminal (quiescent) states reached.
+    pub terminal_states: usize,
+    /// Atomicity violations found (empty = bounded-exhaustive pass).
+    pub counterexamples: Vec<Counterexample>,
+    /// Whether the exploration stopped early on `max_states`.
+    pub truncated: bool,
+    /// Largest coordinator protocol table seen at a terminal state —
+    /// non-zero terminal tables are Theorem 2's "remembered forever".
+    pub max_terminal_table: usize,
+    /// Terminal states in which the coordinator had forgotten every
+    /// transaction.
+    pub terminal_states_fully_forgotten: usize,
+}
+
+impl CheckReport {
+    /// Did the exploration find no violations?
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "states={} terminal={} fully-forgotten-terminal={} max-terminal-table={} \
+             violations={}{}",
+            self.states_explored,
+            self.terminal_states,
+            self.terminal_states_fully_forgotten,
+            self.max_terminal_table,
+            self.counterexamples.len(),
+            if self.truncated { " (TRUNCATED)" } else { "" },
+        )?;
+        if let Some(cx) = self.counterexamples.first() {
+            writeln!(f, "first counterexample:")?;
+            write!(f, "{cx}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::TxnId;
+
+    #[test]
+    fn display_renders_counterexample() {
+        let report = CheckReport {
+            states_explored: 10,
+            terminal_states: 2,
+            counterexamples: vec![Counterexample {
+                violation: AtomicityViolation {
+                    txn: TxnId::new(1),
+                    detail: "boom".into(),
+                },
+                trail: vec!["deliver x".into()],
+                history: "0: Decide(...)\n".into(),
+            }],
+            ..Default::default()
+        };
+        let s = report.to_string();
+        assert!(s.contains("violations=1"));
+        assert!(s.contains("boom"));
+        assert!(s.contains("deliver x"));
+        assert!(!report.clean());
+    }
+}

@@ -1,0 +1,147 @@
+//! Explorable system states.
+
+use acp_acta::History;
+use acp_core::{Action, Coordinator, Participant, TimerPurpose};
+use acp_types::{Message, Payload, SiteId, TxnId};
+use acp_wal::MemLog;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+/// The coordinator's site in every checked configuration.
+pub const COORD: SiteId = SiteId(0);
+
+/// An armed timer at a site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ArmedTimer {
+    /// The site whose timer it is.
+    pub site: SiteId,
+    /// Engine token.
+    pub token: u64,
+    /// What it is for (shown in counterexample traces).
+    pub purpose: TimerPurpose,
+}
+
+/// One complete system state of the bounded exploration.
+#[derive(Clone)]
+pub struct CheckState {
+    /// The coordinator engine.
+    pub coord: Coordinator<MemLog>,
+    /// The participant engines.
+    pub parts: BTreeMap<SiteId, Participant<MemLog>>,
+    /// Messages handed to the network, not yet delivered or dropped.
+    /// Per-link FIFO: only the *oldest* message on each (from, to) link
+    /// is deliverable/droppable, matching the simulator's FIFO links.
+    pub in_flight: Vec<Message>,
+    /// Armed (not yet fired) volatile timers.
+    pub timers: BTreeSet<ArmedTimer>,
+    /// Remaining crash/recover budget.
+    pub crashes_left: u8,
+    /// Remaining message-drop budget.
+    pub drops_left: u8,
+    /// Remaining timer-firing budget.
+    pub timers_left: u8,
+    /// The ACTA history of this branch.
+    pub history: History,
+    /// Human-readable move trail (for counterexample reporting).
+    pub trail: Vec<String>,
+}
+
+impl CheckState {
+    /// Absorb a batch of engine actions at `site` into the state.
+    pub fn absorb(&mut self, site: SiteId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, payload } => {
+                    self.in_flight.push(Message::new(site, to, payload));
+                }
+                Action::SetTimer { token, purpose } => {
+                    self.timers.insert(ArmedTimer {
+                        site,
+                        token,
+                        purpose,
+                    });
+                }
+                Action::Acta(e) => self.history.push(e),
+                Action::Enforce { .. } => {
+                    // The participant engine records the Enforce ACTA
+                    // event itself; data-engine effects are out of scope
+                    // for the checker.
+                }
+            }
+        }
+    }
+
+    /// Indices of in-flight messages that are at the head of their
+    /// (from, to) link — the only ones the FIFO network may act on.
+    #[must_use]
+    pub fn deliverable(&self) -> Vec<usize> {
+        let mut seen_links: BTreeSet<(SiteId, SiteId)> = BTreeSet::new();
+        let mut idxs = Vec::new();
+        for (i, m) in self.in_flight.iter().enumerate() {
+            if seen_links.insert((m.from, m.to)) {
+                idxs.push(i);
+            }
+        }
+        idxs
+    }
+
+    /// Drop all timers belonging to `site` (its volatile state died).
+    pub fn clear_timers(&mut self, site: SiteId) {
+        self.timers.retain(|t| t.site != site);
+    }
+
+    /// A 64-bit fingerprint of the semantic state, for deduplication.
+    /// The history and trail are deliberately excluded: two states with
+    /// identical machine/network state behave identically regardless of
+    /// how they were reached (violations are checked *before* dedup, so
+    /// none are missed).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.coord.fingerprint().hash(&mut h);
+        for (site, p) in &self.parts {
+            site.hash(&mut h);
+            p.fingerprint().hash(&mut h);
+        }
+        // In-flight messages: order only matters per link (FIFO), so
+        // hash each link's queue separately in a canonical link order.
+        let mut links: BTreeMap<(SiteId, SiteId), Vec<String>> = BTreeMap::new();
+        for m in &self.in_flight {
+            links
+                .entry((m.from, m.to))
+                .or_default()
+                .push(m.payload.to_string());
+        }
+        links.hash(&mut h);
+        for t in &self.timers {
+            (t.site, t.token).hash(&mut h);
+        }
+        (self.crashes_left, self.drops_left, self.timers_left).hash(&mut h);
+        h.finish()
+    }
+
+    /// Is the state quiescent: nothing in flight and no armed timers
+    /// whose firing could still change anything (we treat any armed
+    /// timer as potentially enabled, so quiescent = no messages and
+    /// either no timers or no timer budget).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.in_flight.is_empty() && (self.timers.is_empty() || self.timers_left == 0)
+    }
+
+    /// Every transaction mentioned so far (for reporting).
+    #[must_use]
+    pub fn txns(&self) -> Vec<TxnId> {
+        self.history.transactions()
+    }
+
+    /// Render an in-flight message briefly (for trails).
+    #[must_use]
+    pub fn describe_message(m: &Message) -> String {
+        match &m.payload {
+            Payload::Prepare { txn } => format!("{}→{} prepare {txn}", m.from, m.to),
+            other => format!("{}→{} {other}", m.from, m.to),
+        }
+    }
+}

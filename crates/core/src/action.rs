@@ -1,0 +1,132 @@
+//! Engine outputs.
+
+use acp_acta::ActaEvent;
+use acp_types::{Outcome, Payload, SiteId, TxnId};
+use std::fmt;
+
+/// Why a timer was set — the host maps each purpose to a concrete delay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TimerPurpose {
+    /// Coordinator: abort the transaction if votes are still outstanding
+    /// when this fires ("communication and site failures are detected by
+    /// timeouts", §4.2).
+    VoteTimeout,
+    /// Coordinator: re-send the decision to participants whose
+    /// acknowledgment is still outstanding.
+    AckResend,
+    /// Participant: re-send the recovery inquiry for an in-doubt
+    /// transaction.
+    InquiryRetry,
+    /// Gateway: retry applying a committed write set to a temporarily
+    /// unavailable legacy system (the redo technique of Figure 5).
+    ApplyRetry,
+}
+
+impl fmt::Display for TimerPurpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimerPurpose::VoteTimeout => write!(f, "vote-timeout"),
+            TimerPurpose::AckResend => write!(f, "ack-resend"),
+            TimerPurpose::InquiryRetry => write!(f, "inquiry-retry"),
+            TimerPurpose::ApplyRetry => write!(f, "apply-retry"),
+        }
+    }
+}
+
+/// An effect requested by a protocol engine.
+///
+/// The host (simulator harness, model checker, threaded runtime)
+/// executes these in order. Log writes are *not* actions — engines own
+/// their stable log and append inline, so force-before-send orderings
+/// are enforced by construction; each log write additionally surfaces as
+/// an [`ActaEvent::LogWrite`] for the history.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Action {
+    /// Send a coordination message.
+    Send {
+        /// Destination site.
+        to: SiteId,
+        /// Message payload.
+        payload: Payload,
+    },
+    /// Enforce the decision on the local subtransaction (apply commit or
+    /// roll back in the site's storage engine).
+    Enforce {
+        /// The transaction.
+        txn: TxnId,
+        /// The outcome to enforce.
+        outcome: Outcome,
+    },
+    /// Arm a volatile timer. The engine will be called back with `token`.
+    SetTimer {
+        /// Opaque token, returned verbatim to the engine.
+        token: u64,
+        /// What the timer is for (host picks the delay).
+        purpose: TimerPurpose,
+    },
+    /// Record a significant event in the global ACTA history.
+    Acta(ActaEvent),
+}
+
+impl Action {
+    /// Convenience constructor for a send.
+    #[must_use]
+    pub fn send(to: SiteId, payload: Payload) -> Self {
+        Action::Send { to, payload }
+    }
+}
+
+/// Extract only the sent payloads (test helper used across the suite).
+#[must_use]
+pub fn sent_payloads(actions: &[Action]) -> Vec<(SiteId, Payload)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send { to, payload } => Some((*to, payload.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Extract only the ACTA events (test helper).
+#[must_use]
+pub fn acta_events(actions: &[Action]) -> Vec<ActaEvent> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Acta(e) => Some(e.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_filter_correctly() {
+        let t = TxnId::new(1);
+        let actions = vec![
+            Action::send(SiteId::new(1), Payload::Prepare { txn: t }),
+            Action::Enforce {
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+            Action::Acta(ActaEvent::Crash {
+                site: SiteId::new(0),
+            }),
+            Action::SetTimer {
+                token: 3,
+                purpose: TimerPurpose::VoteTimeout,
+            },
+        ];
+        assert_eq!(sent_payloads(&actions).len(), 1);
+        assert_eq!(acta_events(&actions).len(), 1);
+    }
+
+    #[test]
+    fn purposes_display() {
+        assert_eq!(TimerPurpose::AckResend.to_string(), "ack-resend");
+    }
+}

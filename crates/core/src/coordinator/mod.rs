@@ -1,0 +1,697 @@
+//! The coordinator engine.
+//!
+//! One engine executes every coordinator variant in the paper; the
+//! differences between PrN, PrA, PrC, U2PC, C2PC and PrAny are entirely
+//! contained in the per-transaction [`plan::CommitPlan`]. The engine
+//! owns the participants' commit protocol (PCP) table — "a coordinator
+//! records the 2PC protocol employed by each participant in a table
+//! called participants' commit protocol (PCP) … kept on stable storage"
+//! (§4) — a volatile protocol table, and the stable log.
+
+pub mod plan;
+pub mod recovery;
+pub mod select;
+
+use crate::action::{Action, TimerPurpose};
+use plan::{CommitPlan, InquiryRule};
+
+use acp_acta::ActaEvent;
+use acp_types::{
+    CoordinatorKind, CostCounters, LogPayload, Outcome, ParticipantEntry, Payload, ProtocolKind,
+    SiteId, TxnId, Vote,
+};
+use acp_wal::{GcTracker, StableLog};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum decision re-sends before the coordinator stops actively
+/// retrying (it keeps the table entry — C2PC's "remember forever" is
+/// about state, not about spamming the network; the bound also
+/// guarantees simulated runs quiesce).
+pub const MAX_DECISION_RESENDS: u32 = 16;
+
+/// Volatile per-transaction coordinator state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Collecting votes.
+    Voting {
+        /// Votes received so far.
+        votes: BTreeMap<SiteId, Vote>,
+    },
+    /// Decision made; awaiting acknowledgments.
+    Deciding {
+        /// The decision.
+        outcome: Outcome,
+        /// Sites whose acknowledgment is still outstanding.
+        pending: BTreeSet<SiteId>,
+        /// Re-send attempts so far.
+        resends: u32,
+    },
+}
+
+/// A protocol-table entry.
+#[derive(Clone, Debug)]
+pub(crate) struct TxnState {
+    pub(crate) participants: Vec<ParticipantEntry>,
+    pub(crate) plan: CommitPlan,
+    pub(crate) phase: Phase,
+    /// Whether any log record was written for this transaction (decides
+    /// whether an end record is due at completion).
+    pub(crate) logged_any: bool,
+}
+
+/// The coordinator engine. See module docs.
+///
+/// # Example
+///
+/// Drive one PrAny commit over a mixed PrA + PrC population by hand
+/// (the `harness` module does this inside the simulator; the engine is
+/// sans-IO, so it can be driven from anything):
+///
+/// ```
+/// use acp_core::coordinator::Coordinator;
+/// use acp_types::{
+///     CoordinatorKind, Outcome, Payload, ProtocolKind, SelectionPolicy, SiteId, TxnId, Vote,
+/// };
+/// use acp_wal::MemLog;
+///
+/// let mut c = Coordinator::new(
+///     SiteId::new(0),
+///     CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+///     MemLog::new(),
+/// );
+/// c.register_site(SiteId::new(1), ProtocolKind::PrA);
+/// c.register_site(SiteId::new(2), ProtocolKind::PrC);
+///
+/// let txn = TxnId::new(1);
+/// let actions = c.begin_commit(txn, &[SiteId::new(1), SiteId::new(2)]);
+/// assert!(!actions.is_empty()); // initiation force + prepares + vote timer
+///
+/// c.on_message(SiteId::new(1), &Payload::Vote { txn, vote: Vote::Yes });
+/// c.on_message(SiteId::new(2), &Payload::Vote { txn, vote: Vote::Yes });
+/// assert_eq!(c.decided(txn), Some(Outcome::Commit));
+///
+/// // Only the PrA participant acknowledges commits; its ack completes
+/// // the protocol and the coordinator forgets the transaction.
+/// c.on_message(SiteId::new(1), &Payload::Ack { txn });
+/// assert_eq!(c.protocol_table_size(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Coordinator<L: StableLog> {
+    pub(crate) site: SiteId,
+    pub(crate) kind: CoordinatorKind,
+    pub(crate) log: L,
+    /// Participants' commit protocols (PCP). Conceptually on stable
+    /// storage, updated only when sites join/leave — so it survives
+    /// crashes.
+    pub(crate) pcp: BTreeMap<SiteId, ProtocolKind>,
+    /// The volatile protocol table (cleared on crash, rebuilt by §4.2
+    /// log analysis).
+    pub(crate) table: BTreeMap<TxnId, TxnState>,
+    pub(crate) gc: GcTracker,
+    pub(crate) timers: BTreeMap<u64, (TxnId, TimerPurpose)>,
+    pub(crate) next_token: u64,
+    /// Observational: decisions ever made (survives crash; used by tests
+    /// and checkers, never consulted by the protocol itself).
+    pub(crate) decisions: BTreeMap<TxnId, Outcome>,
+    /// Observational cost accounting per transaction.
+    pub(crate) costs: BTreeMap<TxnId, CostCounters>,
+    /// Truncate the log automatically whenever the releasable prefix
+    /// grows (on by default).
+    pub auto_gc: bool,
+}
+
+impl<L: StableLog> Coordinator<L> {
+    /// Create a coordinator of the given kind.
+    pub fn new(site: SiteId, kind: CoordinatorKind, log: L) -> Self {
+        Coordinator {
+            site,
+            kind,
+            log,
+            pcp: BTreeMap::new(),
+            table: BTreeMap::new(),
+            gc: GcTracker::new(),
+            timers: BTreeMap::new(),
+            next_token: 0,
+            decisions: BTreeMap::new(),
+            costs: BTreeMap::new(),
+            auto_gc: true,
+        }
+    }
+
+    /// Register a participant site's protocol in the PCP table ("the
+    /// PCP is kept on stable storage and is updated when a new site
+    /// joins or leaves the distributed environment", §4). Re-registering
+    /// an existing site changes its protocol for *future* transactions;
+    /// in-flight and recovered transactions keep the protocols recorded
+    /// in their initiation/decision records.
+    pub fn register_site(&mut self, site: SiteId, protocol: ProtocolKind) {
+        self.pcp.insert(site, protocol);
+    }
+
+    /// Remove a departed site from the PCP. Refused while the site still
+    /// participates in an in-flight transaction — the paper's model has
+    /// sites leave the *environment*, not abscond mid-protocol.
+    pub fn unregister_site(&mut self, site: SiteId) -> Result<(), acp_types::ProtocolViolation> {
+        for (txn, state) in &self.table {
+            if state.participants.iter().any(|p| p.site == site) {
+                return Err(acp_types::ProtocolViolation::new(
+                    self.site,
+                    Some(*txn),
+                    format!("{site} still participates in an in-flight transaction"),
+                ));
+            }
+        }
+        self.pcp.remove(&site);
+        Ok(())
+    }
+
+    /// The registered protocol of a site, if known.
+    #[must_use]
+    pub fn site_protocol(&self, site: SiteId) -> Option<ProtocolKind> {
+        self.pcp.get(&site).copied()
+    }
+
+    /// This coordinator's site id.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The coordinator variant this engine runs.
+    #[must_use]
+    pub fn kind(&self) -> CoordinatorKind {
+        self.kind
+    }
+
+    /// Number of transactions currently in the protocol table.
+    #[must_use]
+    pub fn protocol_table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Transactions currently in the protocol table.
+    #[must_use]
+    pub fn protocol_table_txns(&self) -> Vec<TxnId> {
+        self.table.keys().copied().collect()
+    }
+
+    /// Transactions still pinning the log (no end record).
+    #[must_use]
+    pub fn log_pinned(&self) -> Vec<TxnId> {
+        self.gc.pinned()
+    }
+
+    /// The decision this coordinator made for `txn`, if any
+    /// (observational; survives crashes).
+    #[must_use]
+    pub fn decided(&self, txn: TxnId) -> Option<Outcome> {
+        self.decisions.get(&txn).copied()
+    }
+
+    /// Borrow the stable log.
+    #[must_use]
+    pub fn log(&self) -> &L {
+        &self.log
+    }
+
+    /// Per-transaction costs measured at this site.
+    #[must_use]
+    pub fn costs(&self, txn: TxnId) -> CostCounters {
+        self.costs.get(&txn).copied().unwrap_or_default()
+    }
+
+    /// A canonical rendering of the engine's *semantic* state (protocol
+    /// table, stable log, PCP, armed timers), used by the model checker
+    /// to deduplicate explored states. Observational fields (costs,
+    /// decision memos) are excluded on purpose — they never influence
+    /// behaviour.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut s = format!("coord:{:?};", self.kind);
+        for (txn, st) in &self.table {
+            s.push_str(&format!("{txn}={:?}/{:?};", st.phase, st.plan.mode));
+        }
+        s.push('|');
+        for rec in self.log.records().expect("records") {
+            s.push_str(&format!("{};", rec.payload));
+        }
+        s.push('|');
+        for (tok, (txn, p)) in &self.timers {
+            s.push_str(&format!("{tok}:{txn}:{p:?};"));
+        }
+        s
+    }
+
+    /// The commit mode that would be selected for the given sites (for
+    /// experiments and tests).
+    #[must_use]
+    pub fn mode_for(&self, sites: &[SiteId]) -> acp_types::CommitMode {
+        CommitPlan::derive(self.kind, &self.entries(sites)).mode
+    }
+
+    // -- internals -----------------------------------------------------
+
+    pub(crate) fn entries(&self, sites: &[SiteId]) -> Vec<ParticipantEntry> {
+        sites
+            .iter()
+            .map(|s| {
+                let p = *self
+                    .pcp
+                    .get(s)
+                    .unwrap_or_else(|| panic!("site {s} not registered in PCP"));
+                ParticipantEntry::new(*s, p)
+            })
+            .collect()
+    }
+
+    pub(crate) fn append(
+        &mut self,
+        txn: TxnId,
+        payload: LogPayload,
+        force: bool,
+        out: &mut Vec<Action>,
+    ) {
+        let kind = payload.kind_name();
+        let lsn = self.log.next_lsn();
+        self.gc.note(lsn, &payload);
+        self.log
+            .append(payload, force)
+            .expect("coordinator log append");
+        self.costs.entry(txn).or_default().count_log_write(force);
+        out.push(Action::Acta(ActaEvent::LogWrite {
+            site: self.site,
+            txn,
+            kind,
+            forced: force,
+        }));
+    }
+
+    pub(crate) fn send(&mut self, txn: TxnId, to: SiteId, payload: Payload, out: &mut Vec<Action>) {
+        self.costs
+            .entry(txn)
+            .or_default()
+            .count_message_kind(payload.kind_name());
+        out.push(Action::Send { to, payload });
+    }
+
+    pub(crate) fn arm_timer(&mut self, txn: TxnId, purpose: TimerPurpose, out: &mut Vec<Action>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, (txn, purpose));
+        out.push(Action::SetTimer { token, purpose });
+    }
+
+    // -- protocol entry points ------------------------------------------
+
+    /// Start commit processing for `txn` across the given participant
+    /// sites: select the mode, write the initiation record if the plan
+    /// requires one, and send the prepare-to-commit requests (the voting
+    /// phase of Figure 1).
+    pub fn begin_commit(&mut self, txn: TxnId, sites: &[SiteId]) -> Vec<Action> {
+        assert!(
+            !self.table.contains_key(&txn),
+            "transaction {txn} already in the protocol table"
+        );
+        let participants = self.entries(sites);
+        let plan = CommitPlan::derive(self.kind, &participants);
+        let mut out = Vec::new();
+
+        let mut logged_any = false;
+        if plan.write_initiation {
+            self.append(
+                txn,
+                LogPayload::Initiation {
+                    txn,
+                    participants: participants.clone(),
+                    mode: plan.mode,
+                },
+                true,
+                &mut out,
+            );
+            logged_any = true;
+        }
+
+        for p in &participants {
+            let to = p.site;
+            self.send(txn, to, Payload::Prepare { txn }, &mut out);
+        }
+        self.table.insert(
+            txn,
+            TxnState {
+                participants,
+                plan,
+                phase: Phase::Voting {
+                    votes: BTreeMap::new(),
+                },
+                logged_any,
+            },
+        );
+        self.arm_timer(txn, TimerPurpose::VoteTimeout, &mut out);
+        out
+    }
+
+    /// Fix the outcome and run the decision phase. Called when all votes
+    /// are in, when a "No" vote arrives, or on vote timeout.
+    fn decide(&mut self, txn: TxnId, outcome: Outcome, out: &mut Vec<Action>) {
+        let state = self.table.get(&txn).expect("decide on tabled txn");
+        let plan = state.plan.clone();
+        let participants = state.participants.clone();
+
+        // Recipients: everyone except unilateral aborters (voted "No")
+        // and read-only voters, both of which dropped out of phase two.
+        // Participants whose vote has not arrived are *included*: they
+        // may be prepared, so the decision (and its acknowledgment
+        // bookkeeping) must reach them.
+        let excluded: BTreeSet<SiteId> = match &state.phase {
+            Phase::Voting { votes } => votes
+                .iter()
+                .filter(|(_, v)| matches!(v, Vote::No | Vote::ReadOnly))
+                .map(|(s, _)| *s)
+                .collect(),
+            Phase::Deciding { .. } => unreachable!("decide called twice"),
+        };
+        let recipients: Vec<ParticipantEntry> = participants
+            .iter()
+            .filter(|p| !excluded.contains(&p.site))
+            .copied()
+            .collect();
+
+        self.decisions.insert(txn, outcome);
+        out.push(Action::Acta(ActaEvent::Decide {
+            coordinator: self.site,
+            txn,
+            outcome,
+        }));
+
+        // Decision record — skipped entirely when there is nobody left in
+        // phase two (the read-only optimization: an all-read-only
+        // transaction commits with no decision record and no decision
+        // messages).
+        let mut logged_any = self.table[&txn].logged_any;
+        if !recipients.is_empty() {
+            if let Some(forced) = plan.decision_record(outcome) {
+                let rec_participants = if plan.write_initiation {
+                    Vec::new()
+                } else {
+                    participants.clone()
+                };
+                self.append(
+                    txn,
+                    LogPayload::CoordDecision {
+                        txn,
+                        outcome,
+                        participants: rec_participants,
+                    },
+                    forced,
+                    out,
+                );
+                logged_any = true;
+            }
+            for p in &recipients {
+                let to = p.site;
+                self.send(txn, to, Payload::Decision { txn, outcome }, out);
+            }
+        }
+
+        let pending: BTreeSet<SiteId> = plan
+            .expected_ackers(outcome, &recipients)
+            .into_iter()
+            .collect();
+
+        let state = self.table.get_mut(&txn).expect("tabled");
+        state.logged_any = logged_any;
+        if pending.is_empty() {
+            self.finish(txn, out);
+        } else {
+            let state = self.table.get_mut(&txn).expect("tabled");
+            state.phase = Phase::Deciding {
+                outcome,
+                pending,
+                resends: 0,
+            };
+            self.arm_timer(txn, TimerPurpose::AckResend, out);
+        }
+    }
+
+    /// All expected acknowledgments arrived (or none were expected):
+    /// write the end record, delete the transaction from the protocol
+    /// table (the `DeletePT` event of Definition 2) and garbage collect.
+    pub(crate) fn finish(&mut self, txn: TxnId, out: &mut Vec<Action>) {
+        let state = self.table.remove(&txn).expect("finish on tabled txn");
+        if state.logged_any {
+            self.append(txn, LogPayload::End { txn }, false, out);
+        }
+        out.push(Action::Acta(ActaEvent::DeletePt {
+            coordinator: self.site,
+            txn,
+        }));
+        if self.auto_gc {
+            self.collect_garbage();
+        }
+    }
+
+    /// Client-requested abort: if the transaction is still in its voting
+    /// phase, decide abort now (the transaction's application gave up —
+    /// the same decision path as a "No" vote or a vote timeout). Ignored
+    /// once a decision exists and for unknown transactions.
+    pub fn abort_request(&mut self, txn: TxnId) -> Vec<Action> {
+        let mut out = Vec::new();
+        if matches!(
+            self.table.get(&txn),
+            Some(TxnState {
+                phase: Phase::Voting { .. },
+                ..
+            })
+        ) {
+            self.decide(txn, Outcome::Abort, &mut out);
+        }
+        out
+    }
+
+    /// Handle an incoming message.
+    pub fn on_message(&mut self, from: SiteId, payload: &Payload) -> Vec<Action> {
+        let mut out = Vec::new();
+        match payload {
+            Payload::Vote { txn, vote } => self.on_vote(from, *txn, *vote, &mut out),
+            Payload::Ack { txn } => self.on_ack(from, *txn, &mut out),
+            Payload::Inquiry { txn, protocol } => {
+                self.on_inquiry(from, *txn, *protocol, &mut out);
+            }
+            // Coordinator-side protocol ignores everything else (§2).
+            Payload::Prepare { .. }
+            | Payload::Decision { .. }
+            | Payload::InquiryResponse { .. } => {}
+        }
+        out
+    }
+
+    fn on_vote(&mut self, from: SiteId, txn: TxnId, vote: Vote, out: &mut Vec<Action>) {
+        let Some(state) = self.table.get_mut(&txn) else {
+            // A vote for a transaction no longer in the table (the
+            // coordinator decided and forgot while this vote was in
+            // flight). A "Yes" voter is prepared and blocked, but its
+            // own inquiry timer resolves that through the normal inquiry
+            // path — which, unlike answering here, uses the inquirer's
+            // protocol from the message itself. Ignore the vote.
+            let _ = vote;
+            return;
+        };
+        if !state.participants.iter().any(|p| p.site == from) {
+            return; // not a participant of this transaction; ignore
+        }
+        match &mut state.phase {
+            Phase::Voting { votes } => {
+                votes.insert(from, vote);
+                if vote == Vote::No {
+                    self.decide(txn, Outcome::Abort, out);
+                } else if votes.len() == state.participants.len() {
+                    self.decide(txn, Outcome::Commit, out);
+                }
+            }
+            Phase::Deciding { .. } => {
+                // Late vote after the decision (it raced the timeout or a
+                // client abort). Nothing to do: the decision was already
+                // sent to every phase-two recipient — including
+                // participants whose vote had not arrived — and the links
+                // are FIFO, so it is ordered behind this vote's prepare.
+                // Loss is covered by the ack-resend timer and by the
+                // participant's recovery inquiry.
+            }
+        }
+    }
+
+    fn on_ack(&mut self, from: SiteId, txn: TxnId, out: &mut Vec<Action>) {
+        let Some(state) = self.table.get_mut(&txn) else {
+            return; // duplicate or protocol-violating ack: ignored (§2)
+        };
+        if let Phase::Deciding { pending, .. } = &mut state.phase {
+            pending.remove(&from);
+            if pending.is_empty() {
+                self.finish(txn, out);
+            }
+        }
+        // Acks during the voting phase are protocol violations: ignored.
+    }
+
+    fn on_inquiry(
+        &mut self,
+        from: SiteId,
+        txn: TxnId,
+        protocol: ProtocolKind,
+        out: &mut Vec<Action>,
+    ) {
+        if let Some(state) = self.table.get(&txn) {
+            match &state.phase {
+                Phase::Voting { .. } => {
+                    // No decision yet; the participant stays blocked and
+                    // will retry. (The vote timeout will resolve it.)
+                }
+                Phase::Deciding { outcome, .. } => {
+                    let outcome = *outcome;
+                    out.push(Action::Acta(ActaEvent::Respond {
+                        coordinator: self.site,
+                        txn,
+                        participant: from,
+                        outcome,
+                        by_presumption: false,
+                    }));
+                    self.send(txn, from, Payload::InquiryResponse { txn, outcome }, out);
+                }
+            }
+            return;
+        }
+        let (outcome, by_presumption) = self.answer_unknown(txn, Some(protocol));
+        out.push(Action::Acta(ActaEvent::Respond {
+            coordinator: self.site,
+            txn,
+            participant: from,
+            outcome,
+            by_presumption,
+        }));
+        self.send(txn, from, Payload::InquiryResponse { txn, outcome }, out);
+    }
+
+    /// Answer for a transaction with no protocol-table entry. Returns
+    /// `(outcome, answered_by_presumption)`.
+    fn answer_unknown(
+        &self,
+        txn: TxnId,
+        inquirer_protocol: Option<ProtocolKind>,
+    ) -> (Outcome, bool) {
+        match self.unknown_inquiry_rule() {
+            InquiryRule::FixedPresumption(o) => (o, true),
+            InquiryRule::InquirerPresumption => {
+                // §4.2: adopt the presumption of the inquiring
+                // participant's protocol. For a PrN inquirer this is the
+                // hidden abort presumption — Theorem 3's proof shows a
+                // PrN (or PrA) inquiry about a *forgotten committed*
+                // transaction is impossible, so abort is always
+                // consistent here.
+                let p = inquirer_protocol.unwrap_or(ProtocolKind::PrN);
+                (p.presumption(), true)
+            }
+            InquiryRule::ConsultLog => {
+                let records = self.log.records().expect("records");
+                let summaries = acp_wal::scan::analyze(&records);
+                match summaries.get(&txn).and_then(|s| s.decision) {
+                    Some(o) => (o, false),
+                    // Never decided (or the records were reclaimed after
+                    // every ack arrived — in which case nobody can be
+                    // left to inquire): abort is the only outcome the
+                    // coordinator can still guarantee.
+                    None => (Outcome::Abort, true),
+                }
+            }
+        }
+    }
+
+    /// The unknown-transaction inquiry rule for this coordinator kind
+    /// (population-independent).
+    pub(crate) fn unknown_inquiry_rule(&self) -> InquiryRule {
+        match self.kind {
+            CoordinatorKind::Single(p) | CoordinatorKind::U2pc(p) => {
+                InquiryRule::FixedPresumption(p.presumption())
+            }
+            CoordinatorKind::C2pc(_) => InquiryRule::ConsultLog,
+            CoordinatorKind::PrAny(_) => InquiryRule::InquirerPresumption,
+        }
+    }
+
+    /// Timer callback.
+    pub fn on_timer(&mut self, token: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some((txn, purpose)) = self.timers.remove(&token) else {
+            return out;
+        };
+        match purpose {
+            TimerPurpose::VoteTimeout => {
+                if matches!(
+                    self.table.get(&txn),
+                    Some(TxnState {
+                        phase: Phase::Voting { .. },
+                        ..
+                    })
+                ) {
+                    // §4.2: failures are detected by timeouts — missing
+                    // votes abort the transaction.
+                    self.decide(txn, Outcome::Abort, &mut out);
+                }
+            }
+            TimerPurpose::AckResend => {
+                let Some(state) = self.table.get_mut(&txn) else {
+                    return out;
+                };
+                if let Phase::Deciding {
+                    outcome,
+                    pending,
+                    resends,
+                } = &mut state.phase
+                {
+                    *resends += 1;
+                    let attempts = *resends;
+                    let outcome = *outcome;
+                    let targets: Vec<SiteId> = pending.iter().copied().collect();
+                    for to in targets {
+                        self.send(txn, to, Payload::Decision { txn, outcome }, &mut out);
+                    }
+                    if attempts < MAX_DECISION_RESENDS {
+                        self.arm_timer(txn, TimerPurpose::AckResend, &mut out);
+                    }
+                }
+            }
+            // Participant/gateway-side purposes: not ours.
+            TimerPurpose::InquiryRetry | TimerPurpose::ApplyRetry => {}
+        }
+        out
+    }
+
+    /// The site fail-stops: the protocol table, timers and unflushed log
+    /// records are lost; the PCP (stable configuration) and the forced
+    /// log survive.
+    pub fn crash(&mut self) {
+        self.table.clear();
+        self.timers.clear();
+        self.log.lose_unflushed().expect("log crash");
+        self.gc = GcTracker::from_records(&self.log.records().expect("records"));
+    }
+
+    /// Garbage-collect the releasable log prefix. Returns the number of
+    /// records reclaimed.
+    pub fn collect_garbage(&mut self) -> usize {
+        let releasable = self.gc.releasable();
+        if releasable > self.log.low_water_mark() {
+            // The releasable point may cover lazy records still in the
+            // volatile buffer; make them durable before truncating.
+            self.log.flush().expect("flush before gc");
+            let before = self.log.stats().truncated;
+            self.log.truncate_prefix(releasable).expect("truncate");
+            self.gc.reclaimed(releasable);
+            (self.log.stats().truncated - before) as usize
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,129 @@
+//! §4.1 protocol selection: which commit mode a PrAny coordinator runs
+//! for a transaction, given its participants' protocols (from the APP
+//! table).
+//!
+//! > "The coordinator selects PrN if all the participants use PrN.
+//! > Similarly, it selects PrA if all the participants use PrA whereas
+//! > it decides to use PrC if all the participants use PrC. … In the
+//! > event that some of the participants employ PrA while the others
+//! > employ PrN or PrC, the coordinator selects PrAny."
+//!
+//! The paper does not state a rule for a PrN+PrC mix without PrA; the
+//! [`acp_types::SelectionPolicy::PaperStrict`] policy conservatively
+//! runs PrAny for *any* heterogeneous population. The `Optimized` policy
+//! additionally runs PrA for populations mixing only PrN and PrA — safe
+//! because PrN participants acknowledge everything PrA expects and both
+//! protocols share the abort presumption. (The symmetric-looking
+//! "PrN+PrC ⇒ plain PrC" is **not** safe and is deliberately absent: a
+//! pure-PrC coordinator forgets commits immediately, so a PrN
+//! participant that crashed before receiving the commit would later
+//! inquire and, under PrN's abort presumption, be told the wrong thing —
+//! see the `u2pc` tests, which exhibit exactly that violation.)
+
+use acp_types::{CommitMode, ParticipantEntry, ProtocolKind, SelectionPolicy};
+
+/// Select the commit mode for a transaction.
+///
+/// Panics on an empty participant list — a distributed transaction has
+/// at least one participant.
+#[must_use]
+pub fn select_mode(policy: SelectionPolicy, participants: &[ParticipantEntry]) -> CommitMode {
+    assert!(!participants.is_empty(), "transaction with no participants");
+    let first = participants[0].protocol;
+    if participants.iter().all(|p| p.protocol == first) {
+        return first.into();
+    }
+    match policy {
+        SelectionPolicy::PaperStrict => CommitMode::PrAny,
+        SelectionPolicy::Optimized => {
+            let has = |k: ProtocolKind| participants.iter().any(|p| p.protocol == k);
+            if !has(ProtocolKind::PrC) {
+                // Mix of PrN and PrA only.
+                CommitMode::PrA
+            } else {
+                CommitMode::PrAny
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::SiteId;
+
+    fn pop(protos: &[ProtocolKind]) -> Vec<ParticipantEntry> {
+        protos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ParticipantEntry::new(SiteId::new(i as u32 + 1), p))
+            .collect()
+    }
+
+    #[test]
+    fn homogeneous_populations_run_their_own_protocol() {
+        for policy in [SelectionPolicy::PaperStrict, SelectionPolicy::Optimized] {
+            for p in ProtocolKind::ALL {
+                let mode = select_mode(policy, &pop(&[p, p, p]));
+                assert_eq!(mode, CommitMode::from(p), "{policy} {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_strict_runs_prany_for_every_mix() {
+        use ProtocolKind::*;
+        for mix in [
+            vec![PrN, PrA],
+            vec![PrN, PrC],
+            vec![PrA, PrC],
+            vec![PrN, PrA, PrC],
+        ] {
+            assert_eq!(
+                select_mode(SelectionPolicy::PaperStrict, &pop(&mix)),
+                CommitMode::PrAny,
+                "{mix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_runs_pra_for_prn_pra_mixes_only() {
+        use ProtocolKind::*;
+        assert_eq!(
+            select_mode(SelectionPolicy::Optimized, &pop(&[PrN, PrA])),
+            CommitMode::PrA
+        );
+        assert_eq!(
+            select_mode(SelectionPolicy::Optimized, &pop(&[PrA, PrN, PrA])),
+            CommitMode::PrA
+        );
+        // Any PrC in a mix forces full PrAny.
+        assert_eq!(
+            select_mode(SelectionPolicy::Optimized, &pop(&[PrN, PrC])),
+            CommitMode::PrAny
+        );
+        assert_eq!(
+            select_mode(SelectionPolicy::Optimized, &pop(&[PrA, PrC])),
+            CommitMode::PrAny
+        );
+        assert_eq!(
+            select_mode(SelectionPolicy::Optimized, &pop(&[PrN, PrA, PrC])),
+            CommitMode::PrAny
+        );
+    }
+
+    #[test]
+    fn single_participant_is_homogeneous() {
+        assert_eq!(
+            select_mode(SelectionPolicy::PaperStrict, &pop(&[ProtocolKind::PrC])),
+            CommitMode::PrC
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no participants")]
+    fn empty_population_rejected() {
+        let _ = select_mode(SelectionPolicy::PaperStrict, &[]);
+    }
+}

@@ -1,0 +1,856 @@
+//! Simulated prepared state: integrating a *non-externalized* legacy
+//! site (Figure 5's right subtree).
+//!
+//! The paper's appendix classifies sites that do not expose a commit
+//! protocol at all, and the techniques for including them in global
+//! transactions anyway. This module implements the **commitment-after
+//! (redo)** family: a *gateway* in front of the legacy system
+//!
+//! 1. buffers the transaction's writes,
+//! 2. at prepare time takes an **exclusive right reservation** on the
+//!    written items (so no other *global* transaction can interleave)
+//!    and force-writes the redo information and a prepared record to its
+//!    own stable log — this *simulates* the prepared state the legacy
+//!    system cannot hold,
+//! 3. votes "Yes" and thereafter speaks its declared 2PC dialect on the
+//!    wire (any of PrN/PrA/PrC — the coordinator cannot tell a gateway
+//!    from a native participant),
+//! 4. on commit, **retries** the buffered writes against the legacy
+//!    system until they succeed (the system may be temporarily down —
+//!    the redo log makes the outcome durable at the gateway
+//!    regardless), releasing the reservation only when applied.
+//!
+//! The guarantee is *traditional* atomicity with respect to every
+//! transaction routed through the gateway; purely local users of the
+//! legacy system can observe the pre-commit state during the retry
+//! window — the classical weakness of the approach, which the taxonomy
+//! acknowledges by distinguishing semantic from traditional atomicity.
+
+use crate::action::{Action, TimerPurpose};
+use acp_acta::ActaEvent;
+use acp_types::{CostCounters, LogPayload, Outcome, Payload, ProtocolKind, SiteId, TxnId, Vote};
+use acp_wal::{GcTracker, StableLog};
+use std::collections::BTreeMap;
+
+/// A legacy data system: auto-commit key-value writes, no transactions,
+/// no prepare state, and intermittent availability. A separate failure
+/// domain from the gateway (it does not lose state when the gateway
+/// crashes).
+#[derive(Clone, Debug, Default)]
+pub struct LegacyStore {
+    data: BTreeMap<Vec<u8>, Vec<u8>>,
+    available: bool,
+}
+
+impl LegacyStore {
+    /// An empty, available store.
+    #[must_use]
+    pub fn new() -> Self {
+        LegacyStore {
+            data: BTreeMap::new(),
+            available: true,
+        }
+    }
+
+    /// Toggle availability (simulates the legacy system's own outages).
+    pub fn set_available(&mut self, available: bool) {
+        self.available = available;
+    }
+
+    /// Is the system currently reachable?
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// Auto-commit write. Fails (without effect) when unavailable.
+    pub fn write(&mut self, key: &[u8], value: &[u8]) -> Result<(), Unavailable> {
+        if !self.available {
+            return Err(Unavailable);
+        }
+        self.data.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    /// Read (available systems only; local reads are out of scope).
+    #[must_use]
+    pub fn read(&self, key: &[u8]) -> Option<&[u8]> {
+        self.data.get(key).map(Vec::as_slice)
+    }
+
+    /// Snapshot all entries (reporting/assertions).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.data
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Error: the legacy system is down; retry later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unavailable;
+
+/// Per-transaction gateway state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum GatewayPhase {
+    /// Buffering writes; nothing stable yet.
+    Collecting,
+    /// Redo info + prepared record forced; reservation held; waiting for
+    /// the decision.
+    SimulatedPrepared {
+        coordinator: SiteId,
+        inquiries_sent: u32,
+    },
+    /// Commit decided (durably); retrying the writes against the legacy
+    /// system until they stick.
+    Applying { next_write: usize },
+}
+
+#[derive(Clone, Debug)]
+struct GatewayTxn {
+    phase: GatewayPhase,
+    writes: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// A participant-shaped adapter that lets a [`LegacyStore`] take part in
+/// any of the 2PC variants.
+///
+/// # Example
+///
+/// ```
+/// use acp_core::gateway::{GatewayParticipant, LegacyStore};
+/// use acp_types::{Outcome, Payload, ProtocolKind, SiteId, TxnId};
+/// use acp_wal::MemLog;
+///
+/// let mut g = GatewayParticipant::new(
+///     SiteId::new(1),
+///     ProtocolKind::PrA, // the dialect it speaks on the wire
+///     MemLog::new(),
+///     LegacyStore::new(),
+/// );
+/// let txn = TxnId::new(1);
+/// g.stage_write(txn, b"order", b"42");
+///
+/// let coordinator = SiteId::new(0);
+/// g.on_message(coordinator, &Payload::Prepare { txn }); // simulated prepared state
+/// assert_eq!(g.legacy().read(b"order"), None); // nothing applied yet
+///
+/// g.on_message(coordinator, &Payload::Decision { txn, outcome: Outcome::Commit });
+/// assert_eq!(g.legacy().read(b"order"), Some(b"42".as_slice()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GatewayParticipant<L: StableLog> {
+    site: SiteId,
+    /// The 2PC dialect the gateway externalizes.
+    declared: ProtocolKind,
+    log: L,
+    legacy: LegacyStore,
+    /// Exclusive right reservations: keys pinned by simulated-prepared
+    /// or applying transactions.
+    reservations: BTreeMap<Vec<u8>, TxnId>,
+    txns: BTreeMap<TxnId, GatewayTxn>,
+    /// Observational enforcement record (as in `Participant`).
+    enforced: BTreeMap<TxnId, Outcome>,
+    gc: GcTracker,
+    timers: BTreeMap<u64, TxnId>,
+    next_token: u64,
+    costs: BTreeMap<TxnId, CostCounters>,
+}
+
+impl<L: StableLog> GatewayParticipant<L> {
+    /// Wrap a legacy system, externalizing the given protocol.
+    pub fn new(site: SiteId, declared: ProtocolKind, log: L, legacy: LegacyStore) -> Self {
+        GatewayParticipant {
+            site,
+            declared,
+            log,
+            legacy,
+            reservations: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            enforced: BTreeMap::new(),
+            gc: GcTracker::new(),
+            timers: BTreeMap::new(),
+            next_token: 0,
+            costs: BTreeMap::new(),
+        }
+    }
+
+    /// The protocol this gateway speaks on the wire.
+    #[must_use]
+    pub fn declared_protocol(&self) -> ProtocolKind {
+        self.declared
+    }
+
+    /// The wrapped legacy system (e.g. to toggle availability in tests).
+    pub fn legacy_mut(&mut self) -> &mut LegacyStore {
+        &mut self.legacy
+    }
+
+    /// Read-through to the legacy system's committed data.
+    #[must_use]
+    pub fn legacy(&self) -> &LegacyStore {
+        &self.legacy
+    }
+
+    /// Outcome enforced for `txn`, if any.
+    #[must_use]
+    pub fn enforced(&self, txn: TxnId) -> Option<Outcome> {
+        self.enforced.get(&txn).copied()
+    }
+
+    /// Transactions whose writes are still awaiting application to the
+    /// legacy system.
+    #[must_use]
+    pub fn applying(&self) -> Vec<TxnId> {
+        self.txns
+            .iter()
+            .filter(|(_, t)| matches!(t.phase, GatewayPhase::Applying { .. }))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Buffer a write for `txn` (the MDBS routes the operation through
+    /// the gateway instead of the legacy interface — the "rerouting"
+    /// leaf of the taxonomy).
+    pub fn stage_write(&mut self, txn: TxnId, key: &[u8], value: &[u8]) {
+        let t = self.txns.entry(txn).or_insert(GatewayTxn {
+            phase: GatewayPhase::Collecting,
+            writes: Vec::new(),
+        });
+        if t.phase == GatewayPhase::Collecting {
+            t.writes.push((key.to_vec(), value.to_vec()));
+        }
+    }
+
+    fn append(&mut self, txn: TxnId, payload: LogPayload, force: bool, out: &mut Vec<Action>) {
+        let kind = payload.kind_name();
+        let lsn = self.log.next_lsn();
+        self.gc.note(lsn, &payload);
+        self.log.append(payload, force).expect("gateway log append");
+        self.costs.entry(txn).or_default().count_log_write(force);
+        out.push(Action::Acta(ActaEvent::LogWrite {
+            site: self.site,
+            txn,
+            kind,
+            forced: force,
+        }));
+    }
+
+    fn send(&mut self, txn: TxnId, to: SiteId, payload: Payload, out: &mut Vec<Action>) {
+        self.costs
+            .entry(txn)
+            .or_default()
+            .count_message_kind(payload.kind_name());
+        out.push(Action::Send { to, payload });
+    }
+
+    fn arm_timer(&mut self, txn: TxnId, purpose: TimerPurpose, out: &mut Vec<Action>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, txn);
+        out.push(Action::SetTimer { token, purpose });
+    }
+
+    /// Handle a prepare request: take the reservation, force the redo
+    /// information, vote.
+    fn on_prepare(&mut self, coordinator: SiteId, txn: TxnId) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(state) = self.txns.get(&txn) else {
+            // No staged writes: read-only from the gateway's view.
+            self.send(
+                txn,
+                coordinator,
+                Payload::Vote {
+                    txn,
+                    vote: Vote::ReadOnly,
+                },
+                &mut out,
+            );
+            return out;
+        };
+        match &state.phase {
+            GatewayPhase::Collecting => {}
+            GatewayPhase::SimulatedPrepared { .. } => {
+                self.send(
+                    txn,
+                    coordinator,
+                    Payload::Vote {
+                        txn,
+                        vote: Vote::Yes,
+                    },
+                    &mut out,
+                );
+                return out;
+            }
+            GatewayPhase::Applying { .. } => return out,
+        }
+        // Exclusive right reservation: refuse if any written key is
+        // reserved by another transaction.
+        let conflict = state.writes.iter().any(|(k, _)| {
+            self.reservations
+                .get(k)
+                .is_some_and(|holder| *holder != txn)
+        });
+        if conflict {
+            self.txns.remove(&txn);
+            self.enforced.insert(txn, Outcome::Abort);
+            out.push(Action::Enforce {
+                txn,
+                outcome: Outcome::Abort,
+            });
+            self.send(
+                txn,
+                coordinator,
+                Payload::Vote {
+                    txn,
+                    vote: Vote::No,
+                },
+                &mut out,
+            );
+            out.push(Action::Acta(ActaEvent::ForgetPart {
+                participant: self.site,
+                txn,
+            }));
+            return out;
+        }
+        // Reserve, force redo info + prepared record, vote Yes.
+        let writes = state.writes.clone();
+        for (k, _) in &writes {
+            self.reservations.insert(k.clone(), txn);
+        }
+        for (key, value) in &writes {
+            self.append(
+                txn,
+                LogPayload::Update {
+                    txn,
+                    key: key.clone(),
+                    before: None,
+                    after: Some(value.clone()),
+                },
+                false,
+                &mut out,
+            );
+        }
+        self.append(
+            txn,
+            LogPayload::Prepared { txn, coordinator },
+            true,
+            &mut out,
+        );
+        out.push(Action::Acta(ActaEvent::Prepared {
+            participant: self.site,
+            txn,
+        }));
+        self.txns.get_mut(&txn).expect("present").phase = GatewayPhase::SimulatedPrepared {
+            coordinator,
+            inquiries_sent: 0,
+        };
+        self.send(
+            txn,
+            coordinator,
+            Payload::Vote {
+                txn,
+                vote: Vote::Yes,
+            },
+            &mut out,
+        );
+        self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+        out
+    }
+
+    /// Try to push a committed transaction's writes into the legacy
+    /// system; reschedule on unavailability.
+    fn try_apply(&mut self, txn: TxnId, out: &mut Vec<Action>) {
+        let Some(state) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        let GatewayPhase::Applying { next_write } = &mut state.phase else {
+            return;
+        };
+        while *next_write < state.writes.len() {
+            let (k, v) = &state.writes[*next_write];
+            match self.legacy.write(k, v) {
+                Ok(()) => *next_write += 1,
+                Err(Unavailable) => {
+                    // Commitment-after/redo: keep retrying.
+                    self.arm_timer(txn, TimerPurpose::ApplyRetry, out);
+                    return;
+                }
+            }
+        }
+        // Fully applied: release reservations, close out.
+        let state = self.txns.remove(&txn).expect("present");
+        for (k, _) in &state.writes {
+            self.reservations.remove(k);
+        }
+        self.append(txn, LogPayload::PartEnd { txn }, false, out);
+        out.push(Action::Acta(ActaEvent::ForgetPart {
+            participant: self.site,
+            txn,
+        }));
+    }
+
+    fn on_decision(&mut self, from: SiteId, txn: TxnId, outcome: Outcome) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(state) = self.txns.get_mut(&txn) else {
+            // Footnote 5: no memory ⇒ already enforced; just acknowledge.
+            if self.declared.acks(outcome) {
+                self.send(txn, from, Payload::Ack { txn }, &mut out);
+            }
+            return out;
+        };
+        let GatewayPhase::SimulatedPrepared { coordinator, .. } = state.phase else {
+            return out;
+        };
+        // Durable decision record: forced exactly when the declared
+        // dialect acknowledges (the ack promises stability — same rule
+        // as a native participant).
+        let force = self.declared.forces_decision(outcome);
+        self.append(
+            txn,
+            LogPayload::PartDecision { txn, outcome },
+            force,
+            &mut out,
+        );
+        self.enforced.insert(txn, outcome);
+        out.push(Action::Enforce { txn, outcome });
+        out.push(Action::Acta(ActaEvent::Enforce {
+            participant: self.site,
+            txn,
+            outcome,
+        }));
+        if self.declared.acks(outcome) {
+            self.send(txn, coordinator, Payload::Ack { txn }, &mut out);
+        }
+        match outcome {
+            Outcome::Commit => {
+                // The redo log makes the commit durable here; the legacy
+                // application happens (and retries) asynchronously.
+                self.txns.get_mut(&txn).expect("present").phase =
+                    GatewayPhase::Applying { next_write: 0 };
+                self.try_apply(txn, &mut out);
+            }
+            Outcome::Abort => {
+                let state = self.txns.remove(&txn).expect("present");
+                for (k, _) in &state.writes {
+                    self.reservations.remove(k);
+                }
+                self.append(txn, LogPayload::PartEnd { txn }, false, &mut out);
+                out.push(Action::Acta(ActaEvent::ForgetPart {
+                    participant: self.site,
+                    txn,
+                }));
+            }
+        }
+        out
+    }
+
+    /// Route an incoming message.
+    pub fn on_message(&mut self, from: SiteId, payload: &Payload) -> Vec<Action> {
+        match payload {
+            Payload::Prepare { txn } => self.on_prepare(from, *txn),
+            Payload::Decision { txn, outcome } | Payload::InquiryResponse { txn, outcome } => {
+                self.on_decision(from, *txn, *outcome)
+            }
+            Payload::Vote { .. } | Payload::Ack { .. } | Payload::Inquiry { .. } => Vec::new(),
+        }
+    }
+
+    /// Timer callback: inquiry retries while simulated-prepared, apply
+    /// retries while applying.
+    pub fn on_timer(&mut self, token: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(txn) = self.timers.remove(&token) else {
+            return out;
+        };
+        match self.txns.get_mut(&txn).map(|t| &mut t.phase) {
+            Some(GatewayPhase::SimulatedPrepared {
+                coordinator,
+                inquiries_sent,
+            }) => {
+                let coordinator = *coordinator;
+                *inquiries_sent += 1;
+                let attempts = *inquiries_sent;
+                out.push(Action::Acta(ActaEvent::Inquire {
+                    participant: self.site,
+                    txn,
+                    protocol: self.declared,
+                }));
+                let protocol = self.declared;
+                self.send(
+                    txn,
+                    coordinator,
+                    Payload::Inquiry { txn, protocol },
+                    &mut out,
+                );
+                if attempts < crate::participant::MAX_INQUIRY_RETRIES {
+                    self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+                }
+            }
+            Some(GatewayPhase::Applying { .. }) => self.try_apply(txn, &mut out),
+            _ => {}
+        }
+        out
+    }
+
+    /// Gateway crash: volatile state lost; the legacy system is a
+    /// separate failure domain and keeps its data.
+    pub fn crash(&mut self) {
+        self.txns.clear();
+        self.reservations.clear();
+        self.timers.clear();
+        self.log.lose_unflushed().expect("log crash");
+        self.gc = GcTracker::from_records(&self.log.records().expect("records"));
+    }
+
+    /// Recovery: rebuild simulated-prepared and applying transactions
+    /// from the redo log.
+    pub fn recover(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        let records = self.log.records().expect("records");
+        self.gc = GcTracker::from_records(&records);
+        let summaries = acp_wal::scan::analyze(&records);
+        for (txn, s) in summaries {
+            if s.part_ended {
+                continue;
+            }
+            let writes: Vec<(Vec<u8>, Vec<u8>)> = s
+                .updates
+                .iter()
+                .filter_map(|(k, _, after)| after.clone().map(|v| (k.clone(), v)))
+                .collect();
+            if s.in_doubt() {
+                let coordinator = s.prepared.expect("in doubt implies prepared");
+                for (k, _) in &writes {
+                    self.reservations.insert(k.clone(), txn);
+                }
+                self.txns.insert(
+                    txn,
+                    GatewayTxn {
+                        phase: GatewayPhase::SimulatedPrepared {
+                            coordinator,
+                            inquiries_sent: 1,
+                        },
+                        writes,
+                    },
+                );
+                out.push(Action::Acta(ActaEvent::Inquire {
+                    participant: self.site,
+                    txn,
+                    protocol: self.declared,
+                }));
+                let protocol = self.declared;
+                self.send(
+                    txn,
+                    coordinator,
+                    Payload::Inquiry { txn, protocol },
+                    &mut out,
+                );
+                self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+            } else if let Some(outcome) = s.part_decision {
+                self.enforced.entry(txn).or_insert(outcome);
+                if outcome == Outcome::Commit {
+                    // Resume the redo application (idempotent: blind
+                    // writes re-applied from position 0).
+                    for (k, _) in &writes {
+                        self.reservations.insert(k.clone(), txn);
+                    }
+                    self.txns.insert(
+                        txn,
+                        GatewayTxn {
+                            phase: GatewayPhase::Applying { next_write: 0 },
+                            writes,
+                        },
+                    );
+                    self.try_apply(txn, &mut out);
+                } else {
+                    self.append(txn, LogPayload::PartEnd { txn }, false, &mut out);
+                    out.push(Action::Acta(ActaEvent::ForgetPart {
+                        participant: self.site,
+                        txn,
+                    }));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::sent_payloads;
+    use acp_wal::MemLog;
+
+    fn coord() -> SiteId {
+        SiteId::new(0)
+    }
+
+    fn t() -> TxnId {
+        TxnId::new(1)
+    }
+
+    fn gateway(declared: ProtocolKind) -> GatewayParticipant<MemLog> {
+        GatewayParticipant::new(SiteId::new(1), declared, MemLog::new(), LegacyStore::new())
+    }
+
+    #[test]
+    fn prepare_forces_redo_info_and_votes_yes() {
+        let mut g = gateway(ProtocolKind::PrA);
+        g.stage_write(t(), b"k", b"v");
+        let a = g.on_message(coord(), &Payload::Prepare { txn: t() });
+        let sends = sent_payloads(&a);
+        assert!(matches!(
+            sends[0].1,
+            Payload::Vote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+        // Redo update record + forced prepared record are durable.
+        let kinds: Vec<_> = g
+            .log
+            .records()
+            .unwrap()
+            .iter()
+            .map(|r| r.payload.kind_name().to_string())
+            .collect();
+        assert_eq!(kinds, vec!["update", "prepared"]);
+        // Nothing applied to the legacy system yet.
+        assert_eq!(g.legacy().read(b"k"), None);
+    }
+
+    #[test]
+    fn commit_applies_to_legacy_and_releases_reservation() {
+        let mut g = gateway(ProtocolKind::PrA);
+        g.stage_write(t(), b"k", b"v");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        let a = g.on_message(
+            coord(),
+            &Payload::Decision {
+                txn: t(),
+                outcome: Outcome::Commit,
+            },
+        );
+        assert!(sent_payloads(&a)
+            .iter()
+            .any(|(_, p)| matches!(p, Payload::Ack { .. })));
+        assert_eq!(g.legacy().read(b"k"), Some(b"v".as_slice()));
+        assert!(g.applying().is_empty());
+        assert_eq!(g.enforced(t()), Some(Outcome::Commit));
+        // A new transaction can reserve the key again.
+        let t2 = TxnId::new(2);
+        g.stage_write(t2, b"k", b"w");
+        let a = g.on_message(coord(), &Payload::Prepare { txn: t2 });
+        assert!(matches!(
+            sent_payloads(&a)[0].1,
+            Payload::Vote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn abort_discards_without_touching_legacy() {
+        let mut g = gateway(ProtocolKind::PrC);
+        g.stage_write(t(), b"k", b"v");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        let a = g.on_message(
+            coord(),
+            &Payload::Decision {
+                txn: t(),
+                outcome: Outcome::Abort,
+            },
+        );
+        // PrC dialect acks aborts.
+        assert!(sent_payloads(&a)
+            .iter()
+            .any(|(_, p)| matches!(p, Payload::Ack { .. })));
+        assert_eq!(g.legacy().read(b"k"), None);
+        assert_eq!(g.enforced(t()), Some(Outcome::Abort));
+    }
+
+    #[test]
+    fn commit_while_legacy_down_acks_then_retries_until_up() {
+        let mut g = gateway(ProtocolKind::PrA);
+        g.stage_write(t(), b"k", b"v");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        g.legacy_mut().set_available(false);
+        let a = g.on_message(
+            coord(),
+            &Payload::Decision {
+                txn: t(),
+                outcome: Outcome::Commit,
+            },
+        );
+        // The ack goes out immediately — the redo log made the commit
+        // durable at the gateway.
+        assert!(sent_payloads(&a)
+            .iter()
+            .any(|(_, p)| matches!(p, Payload::Ack { .. })));
+        assert_eq!(g.legacy().read(b"k"), None, "not applied yet");
+        assert_eq!(g.applying(), vec![t()]);
+        // A retry timer was armed.
+        let token = a
+            .iter()
+            .find_map(|x| match x {
+                Action::SetTimer {
+                    token,
+                    purpose: TimerPurpose::ApplyRetry,
+                } => Some(*token),
+                _ => None,
+            })
+            .expect("retry armed");
+        // Retry while still down: re-arms.
+        let a = g.on_timer(token);
+        let token = a
+            .iter()
+            .find_map(|x| match x {
+                Action::SetTimer {
+                    token,
+                    purpose: TimerPurpose::ApplyRetry,
+                } => Some(*token),
+                _ => None,
+            })
+            .expect("re-armed");
+        // Legacy comes back; retry succeeds.
+        g.legacy_mut().set_available(true);
+        g.on_timer(token);
+        assert_eq!(g.legacy().read(b"k"), Some(b"v".as_slice()));
+        assert!(g.applying().is_empty());
+    }
+
+    #[test]
+    fn reservation_conflicts_vote_no() {
+        let mut g = gateway(ProtocolKind::PrA);
+        g.stage_write(t(), b"k", b"v1");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        let t2 = TxnId::new(2);
+        g.stage_write(t2, b"k", b"v2");
+        let a = g.on_message(coord(), &Payload::Prepare { txn: t2 });
+        assert!(matches!(
+            sent_payloads(&a)[0].1,
+            Payload::Vote { vote: Vote::No, .. }
+        ));
+        assert_eq!(g.enforced(t2), Some(Outcome::Abort));
+    }
+
+    #[test]
+    fn no_staged_writes_votes_read_only() {
+        let mut g = gateway(ProtocolKind::PrN);
+        let a = g.on_message(coord(), &Payload::Prepare { txn: t() });
+        assert!(matches!(
+            sent_payloads(&a)[0].1,
+            Payload::Vote {
+                vote: Vote::ReadOnly,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gateway_crash_in_simulated_prepared_recovers_and_inquires() {
+        let mut g = gateway(ProtocolKind::PrA);
+        g.stage_write(t(), b"k", b"v");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        g.crash();
+        let a = g.recover();
+        let sends = sent_payloads(&a);
+        assert!(matches!(
+            sends[0].1,
+            Payload::Inquiry {
+                protocol: ProtocolKind::PrA,
+                ..
+            }
+        ));
+        // The inquiry response commits it; the redo info survived the
+        // crash, so the legacy write still happens.
+        g.on_message(
+            coord(),
+            &Payload::InquiryResponse {
+                txn: t(),
+                outcome: Outcome::Commit,
+            },
+        );
+        assert_eq!(g.legacy().read(b"k"), Some(b"v".as_slice()));
+    }
+
+    #[test]
+    fn gateway_crash_mid_apply_resumes_redo() {
+        let mut g = gateway(ProtocolKind::PrN);
+        g.stage_write(t(), b"a", b"1");
+        g.stage_write(t(), b"b", b"2");
+        g.on_message(coord(), &Payload::Prepare { txn: t() });
+        g.legacy_mut().set_available(false);
+        g.on_message(
+            coord(),
+            &Payload::Decision {
+                txn: t(),
+                outcome: Outcome::Commit,
+            },
+        );
+        // Crash before any write applied. The decision record was forced
+        // (PrN acks commits), so recovery resumes applying.
+        g.crash();
+        g.legacy_mut().set_available(true);
+        let a = g.recover();
+        let _ = a;
+        assert_eq!(g.legacy().read(b"a"), Some(b"1".as_slice()));
+        assert_eq!(g.legacy().read(b"b"), Some(b"2".as_slice()));
+        assert!(g.applying().is_empty());
+    }
+
+    /// End-to-end: a coordinator, one native PrC participant and one
+    /// PrA-dialect gateway commit a transaction together — the
+    /// coordinator cannot tell the difference.
+    #[test]
+    fn interoperates_with_native_participants_under_prany() {
+        use crate::coordinator::Coordinator;
+        use crate::participant::Participant;
+        use acp_types::{CoordinatorKind, SelectionPolicy};
+
+        let mut c = Coordinator::new(
+            coord(),
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            MemLog::new(),
+        );
+        c.register_site(SiteId::new(1), ProtocolKind::PrA); // the gateway's dialect
+        c.register_site(SiteId::new(2), ProtocolKind::PrC);
+        let mut g = gateway(ProtocolKind::PrA);
+        let mut p = Participant::new(SiteId::new(2), ProtocolKind::PrC, MemLog::new());
+
+        g.stage_write(t(), b"order", b"42");
+
+        // Message pump: route every Send action to its destination.
+        let mut queue: Vec<(SiteId, SiteId, Payload)> = Vec::new();
+        let push = |from: SiteId, actions: Vec<Action>, queue: &mut Vec<_>| {
+            for a in actions {
+                if let Action::Send { to, payload } = a {
+                    queue.push((from, to, payload));
+                }
+            }
+        };
+        let a = c.begin_commit(t(), &[SiteId::new(1), SiteId::new(2)]);
+        push(coord(), a, &mut queue);
+        let mut hops = 0;
+        while let Some((from, to, payload)) = queue.pop() {
+            hops += 1;
+            assert!(hops < 100, "message storm");
+            let actions = match to.raw() {
+                0 => c.on_message(from, &payload),
+                1 => g.on_message(from, &payload),
+                2 => p.on_message(from, &payload),
+                _ => unreachable!(),
+            };
+            push(to, actions, &mut queue);
+        }
+        assert_eq!(c.decided(t()), Some(Outcome::Commit));
+        assert_eq!(g.enforced(t()), Some(Outcome::Commit));
+        assert_eq!(p.enforced(t()), Some(Outcome::Commit));
+        assert_eq!(g.legacy().read(b"order"), Some(b"42".as_slice()));
+        assert_eq!(c.protocol_table_size(), 0, "coordinator forgot");
+    }
+}

@@ -1,0 +1,617 @@
+//! Scenario harness: runs the protocol engines inside the deterministic
+//! simulator and hands the resulting ACTA history, trace and final
+//! garbage-collection state to the correctness checkers.
+//!
+//! This is the main entry point for experiments, integration tests and
+//! examples: describe a [`Scenario`] (coordinator kind, participant
+//! protocols, transactions with votes, network model, failure
+//! schedule), call [`run_scenario`], and inspect the
+//! [`ScenarioOutcome`].
+
+use crate::action::{Action, TimerPurpose};
+use crate::coordinator::Coordinator;
+use crate::participant::Participant;
+use acp_acta::{ActaEvent, FinalState, History};
+use acp_sim::{Context, FailureSchedule, NetworkConfig, Process, SimTime, Trace, World};
+use acp_types::{
+    CoordinatorKind, CostCounters, Message, Outcome, ProtocolKind, SiteId, TxnId, Vote,
+};
+use acp_wal::MemLog;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Timer delays used by the harness.
+#[derive(Clone, Copy, Debug)]
+pub struct TimerDelays {
+    /// Coordinator vote-collection timeout.
+    pub vote_timeout: SimTime,
+    /// Decision re-send interval.
+    pub ack_resend: SimTime,
+    /// In-doubt participant inquiry interval.
+    pub inquiry_retry: SimTime,
+    /// Gateway legacy-apply retry interval.
+    pub apply_retry: SimTime,
+}
+
+impl Default for TimerDelays {
+    fn default() -> Self {
+        TimerDelays {
+            vote_timeout: SimTime::from_millis(50),
+            ack_resend: SimTime::from_millis(20),
+            inquiry_retry: SimTime::from_millis(30),
+            apply_retry: SimTime::from_millis(25),
+        }
+    }
+}
+
+impl TimerDelays {
+    fn delay(&self, purpose: TimerPurpose) -> SimTime {
+        match purpose {
+            TimerPurpose::VoteTimeout => self.vote_timeout,
+            TimerPurpose::AckResend => self.ack_resend,
+            TimerPurpose::InquiryRetry => self.inquiry_retry,
+            TimerPurpose::ApplyRetry => self.apply_retry,
+        }
+    }
+}
+
+/// One transaction in a scenario.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    /// The transaction id.
+    pub txn: TxnId,
+    /// When the coordinator starts commit processing.
+    pub start_at: SimTime,
+    /// Participant sites (all of them must be in the scenario).
+    pub participants: Vec<SiteId>,
+    /// Per-site votes; sites not listed vote `Yes`.
+    pub votes: BTreeMap<SiteId, Vote>,
+    /// Client abort request at this time (used to produce the figures'
+    /// abort case where *every* participant is prepared).
+    pub abort_at: Option<SimTime>,
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The coordinator variant under test (always at site 0).
+    pub kind: CoordinatorKind,
+    /// Participant protocols; site ids are assigned 1..=n in order.
+    pub participant_protocols: Vec<ProtocolKind>,
+    /// The workload.
+    pub txns: Vec<TxnSpec>,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// RNG seed (drives latencies, loss).
+    pub seed: u64,
+    /// Planned crashes/recoveries.
+    pub failures: FailureSchedule,
+    /// Timer configuration.
+    pub delays: TimerDelays,
+    /// Safety valve for the event loop.
+    pub max_events: u64,
+}
+
+impl Scenario {
+    /// A scenario with the given coordinator kind and participants, no
+    /// transactions yet, a reliable 200us network and no failures.
+    #[must_use]
+    pub fn new(kind: CoordinatorKind, participant_protocols: &[ProtocolKind]) -> Self {
+        Scenario {
+            kind,
+            participant_protocols: participant_protocols.to_vec(),
+            txns: Vec::new(),
+            network: NetworkConfig::reliable(SimTime::from_micros(200)),
+            seed: 0,
+            failures: FailureSchedule::none(),
+            delays: TimerDelays::default(),
+            max_events: 1_000_000,
+        }
+    }
+
+    /// The coordinator's site id (always 0).
+    #[must_use]
+    pub fn coordinator_site(&self) -> SiteId {
+        SiteId::new(0)
+    }
+
+    /// Participant site ids, in declaration order.
+    #[must_use]
+    pub fn participant_sites(&self) -> Vec<SiteId> {
+        (1..=self.participant_protocols.len() as u32)
+            .map(SiteId::new)
+            .collect()
+    }
+
+    /// Add a transaction across *all* participants, started at
+    /// `start_at`, with every site voting `Yes`.
+    pub fn add_txn(&mut self, txn: TxnId, start_at: SimTime) -> &mut TxnSpec {
+        let spec = TxnSpec {
+            txn,
+            start_at,
+            participants: self.participant_sites(),
+            votes: BTreeMap::new(),
+            abort_at: None,
+        };
+        self.txns.push(spec);
+        self.txns.last_mut().expect("just pushed")
+    }
+
+    /// Add a transaction with an explicit vote at one site.
+    pub fn add_txn_with_vote(&mut self, txn: TxnId, start_at: SimTime, site: SiteId, vote: Vote) {
+        let spec = self.add_txn(txn, start_at);
+        spec.votes.insert(site, vote);
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The complete ACTA history.
+    pub history: History,
+    /// The simulator trace (messages, crashes, protocol notes).
+    pub trace: Trace,
+    /// End-of-run GC state for the operational-correctness checker.
+    pub final_state: FinalState,
+    /// Outcomes enforced per (site, txn).
+    pub enforced: BTreeMap<(SiteId, TxnId), Outcome>,
+    /// Decisions the coordinator made.
+    pub decided: BTreeMap<TxnId, Outcome>,
+    /// Coordinator protocol-table size at the end of the run.
+    pub coordinator_table_size: usize,
+    /// Records retained in the coordinator's log at the end of the run.
+    pub coordinator_log_retained: usize,
+    /// Bytes retained in the coordinator's log.
+    pub coordinator_log_retained_bytes: u64,
+    /// Per-transaction coordinator costs.
+    pub coordinator_costs: BTreeMap<TxnId, CostCounters>,
+    /// Per-transaction, per-participant costs.
+    pub participant_costs: BTreeMap<(SiteId, TxnId), CostCounters>,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+}
+
+impl ScenarioOutcome {
+    /// Aggregate cost of one transaction across the whole system.
+    #[must_use]
+    pub fn total_costs(&self, txn: TxnId) -> CostCounters {
+        let mut total = self
+            .coordinator_costs
+            .get(&txn)
+            .copied()
+            .unwrap_or_default();
+        for ((_, t), c) in &self.participant_costs {
+            if *t == txn {
+                total += *c;
+            }
+        }
+        total
+    }
+}
+
+/// A site process: either the coordinator or a participant, wrapping the
+/// sans-IO engine and translating its actions into simulator effects.
+pub struct SiteProc {
+    inner: Inner,
+    history: Rc<RefCell<History>>,
+    delays: TimerDelays,
+    /// Harness timer-token → engine token or deferred transaction start.
+    timer_map: BTreeMap<u64, HarnessTimer>,
+    /// Client requests not yet submitted. These model *clients*, not
+    /// coordinator state: they survive coordinator crashes (a crashed
+    /// server does not make the requests queued behind it disappear) and
+    /// are re-armed by `on_recover`, since the simulator invalidates all
+    /// volatile timers on a crash.
+    pending_starts: BTreeMap<u64, (SimTime, TxnId, Vec<SiteId>)>,
+    next_token: u64,
+}
+
+enum Inner {
+    Coord {
+        engine: Coordinator<MemLog>,
+        /// Transactions to start (drained into `pending_starts` by
+        /// `on_start`), with optional client-abort times.
+        starts: Vec<(SimTime, TxnId, Vec<SiteId>, Option<SimTime>)>,
+    },
+    Part(Participant<MemLog>),
+}
+
+enum HarnessTimer {
+    Engine(u64),
+    Start(u64),
+    ClientAbort(TxnId),
+}
+
+impl SiteProc {
+    /// Access the coordinator engine (panics on participant sites).
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator<MemLog> {
+        match &self.inner {
+            Inner::Coord { engine, .. } => engine,
+            Inner::Part(_) => panic!("not a coordinator site"),
+        }
+    }
+
+    /// Access the participant engine (panics on the coordinator site).
+    #[must_use]
+    pub fn participant(&self) -> &Participant<MemLog> {
+        match &self.inner {
+            Inner::Part(p) => p,
+            Inner::Coord { .. } => panic!("not a participant site"),
+        }
+    }
+
+    fn handle_actions(&mut self, actions: Vec<Action>, ctx: &mut Context) {
+        for action in actions {
+            match action {
+                Action::Send { to, payload } => ctx.send(to, payload),
+                Action::Enforce { txn, outcome } => {
+                    ctx.note("enforce", format!("{txn} {outcome}"));
+                }
+                Action::SetTimer { token, purpose } => {
+                    let harness_token = self.next_token;
+                    self.next_token += 1;
+                    self.timer_map
+                        .insert(harness_token, HarnessTimer::Engine(token));
+                    ctx.set_timer(self.delays.delay(purpose), harness_token);
+                }
+                Action::Acta(event) => {
+                    let (tag, detail) = note_for(&event);
+                    ctx.note(tag, detail);
+                    self.history.borrow_mut().push(event);
+                }
+            }
+        }
+    }
+}
+
+/// Derive the machine-matchable trace tag for an ACTA event (the
+/// figure experiments assert on these schedules).
+fn note_for(event: &ActaEvent) -> (String, String) {
+    match event {
+        ActaEvent::LogWrite {
+            txn, kind, forced, ..
+        } => {
+            let mode = if *forced { "force" } else { "write" };
+            (format!("{mode}:{kind}"), txn.to_string())
+        }
+        ActaEvent::Decide { txn, outcome, .. } => (format!("decide:{outcome}"), txn.to_string()),
+        ActaEvent::DeletePt { txn, .. } => ("forget".to_string(), txn.to_string()),
+        ActaEvent::Respond {
+            txn,
+            outcome,
+            by_presumption,
+            ..
+        } => {
+            let suffix = if *by_presumption { ":presumed" } else { "" };
+            (format!("respond:{outcome}{suffix}"), txn.to_string())
+        }
+        ActaEvent::Prepared { txn, .. } => ("prepared".to_string(), txn.to_string()),
+        ActaEvent::Inquire { txn, protocol, .. } => {
+            ("inquire".to_string(), format!("{txn} {protocol}"))
+        }
+        ActaEvent::Enforce { txn, outcome, .. } => (format!("enforce:{outcome}"), txn.to_string()),
+        ActaEvent::ForgetPart { txn, .. } => ("forget-part".to_string(), txn.to_string()),
+        ActaEvent::Crash { site } => ("crash".to_string(), site.to_string()),
+        ActaEvent::Recover { site } => ("recover".to_string(), site.to_string()),
+    }
+}
+
+impl Process for SiteProc {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if let Inner::Coord { starts, .. } = &mut self.inner {
+            let starts = std::mem::take(starts);
+            for (at, txn, participants, abort_at) in starts {
+                let start_key = self.next_token;
+                self.next_token += 1;
+                self.pending_starts
+                    .insert(start_key, (at, txn, participants));
+                let harness_token = self.next_token;
+                self.next_token += 1;
+                self.timer_map
+                    .insert(harness_token, HarnessTimer::Start(start_key));
+                ctx.set_timer(at, harness_token);
+                if let Some(abort_at) = abort_at {
+                    let abort_token = self.next_token;
+                    self.next_token += 1;
+                    self.timer_map
+                        .insert(abort_token, HarnessTimer::ClientAbort(txn));
+                    ctx.set_timer(abort_at, abort_token);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Context) {
+        let actions = match &mut self.inner {
+            Inner::Coord { engine, .. } => engine.on_message(msg.from, &msg.payload),
+            Inner::Part(p) => p.on_message(msg.from, &msg.payload),
+        };
+        self.handle_actions(actions, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        let Some(entry) = self.timer_map.remove(&token) else {
+            return;
+        };
+        let actions = match entry {
+            HarnessTimer::Engine(engine_token) => match &mut self.inner {
+                Inner::Coord { engine, .. } => engine.on_timer(engine_token),
+                Inner::Part(p) => p.on_timer(engine_token),
+            },
+            HarnessTimer::Start(start_key) => {
+                let Some((_, txn, participants)) = self.pending_starts.remove(&start_key) else {
+                    return;
+                };
+                match &mut self.inner {
+                    Inner::Coord { engine, .. } => engine.begin_commit(txn, &participants),
+                    Inner::Part(_) => unreachable!("starts only live on the coordinator"),
+                }
+            }
+            HarnessTimer::ClientAbort(txn) => match &mut self.inner {
+                Inner::Coord { engine, .. } => engine.abort_request(txn),
+                Inner::Part(_) => unreachable!("client aborts only live on the coordinator"),
+            },
+        };
+        self.handle_actions(actions, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        // Harness timer bookkeeping is volatile (pending_starts is not —
+        // it models the clients).
+        self.timer_map.clear();
+        match &mut self.inner {
+            Inner::Coord { engine, .. } => {
+                self.history.borrow_mut().push(ActaEvent::Crash {
+                    site: engine.site(),
+                });
+                engine.crash();
+            }
+            Inner::Part(p) => {
+                self.history
+                    .borrow_mut()
+                    .push(ActaEvent::Crash { site: p.site() });
+                p.crash();
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context) {
+        let (site, actions) = match &mut self.inner {
+            Inner::Coord { engine, .. } => (engine.site(), engine.recover()),
+            Inner::Part(p) => (p.site(), p.recover()),
+        };
+        self.history.borrow_mut().push(ActaEvent::Recover { site });
+        self.handle_actions(actions, ctx);
+        // Re-arm the surviving client requests: due ones fire now,
+        // future ones at their original time.
+        let keys: Vec<u64> = self.pending_starts.keys().copied().collect();
+        for start_key in keys {
+            let (at, _, _) = self.pending_starts[&start_key];
+            let delay = at - ctx.now; // saturates at zero for missed starts
+            let harness_token = self.next_token;
+            self.next_token += 1;
+            self.timer_map
+                .insert(harness_token, HarnessTimer::Start(start_key));
+            ctx.set_timer(delay, harness_token);
+        }
+    }
+}
+
+/// Run a scenario to quiescence and collect everything the checkers and
+/// experiments need.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let history = Rc::new(RefCell::new(History::new()));
+    let mut world: World<SiteProc> = World::new(scenario.network, scenario.seed);
+
+    // Coordinator at site 0.
+    let coord_site = scenario.coordinator_site();
+    let mut engine = Coordinator::new(coord_site, scenario.kind, MemLog::new());
+    for (i, &p) in scenario.participant_protocols.iter().enumerate() {
+        engine.register_site(SiteId::new(i as u32 + 1), p);
+    }
+    let starts: Vec<(SimTime, TxnId, Vec<SiteId>, Option<SimTime>)> = scenario
+        .txns
+        .iter()
+        .map(|t| (t.start_at, t.txn, t.participants.clone(), t.abort_at))
+        .collect();
+    world.add(
+        coord_site,
+        SiteProc {
+            inner: Inner::Coord { engine, starts },
+            history: Rc::clone(&history),
+            delays: scenario.delays,
+            timer_map: BTreeMap::new(),
+            pending_starts: BTreeMap::new(),
+            next_token: 0,
+        },
+    );
+
+    // Participants at sites 1..=n.
+    for (i, &p) in scenario.participant_protocols.iter().enumerate() {
+        let site = SiteId::new(i as u32 + 1);
+        let mut engine = Participant::new(site, p, MemLog::new());
+        for spec in &scenario.txns {
+            if let Some(&vote) = spec.votes.get(&site) {
+                engine.set_intent(spec.txn, vote);
+            }
+        }
+        world.add(
+            site,
+            SiteProc {
+                inner: Inner::Part(engine),
+                history: Rc::clone(&history),
+                delays: scenario.delays,
+                timer_map: BTreeMap::new(),
+                pending_starts: BTreeMap::new(),
+                next_token: 0,
+            },
+        );
+    }
+
+    scenario.failures.apply(&mut world);
+    world.start();
+    world.run_until_quiescent(scenario.max_events);
+
+    // ---- collect ----
+    let mut final_state = FinalState::default();
+    let mut enforced = BTreeMap::new();
+    let mut decided = BTreeMap::new();
+    let mut coordinator_costs = BTreeMap::new();
+    let mut participant_costs = BTreeMap::new();
+
+    let coord = world.process(coord_site).coordinator();
+    for txn in coord.protocol_table_txns() {
+        final_state.protocol_table.push((coord_site, txn));
+    }
+    for txn in coord.log_pinned() {
+        final_state.log_pinned.push((coord_site, txn));
+    }
+    for spec in &scenario.txns {
+        if let Some(o) = coord.decided(spec.txn) {
+            decided.insert(spec.txn, o);
+        }
+        coordinator_costs.insert(spec.txn, coord.costs(spec.txn));
+    }
+    let coordinator_table_size = coord.protocol_table_size();
+    let coordinator_log_retained = coord.log().retained();
+    let coordinator_log_retained_bytes = coord.log().retained_bytes();
+
+    for site in scenario.participant_sites() {
+        let p = world.process(site).participant();
+        for txn in p.log_pinned() {
+            final_state.log_pinned.push((site, txn));
+        }
+        for (&txn, &o) in p.enforced_all() {
+            enforced.insert((site, txn), o);
+        }
+        for spec in &scenario.txns {
+            participant_costs.insert((site, spec.txn), p.costs(spec.txn));
+        }
+    }
+
+    let history = history.borrow().clone();
+    ScenarioOutcome {
+        history,
+        trace: world.trace().clone(),
+        final_state,
+        enforced,
+        decided,
+        coordinator_table_size,
+        coordinator_log_retained,
+        coordinator_log_retained_bytes,
+        coordinator_costs,
+        participant_costs,
+        events_processed: world.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_acta::{check_atomicity, check_operational};
+    use acp_types::SelectionPolicy;
+
+    #[test]
+    fn clean_prany_commit_is_operationally_correct() {
+        let mut s = Scenario::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+        let out = run_scenario(&s);
+        assert_eq!(out.decided[&TxnId::new(1)], Outcome::Commit);
+        assert_eq!(out.enforced.len(), 2);
+        assert!(out.enforced.values().all(|o| *o == Outcome::Commit));
+        assert!(check_atomicity(&out.history).is_empty());
+        assert!(check_operational(&out.history, &out.final_state).is_empty());
+        assert_eq!(out.coordinator_table_size, 0);
+    }
+
+    #[test]
+    fn no_vote_aborts_everywhere() {
+        let mut s = Scenario::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        s.add_txn_with_vote(
+            TxnId::new(1),
+            SimTime::from_millis(1),
+            SiteId::new(2),
+            Vote::No,
+        );
+        let out = run_scenario(&s);
+        assert_eq!(out.decided[&TxnId::new(1)], Outcome::Abort);
+        assert!(out.enforced.values().all(|o| *o == Outcome::Abort));
+        assert!(check_atomicity(&out.history).is_empty());
+        assert!(check_operational(&out.history, &out.final_state).is_empty());
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let run = || {
+            let mut s = Scenario::new(
+                CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+                &[ProtocolKind::PrA, ProtocolKind::PrC],
+            );
+            s.network = NetworkConfig::lan();
+            s.seed = 99;
+            s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+            s.add_txn(TxnId::new(2), SimTime::from_millis(2));
+            run_scenario(&s).trace.render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn participant_crash_recovers_via_inquiry() {
+        let mut s = Scenario::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+        // Crash the PrC participant right after it votes (≈1.5ms) and
+        // bring it back later; it must learn the outcome by inquiry.
+        s.failures = FailureSchedule::single(
+            SiteId::new(2),
+            SimTime::from_micros(1_500),
+            SimTime::from_millis(200),
+        );
+        let out = run_scenario(&s);
+        assert!(
+            check_atomicity(&out.history).is_empty(),
+            "{:?}",
+            out.history.events()
+        );
+        assert!(
+            check_operational(&out.history, &out.final_state).is_empty(),
+            "{:?}",
+            check_operational(&out.history, &out.final_state)
+        );
+        assert_eq!(out.enforced.len(), 2, "both participants enforced");
+    }
+
+    #[test]
+    fn coordinator_crash_recovers_and_completes() {
+        let mut s = Scenario::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrN, ProtocolKind::PrC],
+        );
+        s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+        s.failures = FailureSchedule::single(
+            SiteId::new(0),
+            SimTime::from_micros(1_500),
+            SimTime::from_millis(100),
+        );
+        let out = run_scenario(&s);
+        assert!(check_atomicity(&out.history).is_empty());
+        assert!(
+            check_operational(&out.history, &out.final_state).is_empty(),
+            "{:?}",
+            check_operational(&out.history, &out.final_state)
+        );
+        assert_eq!(out.coordinator_table_size, 0);
+    }
+}

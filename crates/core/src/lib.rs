@@ -1,0 +1,62 @@
+//! # acp-core
+//!
+//! The paper's contribution: sans-IO engines for every atomic commit
+//! protocol the paper discusses.
+//!
+//! * [`participant::Participant`] — the participant-side state machine
+//!   for PrN, PrA and PrC (plus the read-only optimization the paper
+//!   names as an integration target in §5).
+//! * [`coordinator::Coordinator`] — a unified coordinator engine whose
+//!   behaviour is derived per transaction from a [`coordinator::plan::CommitPlan`]:
+//!   - single-protocol PrN / PrA / PrC coordination (Figures 2–4),
+//!   - **U2PC** (§2), the union coordinator that ignores protocol
+//!     violations and forgets as soon as every participant that *will*
+//!     acknowledge has done so — provably atomicity-violating
+//!     (Theorem 1),
+//!   - **C2PC** (§3), the conservative coordinator that never forgets a
+//!     transaction until all participants acknowledge and never answers
+//!     by presumption — functionally correct but not operationally
+//!     correct (Theorem 2),
+//!   - **PrAny** (§4), the paper's protocol: per-transaction mode
+//!     selection from the participants' commit protocols (PCP/APP
+//!     tables), an initiation record carrying each participant's
+//!     protocol, outcome-dependent acknowledgment sets, and dynamic
+//!     adoption of the *inquirer's* presumption after the coordinator
+//!     has forgotten a transaction.
+//! * [`gateway::GatewayParticipant`] — the *non-externalized* branch of
+//!   Figure 5's taxonomy: a gateway that simulates a prepared state for
+//!   a legacy system with no commit protocol at all, via exclusive
+//!   right reservations and redo-until-success.
+//! * [`cost`] — the analytic cost model (forced writes, log records,
+//!   messages) per protocol × outcome × participant population, checked
+//!   against measured executions in experiment E8.
+//! * [`harness`] — glue that runs the engines inside the deterministic
+//!   simulator (`acp-sim`) and produces ACTA histories (`acp-acta`),
+//!   execution traces and final GC states for the correctness checkers.
+//!
+//! ## Engine model
+//!
+//! Engines are pure state machines: each input (a message, a timer, a
+//! commit request, recovery) returns a list of [`Action`]s — messages to
+//! send, local enforcements, timers to arm, and ACTA events to record.
+//! All stable state lives in an owned [`acp_wal::StableLog`]; all other
+//! state is volatile and cleared by `crash()`. This is what lets the
+//! same code run under the simulator, the bounded model checker and the
+//! threaded runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod coordinator;
+pub mod cost;
+pub mod gateway;
+pub mod harness;
+pub mod participant;
+
+pub use action::{Action, TimerPurpose};
+pub use coordinator::plan::CommitPlan;
+pub use coordinator::select::select_mode;
+pub use coordinator::Coordinator;
+pub use gateway::{GatewayParticipant, LegacyStore};
+pub use participant::Participant;

@@ -1,0 +1,76 @@
+//! Engine errors.
+
+use acp_types::TxnId;
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A lock request conflicted with another transaction (no-wait 2PL:
+    /// the requester should abort or retry the whole transaction).
+    LockConflict {
+        /// The requesting transaction.
+        requester: TxnId,
+        /// A transaction currently holding the lock.
+        holder: TxnId,
+        /// The contended key.
+        key: Vec<u8>,
+    },
+    /// Operation on a transaction the engine does not know.
+    UnknownTxn(TxnId),
+    /// Operation illegal in the transaction's current phase (e.g.
+    /// writing after prepare).
+    WrongPhase {
+        /// The transaction.
+        txn: TxnId,
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// The underlying log failed.
+    Wal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::LockConflict {
+                requester,
+                holder,
+                key,
+            } => write!(
+                f,
+                "{requester} lock conflict with {holder} on key of {} bytes",
+                key.len()
+            ),
+            EngineError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            EngineError::WrongPhase { txn, op } => {
+                write!(f, "{op} not allowed in {txn}'s current phase")
+            }
+            EngineError::Wal(e) => write!(f, "wal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<acp_wal::WalError> for EngineError {
+    fn from(e: acp_wal::WalError) -> Self {
+        EngineError::Wal(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::LockConflict {
+            requester: TxnId::new(1),
+            holder: TxnId::new(2),
+            key: b"k".to_vec(),
+        };
+        assert!(e.to_string().contains("T1"));
+        assert!(e.to_string().contains("T2"));
+    }
+}

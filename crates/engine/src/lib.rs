@@ -1,0 +1,45 @@
+//! # acp-engine
+//!
+//! Per-site transactional storage: the substrate a participant's
+//! subtransactions actually execute against. The paper's sites are
+//! database systems; atomicity violations must be *observable in data*,
+//! not just in protocol bookkeeping — this crate makes them so.
+//!
+//! The engine is a key-value store with:
+//!
+//! * **no-wait strict two-phase locking** ([`lock`]): shared/exclusive
+//!   locks acquired at access time and held to transaction end; a
+//!   conflicting request fails immediately (no-wait ⇒ deadlock-free),
+//!   and the caller votes "No"/aborts;
+//! * **buffered writes (no-steal)** ([`txn`]): updates live in the
+//!   transaction's write set until commit, so crash recovery never needs
+//!   to undo — only redo winners;
+//! * **write-ahead logging** ([`site`]): at *prepare*, the write set is
+//!   appended as update records with before/after images and forced —
+//!   exactly the durability point at which a participant may vote "Yes";
+//! * **redo recovery** ([`site::SiteEngine::recover`]): rebuilds the
+//!   store from the data log, applying committed transactions in commit
+//!   order, re-staging in-doubt (prepared) transactions and re-acquiring
+//!   their locks — "holding the locks of in-doubt transactions" is what
+//!   makes blocking visible.
+//!
+//! The engine keeps its own data log, separate from the commit
+//! protocol's log (a deliberate, documented deviation from the single
+//! shared log a monolithic DBMS would use: the write-ahead ordering —
+//! data forced before the prepared record — is preserved by the `Site`
+//! composition in `acp-net`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lock;
+pub mod site;
+pub mod store;
+pub mod txn;
+
+pub use error::EngineError;
+pub use lock::{LockMode, LockTable};
+pub use site::{RecoveredOutcome, SiteEngine};
+pub use store::KvStore;
+pub use txn::{TxnContext, TxnPhase};

@@ -1,0 +1,173 @@
+//! No-wait strict two-phase locking.
+//!
+//! Locks are acquired at access time and held until the transaction
+//! terminates (strictness — required so that a prepared transaction's
+//! effects stay invisible while it is in doubt, which is exactly the
+//! blocking behaviour 2PC is infamous for). Conflicting requests fail
+//! immediately instead of queueing: no waiting ⇒ no deadlocks, at the
+//! cost of aborts under contention.
+
+use crate::error::EngineError;
+use acp_types::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lock modes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+#[derive(Clone, Debug)]
+struct LockState {
+    mode: LockMode,
+    holders: BTreeSet<TxnId>,
+}
+
+/// A per-site lock table.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: BTreeMap<Vec<u8>, LockState>,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire (or upgrade) a lock. Idempotent for locks already held in
+    /// a sufficient mode. Fails immediately on conflict.
+    pub fn acquire(&mut self, txn: TxnId, key: &[u8], mode: LockMode) -> Result<(), EngineError> {
+        match self.locks.get_mut(key) {
+            None => {
+                self.locks.insert(
+                    key.to_vec(),
+                    LockState {
+                        mode,
+                        holders: BTreeSet::from([txn]),
+                    },
+                );
+                Ok(())
+            }
+            Some(state) => {
+                let sole_holder = state.holders.len() == 1 && state.holders.contains(&txn);
+                match (state.mode, mode) {
+                    // Re-acquire in same or weaker mode.
+                    (LockMode::Exclusive, _) if sole_holder => Ok(()),
+                    (LockMode::Shared, LockMode::Shared) => {
+                        state.holders.insert(txn);
+                        Ok(())
+                    }
+                    // Upgrade shared → exclusive, only as sole holder.
+                    (LockMode::Shared, LockMode::Exclusive) if sole_holder => {
+                        state.mode = LockMode::Exclusive;
+                        Ok(())
+                    }
+                    _ => {
+                        let holder = *state
+                            .holders
+                            .iter()
+                            .find(|h| **h != txn)
+                            .expect("conflict implies another holder");
+                        Err(EngineError::LockConflict {
+                            requester: txn,
+                            holder,
+                            key: key.to_vec(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release every lock `txn` holds (called at commit/abort — the
+    /// shrinking phase happens all at once, as strict 2PL requires).
+    pub fn release_all(&mut self, txn: TxnId) {
+        self.locks.retain(|_, state| {
+            state.holders.remove(&txn);
+            !state.holders.is_empty()
+        });
+    }
+
+    /// Does `txn` hold a lock on `key`?
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, key: &[u8]) -> bool {
+        self.locks
+            .get(key)
+            .is_some_and(|s| s.holders.contains(&txn))
+    }
+
+    /// Number of locked keys.
+    #[must_use]
+    pub fn locked_keys(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Shared).unwrap();
+        lt.acquire(t(2), b"k", LockMode::Shared).unwrap();
+        assert!(lt.holds(t(1), b"k"));
+        assert!(lt.holds(t(2), b"k"));
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Exclusive).unwrap();
+        assert!(matches!(
+            lt.acquire(t(2), b"k", LockMode::Shared),
+            Err(EngineError::LockConflict { holder, .. }) if holder == t(1)
+        ));
+        assert!(lt.acquire(t(2), b"k", LockMode::Exclusive).is_err());
+        // Re-acquisition by the holder is fine, in either mode.
+        lt.acquire(t(1), b"k", LockMode::Exclusive).unwrap();
+        lt.acquire(t(1), b"k", LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn upgrade_only_as_sole_holder() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Shared).unwrap();
+        lt.acquire(t(1), b"k", LockMode::Exclusive).unwrap(); // sole → ok
+
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Shared).unwrap();
+        lt.acquire(t(2), b"k", LockMode::Shared).unwrap();
+        assert!(lt.acquire(t(1), b"k", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn release_frees_conflicts() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Exclusive).unwrap();
+        lt.acquire(t(1), b"j", LockMode::Shared).unwrap();
+        lt.release_all(t(1));
+        assert_eq!(lt.locked_keys(), 0);
+        lt.acquire(t(2), b"k", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn release_keeps_other_holders() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), b"k", LockMode::Shared).unwrap();
+        lt.acquire(t(2), b"k", LockMode::Shared).unwrap();
+        lt.release_all(t(1));
+        assert!(lt.holds(t(2), b"k"));
+        assert!(!lt.holds(t(1), b"k"));
+    }
+}

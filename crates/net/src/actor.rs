@@ -1,0 +1,498 @@
+//! Site actors: the thread bodies for coordinator and participant
+//! sites.
+
+use crate::envelope::Envelope;
+use acp_acta::{ActaEvent, History};
+use acp_core::{Action, Coordinator, GatewayParticipant, Participant, TimerPurpose};
+use acp_engine::{RecoveredOutcome, SiteEngine};
+use acp_types::{Message, Outcome, SiteId, TxnId, Vote};
+use acp_wal::scan::analyze;
+use acp_wal::{FileLog, StableLog};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timer delays for the threaded runtime (real durations).
+#[derive(Clone, Copy, Debug)]
+pub struct NetDelays {
+    /// Coordinator vote-collection timeout.
+    pub vote_timeout: Duration,
+    /// Decision re-send interval.
+    pub ack_resend: Duration,
+    /// In-doubt inquiry interval.
+    pub inquiry_retry: Duration,
+    /// Gateway legacy-apply retry interval.
+    pub apply_retry: Duration,
+}
+
+impl Default for NetDelays {
+    fn default() -> Self {
+        NetDelays {
+            vote_timeout: Duration::from_millis(400),
+            ack_resend: Duration::from_millis(100),
+            inquiry_retry: Duration::from_millis(120),
+            apply_retry: Duration::from_millis(100),
+        }
+    }
+}
+
+impl NetDelays {
+    fn delay(&self, p: TimerPurpose) -> Duration {
+        match p {
+            TimerPurpose::VoteTimeout => self.vote_timeout,
+            TimerPurpose::AckResend => self.ack_resend,
+            TimerPurpose::InquiryRetry => self.inquiry_retry,
+            TimerPurpose::ApplyRetry => self.apply_retry,
+        }
+    }
+}
+
+/// Routing table shared by every actor.
+pub type Routes = Arc<BTreeMap<SiteId, Sender<Envelope>>>;
+
+/// Shared, mutex-guarded global history (the actors append their ACTA
+/// events; checkers read it after shutdown).
+pub type SharedHistory = Arc<Mutex<History>>;
+
+/// What a participant thread returns at shutdown.
+pub struct ParticipantFinal {
+    /// The protocol engine.
+    pub engine: Participant<FileLog>,
+    /// The storage engine.
+    pub storage: SiteEngine<FileLog>,
+}
+
+/// What the coordinator thread returns at shutdown.
+pub struct CoordinatorFinal {
+    /// The protocol engine.
+    pub engine: Coordinator<FileLog>,
+}
+
+/// What a gateway thread returns at shutdown.
+pub struct GatewayFinal {
+    /// The gateway engine (owning the legacy store).
+    pub engine: GatewayParticipant<FileLog>,
+}
+
+/// Run a gateway site fronting a legacy system (see
+/// `acp_core::gateway`). Crashing the site loses the gateway's volatile
+/// state but not the legacy system's data — they are separate failure
+/// domains.
+#[allow(clippy::needless_pass_by_value)]
+pub fn run_gateway(
+    site: SiteId,
+    mut engine: GatewayParticipant<FileLog>,
+    rx: Receiver<Envelope>,
+    routes: Routes,
+    history: SharedHistory,
+    delays: NetDelays,
+) -> GatewayFinal {
+    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    loop {
+        let now = Instant::now();
+        if let Some(t) = ctx.down_until {
+            if now >= t {
+                ctx.down_until = None;
+                ctx.history.lock().push(ActaEvent::Recover { site });
+                let actions = engine.recover();
+                ctx.run_actions(actions);
+            }
+        }
+        if ctx.down_until.is_none() {
+            for token in ctx.due_timers(now) {
+                let actions = engine.on_timer(token);
+                ctx.run_actions(actions);
+            }
+        }
+        match rx.recv_timeout(ctx.next_timeout(now)) {
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Ok(envelope) => {
+                let now = Instant::now();
+                match envelope {
+                    Envelope::Shutdown => break,
+                    Envelope::Crash { down_for } => {
+                        if ctx.down_until.is_none() {
+                            ctx.history.lock().push(ActaEvent::Crash { site });
+                            engine.crash();
+                            ctx.crash_volatile();
+                            ctx.down_until = Some(now + down_for);
+                        }
+                    }
+                    _ if ctx.is_down(now) => {}
+                    Envelope::Apply { txn, key, value } => {
+                        engine.stage_write(txn, &key, &value);
+                    }
+                    Envelope::Protocol(msg) => {
+                        let actions = engine.on_message(msg.from, &msg.payload);
+                        ctx.run_actions(actions);
+                    }
+                    Envelope::SetIntent { .. } | Envelope::Commit { .. } => {}
+                }
+            }
+        }
+    }
+    GatewayFinal { engine }
+}
+
+/// Common actor plumbing: timers, routing, history.
+struct ActorCtx {
+    site: SiteId,
+    routes: Routes,
+    history: SharedHistory,
+    delays: NetDelays,
+    /// (deadline, harness-token) min-heap.
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// harness-token → engine token + purpose.
+    timer_map: BTreeMap<u64, (u64, TimerPurpose)>,
+    next_token: u64,
+    down_until: Option<Instant>,
+}
+
+impl ActorCtx {
+    fn new(site: SiteId, routes: Routes, history: SharedHistory, delays: NetDelays) -> Self {
+        ActorCtx {
+            site,
+            routes,
+            history,
+            delays,
+            timers: BinaryHeap::new(),
+            timer_map: BTreeMap::new(),
+            next_token: 0,
+            down_until: None,
+        }
+    }
+
+    fn is_down(&self, now: Instant) -> bool {
+        self.down_until.is_some_and(|t| now < t)
+    }
+
+    fn route(&self, msg: Message) {
+        if let Some(tx) = self.routes.get(&msg.to) {
+            // A full/closed mailbox is an omission failure — exactly the
+            // failure model the protocols tolerate.
+            let _ = tx.send(Envelope::Protocol(msg));
+        }
+    }
+
+    /// Execute engine actions; returns enforcements for the storage
+    /// layer (participants apply them; the coordinator has none).
+    fn run_actions(&mut self, actions: Vec<Action>) -> Vec<(TxnId, Outcome)> {
+        let mut enforcements = Vec::new();
+        for a in actions {
+            match a {
+                Action::Send { to, payload } => {
+                    self.route(Message::new(self.site, to, payload));
+                }
+                Action::SetTimer { token, purpose } => {
+                    let harness = self.next_token;
+                    self.next_token += 1;
+                    self.timer_map.insert(harness, (token, purpose));
+                    self.timers.push(Reverse((
+                        Instant::now() + self.delays.delay(purpose),
+                        harness,
+                    )));
+                }
+                Action::Acta(e) => self.history.lock().push(e),
+                Action::Enforce { txn, outcome } => enforcements.push((txn, outcome)),
+            }
+        }
+        enforcements
+    }
+
+    /// Next wake-up interval for `recv_timeout`.
+    fn next_timeout(&self, now: Instant) -> Duration {
+        let timer_deadline = self.timers.peek().map(|Reverse((t, _))| *t);
+        let recover_deadline = self.down_until;
+        match (timer_deadline, recover_deadline) {
+            (Some(a), Some(b)) => a.min(b).saturating_duration_since(now),
+            (Some(a), None) => a.saturating_duration_since(now),
+            (None, Some(b)) => b.saturating_duration_since(now),
+            (None, None) => Duration::from_millis(50),
+        }
+        .max(Duration::from_millis(1))
+    }
+
+    /// Pop engine-timer tokens whose deadline passed. Timers are
+    /// volatile: anything armed before a crash was cleared with the map.
+    fn due_timers(&mut self, now: Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        while let Some(Reverse((deadline, harness))) = self.timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            self.timers.pop();
+            if let Some((engine_token, _)) = self.timer_map.remove(&harness) {
+                due.push(engine_token);
+            }
+        }
+        due
+    }
+
+    fn crash_volatile(&mut self) {
+        self.timer_map.clear();
+        self.timers.clear();
+    }
+}
+
+/// Run a participant site: protocol engine + storage engine, both over
+/// file-backed logs. Returns the final engines at shutdown.
+#[allow(clippy::needless_pass_by_value)]
+pub fn run_participant(
+    site: SiteId,
+    mut engine: Participant<FileLog>,
+    mut storage: SiteEngine<FileLog>,
+    rx: Receiver<Envelope>,
+    routes: Routes,
+    history: SharedHistory,
+    delays: NetDelays,
+) -> ParticipantFinal {
+    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    // Explicit vote intents from SetIntent envelopes.
+    let mut forced_intents: BTreeMap<TxnId, Vote> = BTreeMap::new();
+    // Whether a data operation failed (lock conflict) — forces a No.
+    let mut poisoned: BTreeMap<TxnId, bool> = BTreeMap::new();
+
+    loop {
+        let now = Instant::now();
+
+        // Recovery point reached?
+        if let Some(t) = ctx.down_until {
+            if now >= t {
+                ctx.down_until = None;
+                ctx.history.lock().push(ActaEvent::Recover { site });
+                let actions = engine.recover();
+                // Storage recovery needs the protocol log's view.
+                let outcomes = protocol_outcomes(&engine);
+                storage.recover(&outcomes).expect("storage recovery");
+                let enf = ctx.run_actions(actions);
+                apply_enforcements(&mut storage, enf);
+            }
+        }
+
+        if ctx.down_until.is_none() {
+            for token in ctx.due_timers(now) {
+                let actions = engine.on_timer(token);
+                let enf = ctx.run_actions(actions);
+                apply_enforcements(&mut storage, enf);
+            }
+        }
+
+        match rx.recv_timeout(ctx.next_timeout(now)) {
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Ok(envelope) => {
+                let now = Instant::now();
+                match envelope {
+                    Envelope::Shutdown => break,
+                    Envelope::Crash { down_for } => {
+                        if ctx.down_until.is_none() {
+                            ctx.history.lock().push(ActaEvent::Crash { site });
+                            engine.crash();
+                            storage.crash();
+                            ctx.crash_volatile();
+                            ctx.down_until = Some(now + down_for);
+                        }
+                    }
+                    _ if ctx.is_down(now) => {} // omission: dropped
+                    Envelope::Apply { txn, key, value } => {
+                        storage.begin(txn);
+                        if storage.put(txn, &key, &value).is_err() {
+                            poisoned.insert(txn, true);
+                        }
+                    }
+                    Envelope::SetIntent { txn, vote } => {
+                        forced_intents.insert(txn, vote);
+                    }
+                    Envelope::Protocol(msg) => {
+                        // Prepare needs the storage engine's verdict
+                        // before the protocol engine runs.
+                        if let acp_types::Payload::Prepare { txn } = msg.payload {
+                            let vote = decide_vote(
+                                &mut storage,
+                                txn,
+                                forced_intents.get(&txn).copied(),
+                                poisoned.get(&txn).copied().unwrap_or(false),
+                            );
+                            engine.set_intent(txn, vote);
+                        }
+                        let actions = engine.on_message(msg.from, &msg.payload);
+                        let enf = ctx.run_actions(actions);
+                        apply_enforcements(&mut storage, enf);
+                    }
+                    Envelope::Commit { .. } => {} // not a coordinator
+                }
+            }
+        }
+    }
+    ParticipantFinal { engine, storage }
+}
+
+/// The storage-engine-derived vote: forced intent wins; a poisoned
+/// (lock-conflicted) transaction votes No; a read-only one votes
+/// ReadOnly after releasing its locks; otherwise prepare (force the
+/// write set) and vote Yes — falling back to No if the force fails.
+fn decide_vote(
+    storage: &mut SiteEngine<FileLog>,
+    txn: TxnId,
+    forced: Option<Vote>,
+    poisoned: bool,
+) -> Vote {
+    if let Some(v) = forced {
+        // Test hook: make the engine state consistent with the vote.
+        match v {
+            Vote::Yes => {
+                storage.begin(txn);
+                let _ = storage.prepare(txn);
+            }
+            Vote::No => {
+                let _ = storage.abort_active(txn);
+            }
+            Vote::ReadOnly => {}
+        }
+        return v;
+    }
+    if poisoned {
+        let _ = storage.abort_active(txn);
+        return Vote::No;
+    }
+    storage.begin(txn);
+    if storage.is_read_only(txn).unwrap_or(true) {
+        let _ = storage.abort_active(txn); // releases (shared) locks
+        return Vote::ReadOnly;
+    }
+    match storage.prepare(txn) {
+        Ok(()) => Vote::Yes,
+        Err(_) => {
+            let _ = storage.abort_active(txn);
+            Vote::No
+        }
+    }
+}
+
+fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcome)>) {
+    for (txn, outcome) in enf {
+        storage.resolve(txn, outcome).expect("resolve");
+    }
+}
+
+/// Derive the storage-recovery outcome map from the participant's
+/// protocol log.
+fn protocol_outcomes(engine: &Participant<FileLog>) -> BTreeMap<TxnId, RecoveredOutcome> {
+    let mut outcomes = BTreeMap::new();
+    let records = engine.log().records().expect("records");
+    for (txn, s) in analyze(&records) {
+        if let Some(o) = s.part_decision {
+            outcomes.insert(txn, RecoveredOutcome::Decided(o));
+        } else if s.in_doubt() {
+            outcomes.insert(txn, RecoveredOutcome::InDoubt);
+        }
+    }
+    outcomes
+}
+
+/// Run the coordinator site. Returns the final engine at shutdown.
+#[allow(clippy::needless_pass_by_value)]
+pub fn run_coordinator(
+    site: SiteId,
+    mut engine: Coordinator<FileLog>,
+    rx: Receiver<Envelope>,
+    routes: Routes,
+    history: SharedHistory,
+    delays: NetDelays,
+) -> CoordinatorFinal {
+    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    let mut replies: BTreeMap<TxnId, Sender<Outcome>> = BTreeMap::new();
+
+    loop {
+        let now = Instant::now();
+        if let Some(t) = ctx.down_until {
+            if now >= t {
+                ctx.down_until = None;
+                ctx.history.lock().push(ActaEvent::Recover { site });
+                let actions = engine.recover();
+                ctx.run_actions(actions);
+                // Any clients still waiting learn the recovered outcome.
+                deliver_decisions(&engine, &mut replies);
+            }
+        }
+        if ctx.down_until.is_none() {
+            for token in ctx.due_timers(now) {
+                let actions = engine.on_timer(token);
+                ctx.run_actions(actions);
+                deliver_decisions(&engine, &mut replies);
+            }
+        }
+
+        match rx.recv_timeout(ctx.next_timeout(now)) {
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Ok(envelope) => {
+                let now = Instant::now();
+                match envelope {
+                    Envelope::Shutdown => break,
+                    Envelope::Crash { down_for } => {
+                        if ctx.down_until.is_none() {
+                            ctx.history.lock().push(ActaEvent::Crash { site });
+                            engine.crash();
+                            ctx.crash_volatile();
+                            ctx.down_until = Some(now + down_for);
+                        }
+                    }
+                    _ if ctx.is_down(now) => {}
+                    Envelope::Commit {
+                        txn,
+                        participants,
+                        reply,
+                    } => {
+                        // Guard client misuse: a duplicate request for a
+                        // decided transaction is answered from the memo;
+                        // an in-flight duplicate or an empty participant
+                        // list is rejected by dropping the reply channel
+                        // (the client's recv sees Disconnected and gets
+                        // `None`) instead of tripping the engine's
+                        // asserts and killing the coordinator thread.
+                        if let Some(outcome) = engine.decided(txn) {
+                            let _ = reply.send(outcome);
+                        } else if participants.is_empty()
+                            || engine.protocol_table_txns().contains(&txn)
+                        {
+                            drop(reply);
+                        } else {
+                            replies.insert(txn, reply);
+                            let actions = engine.begin_commit(txn, &participants);
+                            ctx.run_actions(actions);
+                        }
+                    }
+                    Envelope::Protocol(msg) => {
+                        let actions = engine.on_message(msg.from, &msg.payload);
+                        ctx.run_actions(actions);
+                        deliver_decisions(&engine, &mut replies);
+                    }
+                    Envelope::Apply { .. } | Envelope::SetIntent { .. } => {}
+                }
+            }
+        }
+    }
+    CoordinatorFinal { engine }
+}
+
+/// Send the decision to any waiting client whose transaction has been
+/// decided.
+fn deliver_decisions(
+    engine: &Coordinator<FileLog>,
+    replies: &mut BTreeMap<TxnId, Sender<Outcome>>,
+) {
+    let decided: Vec<(TxnId, Outcome)> = replies
+        .keys()
+        .filter_map(|&txn| engine.decided(txn).map(|o| (txn, o)))
+        .collect();
+    for (txn, outcome) in decided {
+        if let Some(tx) = replies.remove(&txn) {
+            let _ = tx.send(outcome);
+        }
+    }
+}

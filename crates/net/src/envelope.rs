@@ -1,0 +1,46 @@
+//! Inter-thread messages.
+
+use acp_types::{Message, Outcome, TxnId, Vote};
+use crossbeam::channel::Sender;
+use std::time::Duration;
+
+/// Everything a site thread can receive.
+pub enum Envelope {
+    /// A protocol message from another site.
+    Protocol(Message),
+    /// Client data operation: upsert `key := value` under `txn` at this
+    /// participant.
+    Apply {
+        /// The transaction.
+        txn: TxnId,
+        /// Key to write.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Client override of the vote this participant will cast for `txn`
+    /// (test/benchmark hook; defaults derive from the engine state).
+    SetIntent {
+        /// The transaction.
+        txn: TxnId,
+        /// The vote to cast.
+        vote: Vote,
+    },
+    /// Client request to the coordinator: run commit processing for
+    /// `txn` across `participants` and report the decision.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+        /// Participant sites.
+        participants: Vec<acp_types::SiteId>,
+        /// Where to deliver the decision.
+        reply: Sender<Outcome>,
+    },
+    /// Fault injection: fail-stop now, recover after `down_for`.
+    Crash {
+        /// Outage duration.
+        down_for: Duration,
+    },
+    /// Orderly shutdown (the thread returns its final state).
+    Shutdown,
+}

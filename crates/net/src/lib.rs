@@ -1,0 +1,23 @@
+//! # acp-net
+//!
+//! A threaded actor runtime for the commit protocols: each site is an
+//! OS thread (one actor per protocol role, per the reproduction plan),
+//! crossbeam channels are the network, and every site persists its
+//! protocol records in a file-backed WAL and its data in the
+//! `acp-engine` storage engine with its own data log.
+//!
+//! The same sans-IO engines that run under the deterministic simulator
+//! run here unchanged — this crate exists to demonstrate that, to host
+//! the end-to-end throughput benchmarks (experiment E10), and to give
+//! the examples a "real system" feel: crash a site and its volatile
+//! state is really gone; only the files survive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod cluster;
+pub mod envelope;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
+pub use envelope::Envelope;

@@ -1,0 +1,121 @@
+//! Failure schedules: pre-planned crash/recover sequences for
+//! randomized campaigns.
+
+use crate::process::Process;
+use crate::time::SimTime;
+use crate::world::World;
+use acp_types::SiteId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One planned outage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// The site that fails.
+    pub site: SiteId,
+    /// When it crashes.
+    pub crash_at: SimTime,
+    /// When it recovers (the paper assumes every failed site
+    /// "will, eventually, recover").
+    pub recover_at: SimTime,
+}
+
+/// A set of planned outages to apply to a world.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    /// The outages, in no particular order.
+    pub outages: Vec<Outage>,
+}
+
+impl FailureSchedule {
+    /// No failures.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single outage.
+    #[must_use]
+    pub fn single(site: SiteId, crash_at: SimTime, recover_at: SimTime) -> Self {
+        assert!(recover_at > crash_at, "recovery must follow the crash");
+        FailureSchedule {
+            outages: vec![Outage {
+                site,
+                crash_at,
+                recover_at,
+            }],
+        }
+    }
+
+    /// Add an outage.
+    pub fn push(&mut self, site: SiteId, crash_at: SimTime, recover_at: SimTime) {
+        assert!(recover_at > crash_at, "recovery must follow the crash");
+        self.outages.push(Outage {
+            site,
+            crash_at,
+            recover_at,
+        });
+    }
+
+    /// Generate `count` random outages across `sites` within
+    /// `[0, horizon)`, each lasting at most `max_outage`.
+    #[must_use]
+    pub fn random(
+        rng: &mut StdRng,
+        sites: &[SiteId],
+        horizon: SimTime,
+        count: usize,
+        max_outage: SimTime,
+    ) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(horizon > SimTime::ZERO && max_outage > SimTime::ZERO);
+        let mut schedule = FailureSchedule::none();
+        for _ in 0..count {
+            let site = sites[rng.random_range(0..sites.len())];
+            let crash_at = SimTime::from_micros(rng.random_range(0..horizon.as_micros()));
+            let outage = SimTime::from_micros(rng.random_range(1..=max_outage.as_micros()));
+            schedule.push(site, crash_at, crash_at + outage);
+        }
+        schedule
+    }
+
+    /// Enqueue every outage in a world.
+    pub fn apply<P: Process>(&self, world: &mut World<P>) {
+        for o in &self.outages {
+            world.schedule_crash(o.site, o.crash_at);
+            world.schedule_recover(o.site, o.recover_at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_schedules_are_reproducible_and_bounded() {
+        let sites = [SiteId::new(0), SiteId::new(1), SiteId::new(2)];
+        let horizon = SimTime::from_millis(100);
+        let max_outage = SimTime::from_millis(10);
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            FailureSchedule::random(&mut rng, &sites, horizon, 20, max_outage)
+        };
+        let a = make();
+        assert_eq!(a, make());
+        assert_eq!(a.outages.len(), 20);
+        for o in &a.outages {
+            assert!(o.crash_at < horizon);
+            assert!(o.recover_at > o.crash_at);
+            assert!(o.recover_at - o.crash_at <= max_outage);
+            assert!(sites.contains(&o.site));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow the crash")]
+    fn rejects_backwards_outage() {
+        let _ = FailureSchedule::single(SiteId::new(0), SimTime(10), SimTime(10));
+    }
+}

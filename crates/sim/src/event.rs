@@ -1,0 +1,91 @@
+//! Simulation events and the priority queue ordering.
+
+use crate::time::SimTime;
+use acp_types::{Message, SiteId};
+
+/// Something scheduled to happen in the simulated world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A message arrives at its destination.
+    Deliver(Message),
+    /// A site-local timer fires. `incarnation` identifies the boot of
+    /// the site that set it: timers are volatile, so a timer set before
+    /// a crash must not fire after recovery.
+    Timer {
+        /// The site whose timer fires.
+        site: SiteId,
+        /// Opaque token chosen by the process when the timer was set.
+        token: u64,
+        /// Site incarnation at set time.
+        incarnation: u64,
+    },
+    /// The site fail-stops: volatile state is lost, stable log survives.
+    Crash {
+        /// The crashing site.
+        site: SiteId,
+    },
+    /// The site completes restart and runs its recovery procedure.
+    Recover {
+        /// The recovering site.
+        site: SiteId,
+    },
+}
+
+/// A queue entry: event plus its firing time and a tie-breaking sequence
+/// number (FIFO among simultaneous events, keeping runs deterministic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scheduled {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaker: insertion order.
+    pub seq: u64,
+    /// The event.
+    pub event: SimEvent,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_earliest_first_fifo_on_ties() {
+        let mut h = BinaryHeap::new();
+        let crash = |s: u32| SimEvent::Crash {
+            site: SiteId::new(s),
+        };
+        h.push(Scheduled {
+            at: SimTime(5),
+            seq: 0,
+            event: crash(0),
+        });
+        h.push(Scheduled {
+            at: SimTime(3),
+            seq: 1,
+            event: crash(1),
+        });
+        h.push(Scheduled {
+            at: SimTime(3),
+            seq: 2,
+            event: crash(2),
+        });
+
+        let order: Vec<_> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order[0].event, crash(1));
+        assert_eq!(order[1].event, crash(2), "ties broken FIFO");
+        assert_eq!(order[2].event, crash(0));
+    }
+}

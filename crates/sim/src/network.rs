@@ -1,0 +1,271 @@
+//! Network model: latency, message loss and partitions.
+//!
+//! The paper's failure model allows omission failures — messages may be
+//! lost, and messages addressed to a crashed site are lost. The network
+//! draws per-message latency uniformly from a configured range and drops
+//! messages with a configured probability or when the link is
+//! partitioned.
+
+use crate::time::SimTime;
+use acp_types::SiteId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Network parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Minimum one-way latency.
+    pub min_latency: SimTime,
+    /// Maximum one-way latency (inclusive).
+    pub max_latency: SimTime,
+    /// Probability a message is silently dropped (0.0 ..= 1.0).
+    pub loss_probability: f64,
+    /// Deliver messages on each (sender, receiver) link in send order,
+    /// like a TCP connection (on by default). The protocols' footnote-5
+    /// rule — "a participant without any memory regarding a transaction
+    /// is assumed to have already received and enforced the decision" —
+    /// is only sound without reordering, so turn this off only to study
+    /// what breaks.
+    pub fifo: bool,
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable network with fixed latency — the baseline
+    /// for figure-trace experiments where the exact schedule matters.
+    #[must_use]
+    pub fn reliable(latency: SimTime) -> Self {
+        NetworkConfig {
+            min_latency: latency,
+            max_latency: latency,
+            loss_probability: 0.0,
+            fifo: true,
+        }
+    }
+
+    /// A LAN-ish default: 100–500us latency, no loss.
+    #[must_use]
+    pub fn lan() -> Self {
+        NetworkConfig {
+            min_latency: SimTime::from_micros(100),
+            max_latency: SimTime::from_micros(500),
+            loss_probability: 0.0,
+            fifo: true,
+        }
+    }
+
+    /// A lossy network for failure campaigns.
+    #[must_use]
+    pub fn lossy(loss_probability: f64) -> Self {
+        NetworkConfig {
+            loss_probability,
+            ..Self::lan()
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// The fate the network assigns a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered at the given absolute time.
+    Deliver(SimTime),
+    /// Silently dropped.
+    Drop,
+}
+
+/// The network: decides each message's fate deterministically from the
+/// world's RNG.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Unordered pairs of sites that cannot currently communicate.
+    partitions: BTreeSet<(SiteId, SiteId)>,
+    /// Last scheduled delivery per directed link (FIFO enforcement).
+    last_delivery: BTreeMap<(SiteId, SiteId), SimTime>,
+}
+
+fn pair(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// Build a network with the given parameters.
+    #[must_use]
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            partitions: BTreeSet::new(),
+            last_delivery: BTreeMap::new(),
+        }
+    }
+
+    /// Sever the link between two sites (both directions).
+    pub fn partition(&mut self, a: SiteId, b: SiteId) {
+        self.partitions.insert(pair(a, b));
+    }
+
+    /// Restore the link between two sites.
+    pub fn heal(&mut self, a: SiteId, b: SiteId) {
+        self.partitions.remove(&pair(a, b));
+    }
+
+    /// Is the link between two sites currently severed?
+    #[must_use]
+    pub fn is_partitioned(&self, a: SiteId, b: SiteId) -> bool {
+        self.partitions.contains(&pair(a, b))
+    }
+
+    /// Decide the fate of a message sent at `now` from `from` to `to`.
+    /// On delivery the returned time is absolute.
+    pub fn fate(&mut self, from: SiteId, to: SiteId, now: SimTime, rng: &mut StdRng) -> Fate {
+        if self.is_partitioned(from, to) {
+            return Fate::Drop;
+        }
+        if self.config.loss_probability > 0.0 && rng.random::<f64>() < self.config.loss_probability
+        {
+            return Fate::Drop;
+        }
+        let (lo, hi) = (
+            self.config.min_latency.as_micros(),
+            self.config.max_latency.as_micros(),
+        );
+        let delay = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..=hi)
+        };
+        let mut at = now + SimTime::from_micros(delay);
+        if self.config.fifo {
+            if let Some(&last) = self.last_delivery.get(&(from, to)) {
+                at = at.max(last + SimTime::from_micros(1));
+            }
+            self.last_delivery.insert((from, to), at);
+        }
+        Fate::Deliver(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn reliable_network_has_fixed_delay() {
+        let mut n = Network::new(NetworkConfig::reliable(SimTime::from_micros(250)));
+        let mut r = rng();
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(
+                n.fate(SiteId::new(0), SiteId::new(1), now, &mut r),
+                Fate::Deliver(now + SimTime::from_micros(250))
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_links_never_reorder() {
+        let mut n = Network::new(NetworkConfig::lan());
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        for _ in 0..200 {
+            // All sent at the same instant: delivery times must still be
+            // strictly increasing on the link.
+            match n.fate(SiteId::new(0), SiteId::new(1), SimTime::ZERO, &mut r) {
+                Fate::Deliver(at) => {
+                    assert!(at > last, "{at:?} !> {last:?}");
+                    last = at;
+                }
+                Fate::Drop => panic!("lossless network dropped a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_fifo_network_can_reorder() {
+        let mut cfg = NetworkConfig::lan();
+        cfg.fifo = false;
+        let mut n = Network::new(cfg);
+        let mut r = rng();
+        let times: Vec<SimTime> = (0..200)
+            .map(
+                |_| match n.fate(SiteId::new(0), SiteId::new(1), SimTime::ZERO, &mut r) {
+                    Fate::Deliver(at) => at,
+                    Fate::Drop => panic!(),
+                },
+            )
+            .collect();
+        assert!(
+            times.windows(2).any(|w| w[1] < w[0]),
+            "expected at least one reorder"
+        );
+    }
+
+    #[test]
+    fn latency_stays_in_range() {
+        let mut r = rng();
+        let mut cfg = NetworkConfig::lan();
+        cfg.fifo = false;
+        let mut n = Network::new(cfg);
+        for _ in 0..1000 {
+            match n.fate(SiteId::new(0), SiteId::new(1), SimTime::ZERO, &mut r) {
+                Fate::Deliver(d) => {
+                    assert!(d >= SimTime::from_micros(100) && d <= SimTime::from_micros(500))
+                }
+                Fate::Drop => panic!("lossless network dropped a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn loss_probability_respected_statistically() {
+        let mut n = Network::new(NetworkConfig::lossy(0.3));
+        let mut r = rng();
+        let drops = (0..10_000)
+            .filter(|_| n.fate(SiteId::new(0), SiteId::new(1), SimTime::ZERO, &mut r) == Fate::Drop)
+            .count();
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_healable() {
+        let mut n = Network::new(NetworkConfig::lan());
+        let (a, b) = (SiteId::new(3), SiteId::new(1));
+        n.partition(a, b);
+        let mut r = rng();
+        assert_eq!(n.fate(a, b, SimTime::ZERO, &mut r), Fate::Drop);
+        assert_eq!(n.fate(b, a, SimTime::ZERO, &mut r), Fate::Drop);
+        assert!(n.is_partitioned(b, a));
+        n.heal(b, a);
+        assert!(matches!(
+            n.fate(a, b, SimTime::ZERO, &mut r),
+            Fate::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let run = || {
+            let mut n = Network::new(NetworkConfig::lossy(0.2));
+            let mut r = rng();
+            (0..100)
+                .map(|_| n.fate(SiteId::new(0), SiteId::new(1), SimTime::ZERO, &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution traces.
+//!
+//! Every world records what happened: messages sent/delivered/dropped,
+//! crashes, recoveries, and protocol-level notes emitted by processes
+//! (log writes, decisions, forgets). The figure experiments (E1–E4)
+//! assert on these traces; debugging reads them.
+
+use crate::time::SimTime;
+use acp_types::{Message, SiteId};
+use std::fmt;
+
+/// What a trace entry describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Sent(Message),
+    /// A message arrived and was processed.
+    Delivered(Message),
+    /// A message was lost (network drop, partition, or dead receiver).
+    Dropped(Message),
+    /// A site crashed.
+    Crashed(SiteId),
+    /// A site recovered.
+    Recovered(SiteId),
+    /// A protocol-level note from a site: log writes, decisions,
+    /// forgets. `tag` is machine-matchable, `detail` human-readable.
+    Note {
+        /// The site emitting the note.
+        site: SiteId,
+        /// Machine-matchable tag, e.g. `"force:initiation"`.
+        tag: String,
+        /// Human-readable elaboration.
+        detail: String,
+    },
+}
+
+/// A timestamped trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}  ", self.at.to_string())?;
+        match &self.kind {
+            TraceKind::Sent(m) => write!(f, "send     {m}"),
+            TraceKind::Delivered(m) => write!(f, "deliver  {m}"),
+            TraceKind::Dropped(m) => write!(f, "drop     {m}"),
+            TraceKind::Crashed(s) => write!(f, "CRASH    {s}"),
+            TraceKind::Recovered(s) => write!(f, "RECOVER  {s}"),
+            TraceKind::Note { site, tag, detail } => write!(f, "note     {site} {tag}: {detail}"),
+        }
+    }
+}
+
+/// An append-only execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, at: SimTime, kind: TraceKind) {
+        self.entries.push(TraceEntry { at, kind });
+    }
+
+    /// All entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Notes from one site whose tag starts with `prefix`, in order.
+    pub fn notes_of<'a>(
+        &'a self,
+        site: SiteId,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| {
+            matches!(&e.kind, TraceKind::Note { site: s, tag, .. } if *s == site && tag.starts_with(prefix))
+        })
+    }
+
+    /// The ordered list of note tags emitted by a site — the "schedule"
+    /// the figure experiments compare against the paper.
+    #[must_use]
+    pub fn tag_schedule(&self, site: SiteId) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Note { site: s, tag, .. } if *s == site => Some(tag.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the whole trace (one entry per line).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_types::{Payload, TxnId};
+
+    #[test]
+    fn schedule_extraction_per_site() {
+        let mut t = Trace::new();
+        let s0 = SiteId::new(0);
+        let s1 = SiteId::new(1);
+        t.push(
+            SimTime(1),
+            TraceKind::Note {
+                site: s0,
+                tag: "force:initiation".into(),
+                detail: String::new(),
+            },
+        );
+        t.push(
+            SimTime(2),
+            TraceKind::Note {
+                site: s1,
+                tag: "force:prepared".into(),
+                detail: String::new(),
+            },
+        );
+        t.push(
+            SimTime(3),
+            TraceKind::Note {
+                site: s0,
+                tag: "force:commit".into(),
+                detail: String::new(),
+            },
+        );
+        assert_eq!(t.tag_schedule(s0), vec!["force:initiation", "force:commit"]);
+        assert_eq!(t.notes_of(s0, "force:").count(), 2);
+        assert_eq!(t.notes_of(s1, "force:prepared").count(), 1);
+    }
+
+    #[test]
+    fn render_is_line_per_entry() {
+        let mut t = Trace::new();
+        let m = Message::new(
+            SiteId::new(0),
+            SiteId::new(1),
+            Payload::Prepare { txn: TxnId::new(1) },
+        );
+        t.push(SimTime(0), TraceKind::Sent(m.clone()));
+        t.push(SimTime(5), TraceKind::Delivered(m));
+        t.push(SimTime(9), TraceKind::Crashed(SiteId::new(1)));
+        let r = t.render();
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.contains("CRASH"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Site and transaction identifiers.
+
+use std::fmt;
+
+/// Identifier of a database site (a node in the distributed system).
+///
+/// A site may act as the coordinator of some transactions and as a
+/// participant in others; the paper's model designates the transaction
+/// manager at the site where a transaction originated as its
+/// coordinator (Appendix, "Brief overview of related work").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Construct a site id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        SiteId(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(raw: u32) -> Self {
+        SiteId(raw)
+    }
+}
+
+/// Identifier of a distributed (global) transaction.
+///
+/// Globally unique across the system. Subtransactions executing at
+/// participant sites on behalf of a transaction share its `TxnId`; the
+/// pair `(TxnId, SiteId)` identifies a subtransaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Construct a transaction id from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        TxnId(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next transaction id in sequence (used by id allocators).
+    #[must_use]
+    pub const fn next(self) -> Self {
+        TxnId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(raw: u64) -> Self {
+        TxnId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_roundtrip_and_display() {
+        let s = SiteId::new(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(format!("{s}"), "S7");
+        assert_eq!(format!("{s:?}"), "S7");
+        assert_eq!(SiteId::from(7u32), s);
+    }
+
+    #[test]
+    fn txn_id_ordering_and_next() {
+        let t = TxnId::new(41);
+        assert_eq!(t.next(), TxnId::new(42));
+        assert!(t < t.next());
+        assert_eq!(format!("{t}"), "T41");
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<TxnId, SiteId> = HashMap::new();
+        m.insert(TxnId::new(1), SiteId::new(2));
+        assert_eq!(m[&TxnId::new(1)], SiteId::new(2));
+    }
+}

@@ -1,0 +1,199 @@
+//! Wire messages exchanged between coordinator and participants.
+
+use crate::ids::{SiteId, TxnId};
+use crate::protocol::{Outcome, ProtocolKind, Vote};
+use std::fmt;
+
+/// The payload of a coordination message.
+///
+/// These are exactly the message kinds of the paper's protocols:
+/// `Prepare` and `Vote` form the voting phase, `Decision` and `Ack` the
+/// decision phase; `Inquiry`/`InquiryResponse` implement the recovery
+/// dialogue a prepared participant holds with its coordinator.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Payload {
+    /// Coordinator → participant: request to prepare to commit.
+    Prepare {
+        /// Transaction being prepared.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: the participant's vote.
+    Vote {
+        /// Transaction being voted on.
+        txn: TxnId,
+        /// The vote.
+        vote: Vote,
+    },
+    /// Coordinator → participant: the final decision.
+    Decision {
+        /// Transaction being decided.
+        txn: TxnId,
+        /// Commit or abort.
+        outcome: Outcome,
+    },
+    /// Participant → coordinator: acknowledgment of an enforced decision.
+    Ack {
+        /// Transaction being acknowledged.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: recovery-time inquiry about the
+    /// outcome of a transaction the participant is in doubt about.
+    ///
+    /// Carries the participant's protocol so a PrAny coordinator can
+    /// dynamically adopt the inquirer's presumption (§4.2) even when the
+    /// transaction has been forgotten and the APP entry is gone.
+    Inquiry {
+        /// Transaction inquired about.
+        txn: TxnId,
+        /// The inquiring participant's commit protocol.
+        protocol: ProtocolKind,
+    },
+    /// Coordinator → participant: reply to an inquiry.
+    InquiryResponse {
+        /// Transaction inquired about.
+        txn: TxnId,
+        /// The outcome the coordinator reports (possibly by presumption).
+        outcome: Outcome,
+    },
+}
+
+impl Payload {
+    /// The transaction this payload concerns.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            Payload::Prepare { txn }
+            | Payload::Vote { txn, .. }
+            | Payload::Decision { txn, .. }
+            | Payload::Ack { txn }
+            | Payload::Inquiry { txn, .. }
+            | Payload::InquiryResponse { txn, .. } => txn,
+        }
+    }
+
+    /// Short tag used by trace output and cost accounting.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::Prepare { .. } => "prepare",
+            Payload::Vote { .. } => "vote",
+            Payload::Decision { .. } => "decision",
+            Payload::Ack { .. } => "ack",
+            Payload::Inquiry { .. } => "inquiry",
+            Payload::InquiryResponse { .. } => "inquiry-response",
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Prepare { txn } => write!(f, "prepare({txn})"),
+            Payload::Vote { txn, vote } => write!(f, "vote({txn}, {vote})"),
+            Payload::Decision { txn, outcome } => write!(f, "decision({txn}, {outcome})"),
+            Payload::Ack { txn } => write!(f, "ack({txn})"),
+            Payload::Inquiry { txn, protocol } => write!(f, "inquiry({txn}, {protocol})"),
+            Payload::InquiryResponse { txn, outcome } => {
+                write!(f, "inquiry-response({txn}, {outcome})")
+            }
+        }
+    }
+}
+
+/// An addressed coordination message.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Message {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// What is being said.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(from: SiteId, to: SiteId, payload: Payload) -> Self {
+        Message { from, to, payload }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.from, self.to, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_txn_extraction() {
+        let t = TxnId::new(9);
+        let payloads = [
+            Payload::Prepare { txn: t },
+            Payload::Vote {
+                txn: t,
+                vote: Vote::Yes,
+            },
+            Payload::Decision {
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+            Payload::Ack { txn: t },
+            Payload::Inquiry {
+                txn: t,
+                protocol: ProtocolKind::PrC,
+            },
+            Payload::InquiryResponse {
+                txn: t,
+                outcome: Outcome::Abort,
+            },
+        ];
+        for p in payloads {
+            assert_eq!(p.txn(), t, "{p}");
+        }
+    }
+
+    #[test]
+    fn message_display_is_readable() {
+        let m = Message::new(
+            SiteId::new(0),
+            SiteId::new(2),
+            Payload::Decision {
+                txn: TxnId::new(5),
+                outcome: Outcome::Abort,
+            },
+        );
+        assert_eq!(m.to_string(), "S0 -> S2: decision(T5, abort)");
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        use std::collections::HashSet;
+        let t = TxnId::new(1);
+        let payloads = [
+            Payload::Prepare { txn: t },
+            Payload::Vote {
+                txn: t,
+                vote: Vote::No,
+            },
+            Payload::Decision {
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+            Payload::Ack { txn: t },
+            Payload::Inquiry {
+                txn: t,
+                protocol: ProtocolKind::PrA,
+            },
+            Payload::InquiryResponse {
+                txn: t,
+                outcome: Outcome::Commit,
+            },
+        ];
+        let names: HashSet<_> = payloads.iter().map(|p| p.kind_name()).collect();
+        assert_eq!(names.len(), payloads.len());
+    }
+}

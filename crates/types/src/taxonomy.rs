@@ -1,0 +1,202 @@
+//! Figure 5: the paper's taxonomy of atomic commitment in universal
+//! distributed environments, encoded as types.
+//!
+//! The taxonomy classifies database sites as *externalized* (the site
+//! implements an ACP and exposes its commit operators) or
+//! *non-externalized* (legacy systems that do not), and organizes the
+//! approaches to global atomicity accordingly. This reproduction sits in
+//! the externalized / unified branch: integrating sites whose
+//! externalized ACPs are mutually incompatible.
+
+use std::fmt;
+
+/// Whether a site exposes its atomic commit protocol to the outside
+/// world.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SiteClass {
+    /// The site implements an ACP and makes its commit operators
+    /// available through its interface.
+    Externalized,
+    /// The site does not expose an ACP (typical of legacy systems).
+    NonExternalized,
+}
+
+/// Approaches for non-externalized sites (right subtree of Figure 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NonExternalizedApproach {
+    /// Modify each component local DBMS to incorporate and externalize
+    /// an ACP.
+    ModifyComponentDbms,
+    /// Simulate a prepared-to-commit state on top of the unmodified
+    /// system, via one of several techniques.
+    SimulatePreparedState(SimulationTechnique),
+}
+
+/// Techniques for simulating a prepared state (leaves under the
+/// "simulate a prepared state" node of Figure 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SimulationTechnique {
+    /// Commitment after the global decision (redo): data partitioning.
+    DataPartitioning,
+    /// Commitment after the global decision (redo): rerouting through
+    /// the MDBS.
+    Rerouting,
+    /// Commitment after the global decision (redo): exclusive right
+    /// reservation.
+    ExclusiveRightReservation,
+    /// Commitment after the global decision (redo): retry.
+    Retry,
+    /// Commitment before the global decision (undo): syntactic
+    /// compensation.
+    SyntacticCompensation,
+    /// Commitment before the global decision (undo): semantic
+    /// compensation (achieves only *semantic* atomicity).
+    SemanticCompensation,
+}
+
+impl SimulationTechnique {
+    /// All techniques in Figure 5's left-to-right order.
+    pub const ALL: [SimulationTechnique; 6] = [
+        SimulationTechnique::DataPartitioning,
+        SimulationTechnique::Rerouting,
+        SimulationTechnique::ExclusiveRightReservation,
+        SimulationTechnique::Retry,
+        SimulationTechnique::SyntacticCompensation,
+        SimulationTechnique::SemanticCompensation,
+    ];
+
+    /// Does the technique guarantee traditional atomicity, or only the
+    /// weaker *semantic atomicity*?
+    #[must_use]
+    pub fn guarantees_traditional_atomicity(self) -> bool {
+        !matches!(self, SimulationTechnique::SemanticCompensation)
+    }
+
+    /// Is the local commitment performed *after* the global decision
+    /// (redo family) or *before* it (undo family)?
+    #[must_use]
+    pub fn is_redo_family(self) -> bool {
+        matches!(
+            self,
+            SimulationTechnique::DataPartitioning
+                | SimulationTechnique::Rerouting
+                | SimulationTechnique::ExclusiveRightReservation
+                | SimulationTechnique::Retry
+        )
+    }
+}
+
+impl fmt::Display for SimulationTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SimulationTechnique::DataPartitioning => "data partitioning",
+            SimulationTechnique::Rerouting => "rerouting through MDBS",
+            SimulationTechnique::ExclusiveRightReservation => "exclusive right reservation",
+            SimulationTechnique::Retry => "retry",
+            SimulationTechnique::SyntacticCompensation => "syntactic compensation",
+            SimulationTechnique::SemanticCompensation => "semantic compensation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three top-level approaches of Figure 5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Approach {
+    /// Integrate the (possibly incompatible) externalized ACPs — the
+    /// branch this paper, and this reproduction, belongs to.
+    Externalized,
+    /// Cope with sites that do not externalize an ACP.
+    NonExternalized,
+    /// Combine both, covering heterogeneous environments where some
+    /// sites externalize ACPs and others do not.
+    Unified,
+}
+
+impl Approach {
+    /// All approaches.
+    pub const ALL: [Approach; 3] = [
+        Approach::Externalized,
+        Approach::NonExternalized,
+        Approach::Unified,
+    ];
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Approach::Externalized => "externalized",
+            Approach::NonExternalized => "non-externalized",
+            Approach::Unified => "unified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Render Figure 5's taxonomy as an ASCII tree (used by the
+/// `exp_taxonomy` experiment binary).
+#[must_use]
+pub fn render_taxonomy() -> String {
+    let mut out = String::new();
+    out.push_str("Atomic Commitment in Universal Distributed Environments\n");
+    out.push_str("├── Externalized\n");
+    out.push_str("│   └── integrate incompatible ACPs  <-- this paper: Presumed Any\n");
+    out.push_str("├── Non-externalized\n");
+    out.push_str("│   ├── Modify component LDBMSs\n");
+    out.push_str("│   └── Simulate a prepared state\n");
+    out.push_str("│       ├── Commitment after (redo)\n");
+    for t in &SimulationTechnique::ALL[..4] {
+        out.push_str(&format!("│       │   ├── {t}\n"));
+    }
+    out.push_str("│       └── Commitment before (undo)\n");
+    for t in &SimulationTechnique::ALL[4..] {
+        let atomicity = if t.guarantees_traditional_atomicity() {
+            "traditional"
+        } else {
+            "semantic"
+        };
+        out.push_str(&format!("│           ├── {t} ({atomicity} atomicity)\n"));
+    }
+    out.push_str("└── Unified\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_semantic_compensation_weakens_atomicity() {
+        let weak: Vec<_> = SimulationTechnique::ALL
+            .iter()
+            .filter(|t| !t.guarantees_traditional_atomicity())
+            .collect();
+        assert_eq!(weak, vec![&SimulationTechnique::SemanticCompensation]);
+    }
+
+    #[test]
+    fn redo_undo_families_partition_the_techniques() {
+        let redo = SimulationTechnique::ALL
+            .iter()
+            .filter(|t| t.is_redo_family())
+            .count();
+        assert_eq!(redo, 4);
+        assert_eq!(SimulationTechnique::ALL.len() - redo, 2);
+    }
+
+    #[test]
+    fn rendered_taxonomy_mentions_every_leaf() {
+        let tree = render_taxonomy();
+        for t in SimulationTechnique::ALL {
+            assert!(tree.contains(&t.to_string()), "missing {t}");
+        }
+        for a in Approach::ALL {
+            // Top-level branches appear capitalized in the render.
+            let label = a.to_string();
+            assert!(
+                tree.to_lowercase().contains(&label),
+                "missing top-level branch {label}"
+            );
+        }
+    }
+}

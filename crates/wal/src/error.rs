@@ -1,0 +1,99 @@
+//! WAL error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by log implementations and the codec.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure (file-backed logs only).
+    Io(io::Error),
+    /// A record failed CRC validation or was structurally malformed.
+    ///
+    /// During recovery scans a corrupt *tail* record is interpreted as a
+    /// torn write and silently truncated; corruption in the middle of
+    /// the log is surfaced as this error.
+    Corrupt {
+        /// Byte offset of the bad record within the log image.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Attempt to truncate to an LSN below the current low-water mark or
+    /// above the durable tail.
+    BadTruncate {
+        /// The requested LSN.
+        requested: u64,
+        /// The valid range (low-water mark ..= next LSN).
+        low: u64,
+        /// Upper bound of the valid range.
+        high: u64,
+    },
+    /// The decoder encountered an unknown record tag (log written by a
+    /// newer version).
+    UnknownTag(u8),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt { offset, detail } => {
+                write!(f, "corrupt wal record at offset {offset}: {detail}")
+            }
+            WalError::BadTruncate {
+                requested,
+                low,
+                high,
+            } => write!(
+                f,
+                "invalid truncation to lsn {requested} (valid range {low}..={high})"
+            ),
+            WalError::UnknownTag(t) => write!(f, "unknown wal record tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = WalError::Corrupt {
+            offset: 128,
+            detail: "bad crc".into(),
+        };
+        assert!(e.to_string().contains("offset 128"));
+        let e = WalError::BadTruncate {
+            requested: 9,
+            low: 2,
+            high: 5,
+        };
+        assert!(e.to_string().contains("2..=5"));
+        let e = WalError::UnknownTag(0xFF);
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error as _;
+        let e = WalError::from(io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,373 @@
+//! File-backed stable log for the threaded runtime.
+//!
+//! Layout: a 16-byte header (`magic‖version‖low_water`) followed by
+//! framed records (see [`crate::encode`]). Appends accumulate in a
+//! process-memory buffer; a force (or flush) writes the buffer and
+//! `sync_data`s the file. A crash before the flush therefore loses the
+//! buffered records — matching [`crate::mem::MemLog`]'s semantics.
+//!
+//! Garbage collection ([`StableLog::truncate_prefix`]) rewrites the
+//! retained suffix into a sibling file and renames it into place, so
+//! reclaimed bytes are physically returned.
+
+use crate::encode::{decode_frame, encode_frame, FrameOutcome};
+use crate::error::WalError;
+use crate::record::{LogRecord, Lsn, WalStats};
+use crate::StableLog;
+use acp_types::LogPayload;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Header magic: "WALH".
+const HEADER_MAGIC: u32 = 0x5741_4C48;
+/// On-disk format version.
+const VERSION: u32 = 1;
+/// Header length in bytes.
+const HEADER_LEN: u64 = 16;
+
+fn encode_header(low_water: Lsn) -> [u8; 16] {
+    let mut h = [0u8; 16];
+    h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+    h[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&low_water.raw().to_le_bytes());
+    h
+}
+
+fn decode_header(buf: &[u8]) -> Result<Lsn, WalError> {
+    if buf.len() < HEADER_LEN as usize {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            detail: "short header".into(),
+        });
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != HEADER_MAGIC {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            detail: "bad header magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(WalError::Corrupt {
+            offset: 4,
+            detail: format!("unsupported wal version {version}"),
+        });
+    }
+    Ok(Lsn(u64::from_le_bytes(
+        buf[8..16].try_into().expect("8 bytes"),
+    )))
+}
+
+/// A stable log persisted to a single file.
+#[derive(Debug)]
+pub struct FileLog {
+    path: PathBuf,
+    file: File,
+    /// Encoded frames not yet written+synced; lost if the process dies.
+    buffer: Vec<u8>,
+    /// Decoded view of everything durable (kept in memory for cheap
+    /// `records()`; rebuilt on open).
+    durable: Vec<LogRecord>,
+    /// Records represented in `buffer`.
+    pending: Vec<LogRecord>,
+    low_water: Lsn,
+    next: Lsn,
+    stats: WalStats,
+}
+
+impl FileLog {
+    /// Create a new, empty log file (truncating any existing file).
+    pub fn create(path: impl Into<PathBuf>) -> Result<FileLog, WalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(&encode_header(Lsn::ZERO))?;
+        file.sync_data()?;
+        Ok(FileLog {
+            path,
+            file,
+            buffer: Vec::new(),
+            durable: Vec::new(),
+            pending: Vec::new(),
+            low_water: Lsn::ZERO,
+            next: Lsn::ZERO,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Open an existing log file, replaying its durable records.
+    ///
+    /// A torn record at the tail (from a crash mid-write) is truncated
+    /// away; everything before it is recovered.
+    pub fn open(path: impl Into<PathBuf>) -> Result<FileLog, WalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut image = Vec::new();
+        file.read_to_end(&mut image)?;
+        let low_water = decode_header(&image)?;
+
+        let mut durable = Vec::new();
+        let mut offset = HEADER_LEN as usize;
+        while offset < image.len() {
+            match decode_frame(&image[offset..], offset as u64)? {
+                FrameOutcome::Record(rec, consumed) => {
+                    durable.push(rec);
+                    offset += consumed;
+                }
+                FrameOutcome::Torn => break,
+            }
+        }
+        // Physically drop the torn tail so future appends start clean.
+        if (offset as u64) < image.len() as u64 {
+            file.set_len(offset as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let next = durable.last().map_or(low_water, |r| r.lsn.next());
+        let durable_bytes = offset as u64 - HEADER_LEN;
+        Ok(FileLog {
+            path,
+            file,
+            buffer: Vec::new(),
+            durable,
+            pending: Vec::new(),
+            low_water,
+            next,
+            stats: WalStats {
+                durable_bytes,
+                ..WalStats::default()
+            },
+        })
+    }
+
+    /// The file path backing this log.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Simulate a crash without dropping the value: buffered records are
+    /// discarded and the durable image is re-read from disk. Returns the
+    /// number of records lost. (The threaded runtime instead drops the
+    /// whole `FileLog` and re-`open`s.)
+    pub fn simulate_crash(&mut self) -> Result<usize, WalError> {
+        let lost = self.pending.len();
+        self.stats.lost_on_crash += lost as u64;
+        self.buffer.clear();
+        self.pending.clear();
+        let reopened = FileLog::open(self.path.clone())?;
+        self.durable = reopened.durable;
+        self.low_water = reopened.low_water;
+        self.next = reopened.next;
+        Ok(lost)
+    }
+
+    fn write_out(&mut self) -> Result<(), WalError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buffer)?;
+        self.file.sync_data()?;
+        self.stats.durable_bytes += self.buffer.len() as u64;
+        self.buffer.clear();
+        self.durable.append(&mut self.pending);
+        Ok(())
+    }
+}
+
+impl StableLog for FileLog {
+    fn append(&mut self, payload: LogPayload, force: bool) -> Result<Lsn, WalError> {
+        let lsn = self.next;
+        self.next = self.next.next();
+        self.stats.appends += 1;
+        let rec = LogRecord {
+            lsn,
+            forced: force,
+            payload,
+        };
+        self.buffer.extend_from_slice(&encode_frame(&rec));
+        self.pending.push(rec);
+        if force {
+            self.stats.forces += 1;
+            self.write_out()?;
+        }
+        Ok(lsn)
+    }
+
+    fn flush(&mut self) -> Result<(), WalError> {
+        self.stats.flushes += 1;
+        self.write_out()
+    }
+
+    fn records(&self) -> Result<Vec<LogRecord>, WalError> {
+        Ok(self.durable.clone())
+    }
+
+    fn truncate_prefix(&mut self, lsn: Lsn) -> Result<(), WalError> {
+        let high = self.durable.last().map_or(self.low_water, |r| r.lsn.next());
+        if lsn < self.low_water || lsn > high {
+            return Err(WalError::BadTruncate {
+                requested: lsn.raw(),
+                low: self.low_water.raw(),
+                high: high.raw(),
+            });
+        }
+        // Rewrite the retained suffix to a sibling file, then swap.
+        let before = self.durable.len();
+        self.durable.retain(|r| r.lsn >= lsn);
+        self.stats.truncated += (before - self.durable.len()) as u64;
+        self.low_water = lsn;
+
+        let tmp_path = self.path.with_extension("rewrite");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&encode_header(self.low_water))?;
+        for rec in &self.durable {
+            tmp.write_all(&encode_frame(rec))?;
+        }
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        tmp.seek(SeekFrom::End(0))?;
+        self.file = tmp;
+        Ok(())
+    }
+
+    fn low_water_mark(&self) -> Lsn {
+        self.low_water
+    }
+
+    fn next_lsn(&self) -> Lsn {
+        self.next
+    }
+
+    fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    fn lose_unflushed(&mut self) -> Result<usize, WalError> {
+        self.simulate_crash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use acp_types::TxnId;
+
+    fn end(t: u64) -> LogPayload {
+        LogPayload::End { txn: TxnId::new(t) }
+    }
+
+    #[test]
+    fn create_append_reopen() {
+        let dir = TempDir::new("filelog").unwrap();
+        let path = dir.path().join("wal");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            log.append(end(1), true).unwrap();
+            log.append(end(2), false).unwrap();
+            log.flush().unwrap();
+        }
+        let log = FileLog::open(&path).unwrap();
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, end(1));
+        assert_eq!(log.next_lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn unflushed_records_lost_on_reopen() {
+        let dir = TempDir::new("filelog").unwrap();
+        let path = dir.path().join("wal");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            log.append(end(1), true).unwrap();
+            log.append(end(2), false).unwrap();
+            // dropped without flush — record 2 was never written
+        }
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = TempDir::new("filelog").unwrap();
+        let path = dir.path().join("wal");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            log.append(end(1), true).unwrap();
+            log.append(end(2), true).unwrap();
+        }
+        // Chop bytes off the tail to simulate a torn write.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let log = FileLog::open(&path).unwrap();
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 1, "torn second record dropped");
+        assert_eq!(log.next_lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn simulate_crash_loses_pending() {
+        let dir = TempDir::new("filelog").unwrap();
+        let mut log = FileLog::create(dir.path().join("wal")).unwrap();
+        log.append(end(1), true).unwrap();
+        log.append(end(2), false).unwrap();
+        assert_eq!(log.simulate_crash().unwrap(), 1);
+        assert_eq!(log.records().unwrap().len(), 1);
+        assert_eq!(log.next_lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn truncate_physically_shrinks_file() {
+        let dir = TempDir::new("filelog").unwrap();
+        let path = dir.path().join("wal");
+        let mut log = FileLog::create(&path).unwrap();
+        for i in 0..20 {
+            log.append(end(i), true).unwrap();
+        }
+        let big = std::fs::metadata(&path).unwrap().len();
+        log.truncate_prefix(Lsn(15)).unwrap();
+        let small = std::fs::metadata(&path).unwrap().len();
+        assert!(small < big, "{small} !< {big}");
+        assert_eq!(log.records().unwrap().len(), 5);
+
+        // Low-water mark survives reopen.
+        drop(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.low_water_mark(), Lsn(15));
+        assert_eq!(log.next_lsn(), Lsn(20));
+    }
+
+    #[test]
+    fn appends_continue_after_truncate_and_reopen() {
+        let dir = TempDir::new("filelog").unwrap();
+        let path = dir.path().join("wal");
+        let mut log = FileLog::create(&path).unwrap();
+        for i in 0..5 {
+            log.append(end(i), true).unwrap();
+        }
+        log.truncate_prefix(Lsn(5)).unwrap(); // empty log, low_water 5
+        log.append(end(100), true).unwrap();
+        drop(log);
+        let log = FileLog::open(&path).unwrap();
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lsn, Lsn(5));
+    }
+}

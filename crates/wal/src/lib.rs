@@ -1,0 +1,127 @@
+//! # acp-wal
+//!
+//! Write-ahead-log substrate for the Presumed Any workspace.
+//!
+//! Every 2PC variant in the paper is *defined* by its logging
+//! discipline: which records are written, which of them are **forced**
+//! (synchronously made stable before the protocol proceeds), and when a
+//! transaction's records may be garbage collected. This crate provides
+//! that substrate:
+//!
+//! * a binary record codec with CRC32 framing and torn-write detection
+//!   ([`encode`], [`crc`]),
+//! * an in-memory stable log with crash semantics for the simulator
+//!   ([`mem::MemLog`]) — non-forced records buffered in volatile memory
+//!   are lost on a crash, forced records survive,
+//! * a file-backed stable log for the threaded runtime
+//!   ([`file::FileLog`]),
+//! * log-analysis scanning ([`scan`]) used by the recovery procedures of
+//!   §4.2, and
+//! * garbage-collection tracking ([`gc::GcTracker`]) — the observable
+//!   form of the paper's *operational correctness* requirement that
+//!   coordinators and participants "can, eventually, … garbage collect
+//!   their logs" (Definition 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod encode;
+pub mod error;
+pub mod file;
+pub mod gc;
+pub mod mem;
+pub mod record;
+pub mod scan;
+pub mod tempdir;
+
+pub use error::WalError;
+pub use file::FileLog;
+pub use gc::GcTracker;
+pub use mem::MemLog;
+pub use record::{LogRecord, Lsn, WalStats};
+
+use acp_types::LogPayload;
+
+/// A stable log: an append-only sequence of records with force/flush
+/// semantics that survive crashes.
+///
+/// Implementations must guarantee:
+/// * records appended with `force = true` are durable when `append`
+///   returns;
+/// * records appended with `force = false` become durable on the next
+///   `flush`, the next forced append, or not at all if a crash
+///   intervenes;
+/// * `records()` returns only durable records, in append order.
+pub trait StableLog {
+    /// Append a record. If `force` is true the record (and all earlier
+    /// buffered records — the log is strictly ordered) is made durable
+    /// before returning.
+    fn append(&mut self, payload: LogPayload, force: bool) -> Result<Lsn, WalError>;
+
+    /// Make all buffered records durable.
+    fn flush(&mut self) -> Result<(), WalError>;
+
+    /// All durable records at or above the garbage-collection
+    /// low-water mark, in append order.
+    fn records(&self) -> Result<Vec<LogRecord>, WalError>;
+
+    /// Discard all records with LSN strictly below `lsn` (garbage
+    /// collection). `lsn` becomes the new low-water mark.
+    fn truncate_prefix(&mut self, lsn: Lsn) -> Result<(), WalError>;
+
+    /// The current low-water mark: the smallest LSN still retained.
+    fn low_water_mark(&self) -> Lsn;
+
+    /// The LSN the next appended record will receive.
+    fn next_lsn(&self) -> Lsn;
+
+    /// Cost/health statistics.
+    fn stats(&self) -> WalStats;
+
+    /// Simulate the stable-storage side of a site crash: every record
+    /// appended but not yet forced/flushed is lost. Returns how many
+    /// records were lost. Volatile protocol state is the caller's to
+    /// clear; this method only handles the log's buffered tail.
+    fn lose_unflushed(&mut self) -> Result<usize, WalError>;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use acp_types::TxnId;
+
+    /// Exercise any `StableLog` implementation through the common
+    /// contract.
+    fn contract(log: &mut dyn StableLog) {
+        let t = TxnId::new(1);
+        let l0 = log.append(LogPayload::End { txn: t }, true).unwrap();
+        let l1 = log
+            .append(LogPayload::End { txn: t.next() }, false)
+            .unwrap();
+        assert!(l0 < l1);
+        log.flush().unwrap();
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].lsn, l0);
+        assert_eq!(recs[1].lsn, l1);
+
+        log.truncate_prefix(l1).unwrap();
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(log.low_water_mark(), l1);
+    }
+
+    #[test]
+    fn mem_log_satisfies_contract() {
+        let mut log = MemLog::new();
+        contract(&mut log);
+    }
+
+    #[test]
+    fn file_log_satisfies_contract() {
+        let dir = tempdir::TempDir::new("wal-contract").unwrap();
+        let mut log = FileLog::create(dir.path().join("wal")).unwrap();
+        contract(&mut log);
+    }
+}

@@ -1,0 +1,20 @@
+//! # acp-workload
+//!
+//! Workload, population and failure-schedule generation for the
+//! experiments: which sites run which protocol (the multidatabase
+//! population of §1), what the transactions look like (size, abort
+//! rate, read-only fraction), and when sites fail.
+//!
+//! Everything is generated from a seeded RNG so every experiment run is
+//! reproducible from its configuration alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod mix;
+pub mod population;
+
+pub use failure::FailurePlan;
+pub use mix::{TxnMix, TxnPlan};
+pub use population::PopulationMix;

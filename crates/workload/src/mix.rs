@@ -1,0 +1,173 @@
+//! Transaction mixes.
+
+use acp_sim::SimTime;
+use acp_types::{SiteId, TxnId, Vote};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Parameters of a transaction workload.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnMix {
+    /// Number of transactions to generate.
+    pub count: usize,
+    /// Minimum participants per transaction.
+    pub min_participants: usize,
+    /// Maximum participants per transaction (inclusive).
+    pub max_participants: usize,
+    /// Probability a transaction carries a "No" voter (aborts).
+    pub abort_probability: f64,
+    /// Probability each *participant* of a transaction is read-only.
+    pub read_only_probability: f64,
+    /// Mean gap between transaction starts.
+    pub inter_start: SimTime,
+}
+
+impl Default for TxnMix {
+    fn default() -> Self {
+        TxnMix {
+            count: 100,
+            min_participants: 2,
+            max_participants: 4,
+            abort_probability: 0.1,
+            read_only_probability: 0.0,
+            inter_start: SimTime::from_millis(2),
+        }
+    }
+}
+
+/// One generated transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnPlan {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Start time.
+    pub start_at: SimTime,
+    /// Participant sites.
+    pub participants: Vec<SiteId>,
+    /// Non-default votes.
+    pub votes: BTreeMap<SiteId, Vote>,
+}
+
+impl TxnMix {
+    /// Generate the plans over a pool of participant sites.
+    pub fn generate(&self, rng: &mut StdRng, sites: &[SiteId]) -> Vec<TxnPlan> {
+        assert!(self.min_participants >= 1);
+        assert!(self.max_participants >= self.min_participants);
+        assert!(
+            self.max_participants <= sites.len(),
+            "not enough sites for the configured transaction size"
+        );
+        let mut plans = Vec::with_capacity(self.count);
+        let mut at = SimTime::ZERO;
+        for i in 0..self.count {
+            at += SimTime::from_micros(rng.random_range(1..=self.inter_start.as_micros() * 2));
+            let n = rng.random_range(self.min_participants..=self.max_participants);
+            let mut pool = sites.to_vec();
+            pool.shuffle(rng);
+            let mut participants: Vec<SiteId> = pool.into_iter().take(n).collect();
+            participants.sort();
+
+            let mut votes = BTreeMap::new();
+            for &p in &participants {
+                if rng.random::<f64>() < self.read_only_probability {
+                    votes.insert(p, Vote::ReadOnly);
+                }
+            }
+            if rng.random::<f64>() < self.abort_probability {
+                // One participant refuses (overriding any read-only mark).
+                let victim = participants[rng.random_range(0..participants.len())];
+                votes.insert(victim, Vote::No);
+            }
+            plans.push(TxnPlan {
+                txn: TxnId::new(i as u64 + 1),
+                start_at: at,
+                participants,
+                votes,
+            });
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (1..=n).map(SiteId::new).collect()
+    }
+
+    #[test]
+    fn generates_requested_count_with_bounded_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mix = TxnMix {
+            count: 50,
+            min_participants: 2,
+            max_participants: 3,
+            ..TxnMix::default()
+        };
+        let plans = mix.generate(&mut rng, &sites(5));
+        assert_eq!(plans.len(), 50);
+        for p in &plans {
+            assert!((2..=3).contains(&p.participants.len()));
+            // Distinct participants.
+            let mut dedup = p.participants.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), p.participants.len());
+        }
+        // Start times strictly increase.
+        assert!(plans.windows(2).all(|w| w[0].start_at < w[1].start_at));
+    }
+
+    #[test]
+    fn abort_probability_materializes_as_no_votes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mix = TxnMix {
+            count: 400,
+            abort_probability: 0.5,
+            ..TxnMix::default()
+        };
+        let plans = mix.generate(&mut rng, &sites(6));
+        let aborters = plans
+            .iter()
+            .filter(|p| p.votes.values().any(|v| *v == Vote::No))
+            .count();
+        assert!((120..280).contains(&aborters), "aborters = {aborters}");
+    }
+
+    #[test]
+    fn zero_probabilities_mean_all_yes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mix = TxnMix {
+            count: 30,
+            abort_probability: 0.0,
+            read_only_probability: 0.0,
+            ..TxnMix::default()
+        };
+        let plans = mix.generate(&mut rng, &sites(4));
+        assert!(plans.iter().all(|p| p.votes.is_empty()));
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let gen = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            TxnMix::default().generate(&mut rng, &sites(5))
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough sites")]
+    fn oversized_transactions_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mix = TxnMix {
+            max_participants: 9,
+            ..TxnMix::default()
+        };
+        mix.generate(&mut rng, &sites(3));
+    }
+}

@@ -1,0 +1,127 @@
+//! Participant-protocol populations.
+
+use acp_types::ProtocolKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A distribution over participant protocols.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PopulationMix {
+    /// Weight of PrN sites.
+    pub prn: f64,
+    /// Weight of PrA sites.
+    pub pra: f64,
+    /// Weight of PrC sites.
+    pub prc: f64,
+}
+
+impl PopulationMix {
+    /// A homogeneous population.
+    #[must_use]
+    pub fn homogeneous(p: ProtocolKind) -> Self {
+        match p {
+            ProtocolKind::PrN => PopulationMix {
+                prn: 1.0,
+                pra: 0.0,
+                prc: 0.0,
+            },
+            ProtocolKind::PrA => PopulationMix {
+                prn: 0.0,
+                pra: 1.0,
+                prc: 0.0,
+            },
+            ProtocolKind::PrC => PopulationMix {
+                prn: 0.0,
+                pra: 0.0,
+                prc: 1.0,
+            },
+        }
+    }
+
+    /// The multidatabase default the paper motivates: PrN and PrA
+    /// dominate ("widely implemented in commercial systems"), PrC is the
+    /// coming standard.
+    #[must_use]
+    pub fn mdbs() -> Self {
+        PopulationMix {
+            prn: 0.4,
+            pra: 0.4,
+            prc: 0.2,
+        }
+    }
+
+    /// An even three-way split.
+    #[must_use]
+    pub fn uniform() -> Self {
+        PopulationMix {
+            prn: 1.0,
+            pra: 1.0,
+            prc: 1.0,
+        }
+    }
+
+    /// Sample one protocol.
+    pub fn sample(&self, rng: &mut StdRng) -> ProtocolKind {
+        let total = self.prn + self.pra + self.prc;
+        assert!(total > 0.0, "population mix must have positive weight");
+        let x = rng.random::<f64>() * total;
+        if x < self.prn {
+            ProtocolKind::PrN
+        } else if x < self.prn + self.pra {
+            ProtocolKind::PrA
+        } else {
+            ProtocolKind::PrC
+        }
+    }
+
+    /// Sample a population of `n` sites.
+    pub fn sample_n(&self, rng: &mut StdRng, n: usize) -> Vec<ProtocolKind> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_samples_only_that_protocol() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in ProtocolKind::ALL {
+            let pop = PopulationMix::homogeneous(p).sample_n(&mut rng, 50);
+            assert!(pop.iter().all(|&x| x == p));
+        }
+    }
+
+    #[test]
+    fn uniform_mix_covers_all_protocols() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = PopulationMix::uniform().sample_n(&mut rng, 300);
+        for p in ProtocolKind::ALL {
+            let count = pop.iter().filter(|&&x| x == p).count();
+            assert!((50..250).contains(&count), "{p}: {count}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(3);
+            PopulationMix::mdbs().sample_n(&mut rng, 100)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_mix_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        PopulationMix {
+            prn: 0.0,
+            pra: 0.0,
+            prc: 0.0,
+        }
+        .sample(&mut rng);
+    }
+}

@@ -1,0 +1,66 @@
+//! Watch U2PC break — and PrAny not break.
+//!
+//! §2 of the paper proves (Theorem 1) that the naive "union" coordinator
+//! that talks each participant's dialect but keeps its own presumption
+//! cannot guarantee atomicity. This example lets the bounded model
+//! checker *find* the violating interleaving mechanically, prints the
+//! counterexample trail and history, and then shows that PrAny survives
+//! the exact same bounded adversary.
+//!
+//! ```sh
+//! cargo run --example violation_demo
+//! ```
+
+use presumed_any::prelude::*;
+
+fn explore(kind: CoordinatorKind) -> CheckReport {
+    // One PrA participant, one PrC participant — the incompatible pair.
+    let config = CheckConfig::new(kind, &[ProtocolKind::PrA, ProtocolKind::PrC]);
+    check(&config)
+}
+
+fn main() {
+    println!("bounded adversary: 1 crash, 1 message drop, 2 timer firings\n");
+
+    for base in [ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC] {
+        let kind = CoordinatorKind::U2pc(base);
+        let report = explore(kind);
+        println!(
+            "{kind}: {} states, {} violations",
+            report.states_explored,
+            report.counterexamples.len()
+        );
+        if let Some(cx) = report.counterexamples.first() {
+            println!("--- first counterexample ---");
+            println!("{cx}");
+        }
+        assert!(!report.clean(), "Theorem 1 predicts a violation for {kind}");
+    }
+
+    println!("============================================================");
+    let report = explore(CoordinatorKind::PrAny(SelectionPolicy::PaperStrict));
+    println!(
+        "PrAny: {} states explored, {} terminal states, {} violations",
+        report.states_explored,
+        report.terminal_states,
+        report.counterexamples.len()
+    );
+    assert!(report.clean(), "Theorem 3: PrAny must be atomic: {report}");
+
+    println!("============================================================");
+    let report = explore(CoordinatorKind::C2pc(ProtocolKind::PrN));
+    println!(
+        "C2PC: {} violations, but max terminal protocol-table size = {}",
+        report.counterexamples.len(),
+        report.max_terminal_table
+    );
+    assert!(report.clean());
+    assert!(
+        report.max_terminal_table > 0,
+        "Theorem 2: some transaction is remembered forever"
+    );
+    println!(
+        "C2PC is functionally correct yet operationally broken: \
+         it reaches quiescent states still remembering terminated transactions."
+    );
+}

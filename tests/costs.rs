@@ -1,0 +1,193 @@
+//! Experiment E8 — the cost table: forced writes, log records and
+//! messages per protocol × outcome × population.
+//!
+//! The analytic model (`acp_core::cost::predict`) and the measured
+//! execution must agree *record for record* in failure-free runs. This
+//! pins down every protocol's logging discipline — any accidental extra
+//! force would show up here.
+
+mod common;
+
+use common::*;
+use presumed_any::prelude::*;
+
+const T: TxnId = TxnId(1);
+
+/// Run one transaction and compare measured vs. predicted costs.
+fn check_costs(kind: CoordinatorKind, outcome: Outcome, pop: Population) {
+    let protos: Vec<ProtocolKind> = pop.entries().iter().map(|e| e.protocol).collect();
+    let mut s = Scenario::new(kind, &protos);
+    s.add_txn(T, SimTime::from_millis(1));
+    if outcome == Outcome::Abort {
+        // Client abort while all votes are in flight: every participant
+        // is prepared — the model's abort situation.
+        s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
+    }
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], outcome, "{kind} {outcome} {pop:?}");
+    assert_fully_correct(&out);
+
+    let predicted = predict(kind, outcome, pop);
+    let coord_costs = out.coordinator_costs[&T];
+    assert_eq!(
+        coord_costs.forced_writes, predicted.coord_forces,
+        "{kind} {outcome} {pop:?}: coordinator forces"
+    );
+    assert_eq!(
+        coord_costs.log_records, predicted.coord_records,
+        "{kind} {outcome} {pop:?}: coordinator records"
+    );
+
+    let mut part_forces = 0;
+    let mut part_records = 0;
+    for ((_, t), c) in &out.participant_costs {
+        if *t == T {
+            part_forces += c.forced_writes;
+            part_records += c.log_records;
+        }
+    }
+    assert_eq!(
+        part_forces, predicted.part_forces,
+        "{kind} {outcome} {pop:?}: participant forces"
+    );
+    assert_eq!(
+        part_records, predicted.part_records,
+        "{kind} {outcome} {pop:?}: participant records"
+    );
+
+    let total = out.total_costs(T);
+    assert_eq!(
+        total.messages(),
+        predicted.messages,
+        "{kind} {outcome} {pop:?}: messages"
+    );
+}
+
+#[test]
+fn e8_homogeneous_populations_all_protocols_both_outcomes() {
+    for (proto, pop) in [
+        (ProtocolKind::PrN, Population::new(2, 0, 0)),
+        (ProtocolKind::PrA, Population::new(0, 2, 0)),
+        (ProtocolKind::PrC, Population::new(0, 0, 2)),
+        (ProtocolKind::PrN, Population::new(4, 0, 0)),
+        (ProtocolKind::PrA, Population::new(0, 4, 0)),
+        (ProtocolKind::PrC, Population::new(0, 0, 4)),
+    ] {
+        for outcome in [Outcome::Commit, Outcome::Abort] {
+            check_costs(CoordinatorKind::Single(proto), outcome, pop);
+        }
+    }
+}
+
+#[test]
+fn e8_prany_mixed_populations() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    for pop in [
+        Population::new(1, 1, 1),
+        Population::new(0, 1, 1),
+        Population::new(1, 1, 0),
+        Population::new(1, 0, 1),
+        Population::new(2, 2, 2),
+    ] {
+        for outcome in [Outcome::Commit, Outcome::Abort] {
+            check_costs(kind, outcome, pop);
+        }
+    }
+}
+
+#[test]
+fn e8_prany_homogeneous_collapses_to_native_costs() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    for pop in [
+        Population::new(3, 0, 0),
+        Population::new(0, 3, 0),
+        Population::new(0, 0, 3),
+    ] {
+        for outcome in [Outcome::Commit, Outcome::Abort] {
+            check_costs(kind, outcome, pop);
+        }
+    }
+}
+
+#[test]
+fn e8_optimized_policy_costs() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::Optimized);
+    for pop in [
+        Population::new(1, 1, 0),
+        Population::new(1, 1, 1),
+        Population::new(2, 1, 0),
+    ] {
+        for outcome in [Outcome::Commit, Outcome::Abort] {
+            check_costs(kind, outcome, pop);
+        }
+    }
+}
+
+#[test]
+fn e8_headline_comparison_prc_cheapest_commit_pra_cheapest_abort() {
+    // The ordering argument behind the paper's §1 and the authors'
+    // companion ICDE'97 paper: for commits PrC saves the participants'
+    // decision forces and the ack round; for aborts PrA saves
+    // everything at the coordinator.
+    let n = Population::new(0, 3, 0);
+    let c = Population::new(0, 0, 3);
+    let prn = Population::new(3, 0, 0);
+
+    let commit_prn = predict(
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        Outcome::Commit,
+        prn,
+    );
+    let commit_pra = predict(
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        Outcome::Commit,
+        n,
+    );
+    let commit_prc = predict(
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        Outcome::Commit,
+        c,
+    );
+    assert!(commit_prc.total_forces() < commit_pra.total_forces());
+    assert!(commit_prc.messages < commit_pra.messages);
+    assert!(commit_pra.total_forces() <= commit_prn.total_forces());
+
+    let abort_prn = predict(
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        Outcome::Abort,
+        prn,
+    );
+    let abort_pra = predict(
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        Outcome::Abort,
+        n,
+    );
+    let abort_prc = predict(
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        Outcome::Abort,
+        c,
+    );
+    assert!(abort_pra.total_forces() < abort_prc.total_forces());
+    assert!(abort_pra.messages < abort_prn.messages);
+    assert!(abort_prc.total_forces() <= abort_prn.total_forces());
+}
+
+#[test]
+fn e8_read_only_participants_reduce_measured_costs() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let protos = [ProtocolKind::PrA, ProtocolKind::PrC];
+
+    let mut s = Scenario::new(kind, &protos);
+    s.add_txn(T, SimTime::from_millis(1));
+    let full = run_scenario(&s).total_costs(T);
+
+    let mut s = Scenario::new(kind, &protos);
+    s.add_txn_with_vote(T, SimTime::from_millis(1), site(1), Vote::ReadOnly);
+    let out = run_scenario(&s);
+    assert_fully_correct(&out);
+    let reduced = out.total_costs(T);
+
+    assert!(reduced.forced_writes < full.forced_writes);
+    assert!(reduced.messages() < full.messages());
+    assert!(reduced.log_records < full.log_records);
+}

@@ -1,0 +1,293 @@
+//! Experiments E1–E4: reproduce the exact message and log-write
+//! schedules of the paper's protocol figures.
+//!
+//! * Figure 2 — basic 2PC / presumed nothing (E1)
+//! * Figure 3 — presumed abort (E2)
+//! * Figure 4 — presumed commit (E3)
+//! * Figure 1 — Presumed Any with a PrA and a PrC participant (E4)
+//!
+//! Each test runs the full protocol stack under the deterministic
+//! simulator and asserts the schedule of forced/non-forced log writes at
+//! every site and the message counts per round. The only systematic
+//! deviation from the figures — the non-forced end record we write as a
+//! GC marker whenever a transaction logged anything — is called out in
+//! DESIGN.md and asserted explicitly here.
+
+mod common;
+
+use common::*;
+use presumed_any::prelude::*;
+
+const T: TxnId = TxnId(1);
+
+// ---------------------------------------------------------------------
+// Figure 2: PrN (E1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn e1_fig2_prn_commit_schedule() {
+    let s = one_txn(
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        &[ProtocolKind::PrN; 2],
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Commit);
+    assert_fully_correct(&out);
+
+    // Coordinator: "Force Write Decision Record" … "Write non-forced End
+    // Record".
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:commit", "write:end"]
+    );
+    // Each participant: "Force Write Prepared Record" … "Force Write
+    // Decision Record" (+ our GC marker).
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "force:part-commit", "write:part-end"],
+            "{p}"
+        );
+    }
+    // Four message rounds of two messages each.
+    assert_eq!(sent_count(&out.trace, "prepare"), 2);
+    assert_eq!(sent_count(&out.trace, "vote"), 2);
+    assert_eq!(sent_count(&out.trace, "decision"), 2);
+    assert_eq!(sent_count(&out.trace, "ack"), 2);
+}
+
+#[test]
+fn e1_fig2_prn_abort_schedule() {
+    // Site 3 votes No; sites 1 and 2 are the figure's prepared
+    // participants receiving the abort.
+    let s = one_txn_abort(
+        CoordinatorKind::Single(ProtocolKind::PrN),
+        &[ProtocolKind::PrN; 3],
+        site(3),
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Abort);
+    assert_fully_correct(&out);
+
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:abort", "write:end"]
+    );
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "force:part-abort", "write:part-end"],
+            "{p}"
+        );
+    }
+    // The No-voter wrote nothing durable.
+    assert!(log_tags(&out.trace, site(3)).is_empty());
+    // PrN acks aborts: both prepared participants acknowledged.
+    assert_eq!(ack_senders(&out.trace), vec![site(1), site(2)]);
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: PrA (E2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn e2_fig3_pra_commit_schedule() {
+    let s = one_txn(
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        &[ProtocolKind::PrA; 2],
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Commit);
+    assert_fully_correct(&out);
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:commit", "write:end"]
+    );
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "force:part-commit", "write:part-end"]
+        );
+    }
+    assert_eq!(sent_count(&out.trace, "ack"), 2, "commits are acknowledged");
+}
+
+#[test]
+fn e2_fig3_pra_abort_schedule() {
+    let s = one_txn_abort(
+        CoordinatorKind::Single(ProtocolKind::PrA),
+        &[ProtocolKind::PrA; 3],
+        site(3),
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Abort);
+    assert_fully_correct(&out);
+
+    // "The coordinator of an aborted transaction does not have to write
+    // any log records or wait for acknowledgments."
+    assert!(log_tags(&out.trace, coord()).is_empty());
+    assert_eq!(sent_count(&out.trace, "ack"), 0);
+    // Participants write the abort record non-forced.
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "write:part-abort", "write:part-end"],
+            "{p}"
+        );
+    }
+    assert_eq!(out.coordinator_table_size, 0);
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: PrC (E3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn e3_fig4a_prc_commit_schedule() {
+    let s = one_txn(
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        &[ProtocolKind::PrC; 2],
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Commit);
+    assert_fully_correct(&out);
+
+    // "Force Write Initiation Record" … "Force Write Commit Record"
+    // (+ our GC marker, which the figure omits).
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:initiation", "force:commit", "write:end"]
+    );
+    // Participants: non-forced commit record, no acknowledgment.
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "write:part-commit", "write:part-end"]
+        );
+    }
+    assert_eq!(sent_count(&out.trace, "ack"), 0, "PrC commits need no acks");
+}
+
+#[test]
+fn e3_fig4b_prc_abort_schedule() {
+    let s = one_txn_abort(
+        CoordinatorKind::Single(ProtocolKind::PrC),
+        &[ProtocolKind::PrC; 3],
+        site(3),
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Abort);
+    assert_fully_correct(&out);
+
+    // No abort decision record — only the initiation record plus the end
+    // record after the acks.
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:initiation", "write:end"]
+    );
+    for p in [site(1), site(2)] {
+        assert_eq!(
+            log_tags(&out.trace, p),
+            vec!["force:prepared", "force:part-abort", "write:part-end"]
+        );
+    }
+    assert_eq!(
+        ack_senders(&out.trace),
+        vec![site(1), site(2)],
+        "aborts are acknowledged"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: PrAny (E4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn e4_fig1a_prany_commit_schedule() {
+    let s = one_txn(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Commit);
+    assert_fully_correct(&out);
+
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:initiation", "force:commit", "write:end"]
+    );
+    // PrA participant: forced commit record + ack (left lane of Fig. 1a).
+    assert_eq!(
+        log_tags(&out.trace, site(1)),
+        vec!["force:prepared", "force:part-commit", "write:part-end"]
+    );
+    // PrC participant: non-forced commit record, no ack (right lane).
+    assert_eq!(
+        log_tags(&out.trace, site(2)),
+        vec!["force:prepared", "write:part-commit", "write:part-end"]
+    );
+    assert_eq!(
+        ack_senders(&out.trace),
+        vec![site(1)],
+        "only the PrA participant acks"
+    );
+}
+
+#[test]
+fn e4_fig1b_prany_abort_schedule() {
+    // A third (PrN) participant votes No so that the PrA and PrC
+    // participants are both prepared when the abort arrives, exactly as
+    // in Figure 1(b).
+    let s = one_txn_abort(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC, ProtocolKind::PrN],
+        site(3),
+    );
+    let out = run_scenario(&s);
+    assert_eq!(out.decided[&T], Outcome::Abort);
+    assert_fully_correct(&out);
+
+    // No decision record for aborts.
+    assert_eq!(
+        log_tags(&out.trace, coord()),
+        vec!["force:initiation", "write:end"]
+    );
+    // PrA participant: non-forced abort record, no ack (left lane of
+    // Fig. 1b).
+    assert_eq!(
+        log_tags(&out.trace, site(1)),
+        vec!["force:prepared", "write:part-abort", "write:part-end"]
+    );
+    // PrC participant: forced abort record + ack (right lane).
+    assert_eq!(
+        log_tags(&out.trace, site(2)),
+        vec!["force:prepared", "force:part-abort", "write:part-end"]
+    );
+    assert_eq!(
+        ack_senders(&out.trace),
+        vec![site(2)],
+        "only the PrC participant acks"
+    );
+}
+
+#[test]
+fn e4_initiation_record_lists_participant_protocols() {
+    // §4.1: "The initiation record also includes the protocol used by
+    // each participant."
+    let s = one_txn(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    let out = run_scenario(&s);
+    let initiation = out
+        .trace
+        .notes_of(coord(), "force:initiation")
+        .next()
+        .expect("initiation note present");
+    // The note detail carries the txn; the protocols were checked in the
+    // engine unit tests — here we assert the record was the *first*
+    // thing the coordinator did.
+    let first_tag = &out.trace.tag_schedule(coord())[0];
+    assert_eq!(first_tag, "force:initiation");
+    let _ = initiation;
+}

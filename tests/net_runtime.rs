@@ -1,0 +1,153 @@
+//! End-to-end tests of the threaded actor runtime: real threads, real
+//! file-backed WALs, real (wall-clock) timeouts.
+
+use presumed_any::prelude::*;
+use std::time::Duration;
+
+fn mixed_cluster() -> ClusterConfig {
+    ClusterConfig::new(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC],
+    )
+}
+
+#[test]
+fn pipeline_of_transactions_commits_atomically() {
+    let mut cluster = Cluster::spawn(&mixed_cluster());
+    let parts = cluster.participants();
+    for i in 0..10u32 {
+        let txn = cluster.next_txn();
+        for &p in &parts {
+            cluster.apply(
+                p,
+                txn,
+                format!("key-{i}").as_bytes(),
+                format!("val-{i}").as_bytes(),
+            );
+        }
+        let outcome = cluster.commit(txn, &parts).expect("decision");
+        assert_eq!(outcome, Outcome::Commit, "txn {i}");
+    }
+    cluster.settle(Duration::from_millis(300));
+    let report = cluster.shutdown();
+    assert!(check_atomicity(&report.history).is_empty());
+    assert_eq!(report.coordinator_table_size, 0);
+    // All ten keys at every participant.
+    for s in report
+        .sites
+        .iter()
+        .filter(|s| s.site != Cluster::COORDINATOR)
+    {
+        assert_eq!(s.committed.len(), 10, "{}", s.site);
+    }
+}
+
+#[test]
+fn coordinator_crash_mid_flight_converges() {
+    let mut cluster = Cluster::spawn(&mixed_cluster());
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"k", b"v");
+    }
+    cluster.commit_async(txn, &parts);
+    cluster.crash(Cluster::COORDINATOR, Duration::from_millis(200));
+    cluster.settle(Duration::from_secs(3));
+    let report = cluster.shutdown();
+    let v = check_atomicity(&report.history);
+    assert!(v.is_empty(), "{v:?}");
+    // All participant data states agree.
+    let states: Vec<_> = report
+        .sites
+        .iter()
+        .filter(|s| s.site != Cluster::COORDINATOR)
+        .map(|s| s.committed.clone())
+        .collect();
+    assert!(states.windows(2).all(|w| w[0] == w[1]), "{states:?}");
+    assert_eq!(
+        report.coordinator_table_size, 0,
+        "recovered coordinator forgot everything"
+    );
+}
+
+#[test]
+fn lock_conflicts_surface_as_no_votes() {
+    let mut cluster = Cluster::spawn(&mixed_cluster());
+    let parts = cluster.participants();
+    // T1 writes a key at participant 1 and stalls (never committed yet);
+    // T2 touches the same key there → lock conflict → No vote → abort.
+    let t1 = cluster.next_txn();
+    cluster.apply(parts[0], t1, b"hot", b"t1");
+    let t2 = cluster.next_txn();
+    cluster.apply(parts[0], t2, b"hot", b"t2");
+    cluster.apply(parts[1], t2, b"cold", b"t2");
+    let outcome2 = cluster.commit(t2, &parts).expect("decision");
+    assert_eq!(
+        outcome2,
+        Outcome::Abort,
+        "conflicting transaction must abort"
+    );
+    // T1 can still commit afterwards.
+    let outcome1 = cluster.commit(t1, &parts).expect("decision");
+    assert_eq!(outcome1, Outcome::Commit);
+    cluster.settle(Duration::from_millis(300));
+    let report = cluster.shutdown();
+    assert!(check_atomicity(&report.history).is_empty());
+    for s in report.sites.iter().filter(|s| s.site == parts[0]) {
+        assert_eq!(
+            s.committed.get(b"hot".as_slice()).map(Vec::as_slice),
+            Some(b"t1".as_slice())
+        );
+    }
+}
+
+#[test]
+fn u2pc_violation_reproduces_on_real_threads() {
+    // Theorem 1 Part I on the wall clock: U2PC/PrN coordinator, PrA+PrC
+    // participants, PrC participant crashes through the decision window.
+    let config = ClusterConfig::new(
+        CoordinatorKind::U2pc(ProtocolKind::PrN),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    let mut cluster = Cluster::spawn(&config);
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"k", b"v");
+    }
+    // Crash the PrC participant immediately; the prepare may or may not
+    // land first, so retry the experiment a few times — the window is
+    // real time now.
+    let mut violated = false;
+    for attempt in 0..6 {
+        let txn = if attempt == 0 {
+            txn
+        } else {
+            let t = cluster.next_txn();
+            for &p in &parts {
+                cluster.apply(p, t, b"k2", b"v2");
+            }
+            t
+        };
+        cluster.commit_async(txn, &parts);
+        std::thread::sleep(Duration::from_millis(2));
+        cluster.crash(parts[1], Duration::from_millis(600));
+        cluster.settle(Duration::from_millis(1_800));
+        // Check the shared history so far via a throwaway clone at
+        // shutdown… we cannot shut down mid-loop, so only test at end.
+        let _ = txn;
+        if attempt == 5 {
+            break;
+        }
+    }
+    let report = cluster.shutdown();
+    if !check_atomicity(&report.history).is_empty() {
+        violated = true;
+    }
+    // The violation is timing-dependent on real threads; the window is
+    // wide (the PrC participant's commit record is non-forced, so any
+    // crash before its next force loses it), and across 6 attempts it
+    // fires with overwhelming probability. If this ever flakes, the deterministic reproductions
+    // in theorem1.rs and the model checker remain authoritative.
+    assert!(violated, "no violation observed across attempts");
+}

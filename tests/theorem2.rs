@@ -1,0 +1,146 @@
+//! Experiment E6 — Theorem 2: "It is impossible to achieve operational
+//! correctness if the coordinator is using C2PC and distributed
+//! transactions execute at both PrA and PrC participants."
+//!
+//! C2PC fixes U2PC's atomicity bug by never forgetting until *all*
+//! participants acknowledge — but PrC participants never acknowledge
+//! commits and PrA participants never acknowledge aborts, so terminated
+//! transactions pile up forever: the protocol table and the
+//! un-garbage-collectable log grow linearly with the workload, while
+//! PrAny stays flat.
+
+mod common;
+
+use common::*;
+use presumed_any::prelude::*;
+
+/// Run `n` all-yes transactions over [PrA, PrC] and return
+/// (table size, pinned-log txns, retained log records, retained bytes).
+fn run_n(kind: CoordinatorKind, n: usize, abort_all: bool) -> (usize, usize, usize, u64) {
+    let mut s = Scenario::new(kind, &[ProtocolKind::PrA, ProtocolKind::PrC]);
+    for i in 0..n {
+        let txn = TxnId::new(i as u64 + 1);
+        let at = SimTime::from_millis(1 + 5 * i as u64);
+        s.add_txn(txn, at);
+        if abort_all {
+            s.txns.last_mut().expect("spec").abort_at = Some(at + SimTime::from_micros(250));
+        }
+    }
+    let out = run_scenario(&s);
+    assert!(
+        check_atomicity(&out.history).is_empty(),
+        "C2PC stays atomic"
+    );
+    (
+        out.coordinator_table_size,
+        out.final_state
+            .log_pinned
+            .iter()
+            .filter(|(site, _)| *site == coord())
+            .count(),
+        out.coordinator_log_retained,
+        out.coordinator_log_retained_bytes,
+    )
+}
+
+#[test]
+fn c2pc_commits_are_remembered_forever() {
+    for n in [5, 10, 20] {
+        let (table, pinned, _, _) = run_n(CoordinatorKind::C2pc(ProtocolKind::PrN), n, false);
+        // Every committed transaction waits for the PrC participant's
+        // commit-ack that will never come.
+        assert_eq!(table, n, "n={n}");
+        assert_eq!(pinned, n, "n={n}");
+    }
+}
+
+#[test]
+fn c2pc_aborts_are_remembered_forever() {
+    for n in [5, 10] {
+        let (table, pinned, _, _) = run_n(CoordinatorKind::C2pc(ProtocolKind::PrC), n, true);
+        // Aborts wait for the PrA participant's abort-ack.
+        assert_eq!(table, n, "n={n}");
+        assert_eq!(pinned, n, "n={n}");
+    }
+}
+
+#[test]
+fn c2pc_log_grows_linearly_prany_stays_flat() {
+    let (_, _, c2pc_10, c2pc_bytes_10) = run_n(CoordinatorKind::C2pc(ProtocolKind::PrN), 10, false);
+    let (_, _, c2pc_40, c2pc_bytes_40) = run_n(CoordinatorKind::C2pc(ProtocolKind::PrN), 40, false);
+    assert!(
+        c2pc_40 >= 4 * c2pc_10 - 4,
+        "retained records must scale: {c2pc_10} -> {c2pc_40}"
+    );
+    assert!(c2pc_bytes_40 > 3 * c2pc_bytes_10);
+
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let (table_10, pinned_10, prany_10, _) = run_n(kind, 10, false);
+    let (table_40, pinned_40, prany_40, _) = run_n(kind, 40, false);
+    assert_eq!(table_10, 0);
+    assert_eq!(table_40, 0);
+    assert_eq!(pinned_10, 0);
+    assert_eq!(pinned_40, 0);
+    // PrAny's retained log does not scale with the workload (at most the
+    // unforced tail of the last transaction).
+    assert!(prany_10 <= 1 && prany_40 <= 1, "{prany_10} {prany_40}");
+}
+
+#[test]
+fn operational_checker_flags_c2pc_and_passes_prany() {
+    let mut s = Scenario::new(
+        CoordinatorKind::C2pc(ProtocolKind::PrN),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+    let out = run_scenario(&s);
+    let violations = check_operational(&out.history, &out.final_state);
+    assert!(
+        !violations.is_empty(),
+        "Definition 1 requirements 2/3 must fail for C2PC"
+    );
+
+    let mut s = Scenario::new(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+    let out = run_scenario(&s);
+    assert!(check_operational(&out.history, &out.final_state).is_empty());
+}
+
+#[test]
+fn c2pc_homogeneous_population_is_fine() {
+    // The impossibility needs *both* PrA and PrC participants; over a
+    // homogeneous PrN population C2PC behaves like PrN and forgets.
+    let mut s = Scenario::new(
+        CoordinatorKind::C2pc(ProtocolKind::PrN),
+        &[ProtocolKind::PrN; 2],
+    );
+    s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+    let out = run_scenario(&s);
+    assert_eq!(out.coordinator_table_size, 0);
+    assert!(check_operational(&out.history, &out.final_state).is_empty());
+}
+
+#[test]
+fn c2pc_survives_coordinator_crash_without_presuming() {
+    // The half of §3 that *works*: after a crash the C2PC coordinator
+    // answers inquiries from its force-logged decisions, so atomicity
+    // holds even though it can never forget.
+    let mut s = Scenario::new(
+        CoordinatorKind::C2pc(ProtocolKind::PrN),
+        &[ProtocolKind::PrA, ProtocolKind::PrC],
+    );
+    s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+    s.failures = FailureSchedule::single(
+        SiteId::new(0),
+        SimTime::from_micros(1_700),
+        SimTime::from_millis(100),
+    );
+    let out = run_scenario(&s);
+    assert!(check_atomicity(&out.history).is_empty());
+    // Both participants enforced the same outcome.
+    let outcomes: Vec<Outcome> = out.enforced.values().copied().collect();
+    assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "{outcomes:?}");
+}
