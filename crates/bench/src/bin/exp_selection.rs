@@ -6,7 +6,7 @@
 //! cargo run --release -p acp-bench --bin exp_selection
 //! ```
 
-use acp_bench::{row, sep};
+use acp_bench::{default_threads, parallel_map, row, sep};
 use acp_core::cost::{predict, Population};
 use acp_core::select_mode;
 use acp_types::{CommitMode, CoordinatorKind, Outcome, ParticipantEntry, SelectionPolicy, SiteId};
@@ -14,7 +14,11 @@ use acp_workload::PopulationMix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn distribution(mix: PopulationMix, policy: SelectionPolicy, label: &str, widths: &[usize]) {
+/// One table cell: the mode distribution for a (population, policy)
+/// pair. Each cell owns its RNG (fixed seed), so cells are independent
+/// and are fanned across the thread pool by `main`; the rendered row is
+/// identical to a serial run.
+fn distribution(mix: PopulationMix, policy: SelectionPolicy, label: &str, widths: &[usize]) -> String {
     let mut rng = StdRng::seed_from_u64(7);
     let mut counts = [0u32; 4]; // PrN, PrA, PrC, PrAny
     let trials = 20_000;
@@ -34,20 +38,17 @@ fn distribution(mix: PopulationMix, policy: SelectionPolicy, label: &str, widths
         }
     }
     let pct = |c: u32| format!("{:.1}%", 100.0 * f64::from(c) / f64::from(trials));
-    println!(
-        "{}",
-        row(
-            &[
-                label.to_string(),
-                policy.to_string(),
-                pct(counts[0]),
-                pct(counts[1]),
-                pct(counts[2]),
-                pct(counts[3]),
-            ],
-            widths
-        )
-    );
+    row(
+        &[
+            label.to_string(),
+            policy.to_string(),
+            pct(counts[0]),
+            pct(counts[1]),
+            pct(counts[2]),
+            pct(counts[3]),
+        ],
+        widths,
+    )
 }
 
 fn main() {
@@ -68,6 +69,7 @@ fn main() {
         )
     );
     println!("{}", sep(&widths));
+    let mut cells = Vec::new();
     for (mix, label) in [
         (PopulationMix::uniform(), "uniform"),
         (PopulationMix::mdbs(), "mdbs 40/40/20"),
@@ -81,8 +83,13 @@ fn main() {
         ),
     ] {
         for policy in [SelectionPolicy::PaperStrict, SelectionPolicy::Optimized] {
-            distribution(mix, policy, label, &widths);
+            cells.push((mix, policy, label));
         }
+    }
+    for line in parallel_map(cells, default_threads(), |(mix, policy, label)| {
+        distribution(mix, policy, label, &widths)
+    }) {
+        println!("{line}");
     }
 
     // Ablation: expected coordinator forces per commit for a PrN+PrA mix

@@ -7,7 +7,7 @@
 //! ```
 
 use acp_acta::check_atomicity;
-use acp_bench::{row, sep};
+use acp_bench::{default_threads, parallel_map, row, sep};
 use acp_check::{check, CheckConfig};
 use acp_core::harness::{run_scenario, Scenario};
 use acp_sim::{FailureSchedule, SimTime};
@@ -16,35 +16,40 @@ use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId, TxnId};
 const POP: [ProtocolKind; 2] = [ProtocolKind::PrA, ProtocolKind::PrC];
 
 /// Sweep a single participant crash through the decision window and
-/// count runs with atomicity violations.
+/// count runs with atomicity violations. The 104 sweep points are
+/// independent simulator runs, fanned across the thread pool; the
+/// violation count is order-insensitive, so output is unchanged.
 fn sweep(kind: CoordinatorKind) -> (u32, u32) {
-    let mut violations = 0;
-    let mut runs = 0;
+    let mut points = Vec::new();
     for crash_us in (1_100..2_400).step_by(50) {
         for victim in [SiteId::new(1), SiteId::new(2)] {
             for abort in [false, true] {
-                runs += 1;
-                let mut s = Scenario::new(kind, &POP);
-                s.add_txn(TxnId::new(1), SimTime::from_millis(1));
-                if abort {
-                    s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
-                }
-                s.failures = FailureSchedule::single(
-                    victim,
-                    SimTime::from_micros(crash_us),
-                    SimTime::from_millis(400),
-                );
-                let out = run_scenario(&s);
-                if !check_atomicity(&out.history).is_empty() {
-                    violations += 1;
-                }
+                points.push((crash_us, victim, abort));
             }
         }
     }
+    let runs = points.len() as u32;
+    let violations = parallel_map(points, default_threads(), |(crash_us, victim, abort)| {
+        let mut s = Scenario::new(kind, &POP);
+        s.add_txn(TxnId::new(1), SimTime::from_millis(1));
+        if abort {
+            s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
+        }
+        s.failures = FailureSchedule::single(
+            victim,
+            SimTime::from_micros(crash_us),
+            SimTime::from_millis(400),
+        );
+        let out = run_scenario(&s);
+        u32::from(!check_atomicity(&out.history).is_empty())
+    })
+    .into_iter()
+    .sum();
     (violations, runs)
 }
 
 fn main() {
+    let timing = std::env::args().any(|a| a == "--timing");
     let kinds = [
         CoordinatorKind::U2pc(ProtocolKind::PrN),
         CoordinatorKind::U2pc(ProtocolKind::PrA),
@@ -53,7 +58,8 @@ fn main() {
         CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
     ];
 
-    println!("E5 / Theorem 1 — atomicity of integrated coordinators over a PrA+PrC population\n");
+    println!("E5 / Theorem 1 — atomicity of integrated coordinators over a PrA+PrC population");
+    println!("(checker threads: {}; identical output at any count)\n", default_threads());
     let widths = [12, 22, 26, 22];
     println!(
         "{}",
@@ -97,5 +103,50 @@ fn main() {
     ));
     if let Some(cx) = report.counterexamples.first() {
         println!("{cx}");
+    }
+
+    // Optional: wall-clock comparison of the serial and parallel
+    // checker on a deeper bound (the EXPERIMENTS.md E5 timing column).
+    if timing {
+        println!("\nChecker wall-clock, crashes=2 bound (serial vs parallel):\n");
+        let twidths = [12, 14, 14, 14, 10];
+        println!(
+            "{}",
+            row(
+                &[
+                    "coordinator".into(),
+                    "states".into(),
+                    "1 thread".into(),
+                    format!("{} threads", default_threads()),
+                    "speedup".into(),
+                ],
+                &twidths
+            )
+        );
+        println!("{}", sep(&twidths));
+        for kind in kinds {
+            let mut config = CheckConfig::new(kind, &POP);
+            config.crashes = 2;
+            let t0 = std::time::Instant::now();
+            let serial = check(&config.clone().with_threads(1));
+            let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = std::time::Instant::now();
+            let parallel = check(&config);
+            let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(serial.to_string(), parallel.to_string(), "determinism");
+            println!(
+                "{}",
+                row(
+                    &[
+                        kind.to_string(),
+                        serial.states_explored.to_string(),
+                        format!("{serial_ms:.0} ms"),
+                        format!("{parallel_ms:.0} ms"),
+                        format!("{:.2}x", serial_ms / parallel_ms),
+                    ],
+                    &twidths
+                )
+            );
+        }
     }
 }

@@ -70,6 +70,72 @@ pub fn outcome_label(o: Outcome) -> &'static str {
     }
 }
 
+/// The machine's available parallelism (fallback 1).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output. Work is distributed dynamically through a
+/// work-stealing injector, but because each item carries its index and
+/// results are placed back by index, scheduling cannot affect the
+/// result — callers get exactly what the serial `map` would produce.
+///
+/// Experiment binaries use this to fan independent units (sweep points,
+/// campaign seeds, per-coordinator checks) across the pool without
+/// changing their printed output.
+///
+/// # Panics
+/// Propagates a panic from `f`.
+#[must_use]
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let injector = crossbeam::deque::Injector::new();
+    for pair in items.into_iter().enumerate() {
+        injector.push(pair);
+    }
+    let f = &f;
+    let indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                let injector = &injector;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        match injector.steal() {
+                            crossbeam::deque::Steal::Success((i, item)) => out.push((i, f(item))),
+                            crossbeam::deque::Steal::Empty => break,
+                            crossbeam::deque::Steal::Retry => {}
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, u) in indexed {
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +152,14 @@ mod tests {
         let r = row(&["a".into(), "bb".into()], &[3, 3]);
         assert_eq!(r, "| a   | bb  |");
         assert_eq!(sep(&[3, 3]), "|-----|-----|");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 4, 7] {
+            assert_eq!(parallel_map(items.clone(), threads, |x| x * x), serial);
+        }
     }
 }

@@ -1,4 +1,33 @@
-//! The bounded DFS.
+//! The bounded exploration: a level-synchronized parallel BFS with
+//! work-stealing distribution.
+//!
+//! # Why this shape
+//!
+//! The checker's output must be **bit-for-bit identical for every
+//! thread count** — the experiments print report fields and diff them,
+//! and a nondeterministic checker is useless as evidence. A naive
+//! shared-stack parallel DFS breaks that: state fingerprints exclude
+//! the history/trail, so *which* representative path survives
+//! deduplication depends on which worker wins the race into the `seen`
+//! set.
+//!
+//! Instead the exploration proceeds in BFS levels:
+//!
+//! 1. The current frontier (all states at the same depth, already
+//!    deduplicated) is split into fixed index-ordered chunks.
+//! 2. Chunks are pushed into a [`crossbeam::deque::Injector`] and
+//!    workers steal them — dynamic load balancing, but *which worker*
+//!    processes a chunk cannot affect its result. During this phase the
+//!    `seen` set is read-only (a concurrent `contains` pre-filter
+//!    discards most duplicate successors cheaply).
+//! 3. Per-chunk outcomes are merged serially in chunk-index order; the
+//!    merge performs the authoritative `seen.insert` and builds the
+//!    next frontier. Duplicate fingerprints that race within a level
+//!    are therefore resolved in a scheduling-independent order.
+//!
+//! `threads = 1` runs the identical code path inline, so the serial
+//! report is the definition of correct, and BFS order means reported
+//! counterexample trails are shortest witnesses.
 
 use crate::report::{CheckReport, Counterexample};
 use crate::state::{ArmedTimer, CheckState, COORD};
@@ -6,7 +35,9 @@ use acp_acta::check_atomicity;
 use acp_core::{Coordinator, Participant};
 use acp_types::{CoordinatorKind, ProtocolKind, SiteId, TxnId, Vote};
 use acp_wal::MemLog;
-use std::collections::HashSet;
+use crossbeam::deque::{Injector, Steal};
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// What to explore.
 #[derive(Clone, Debug)]
@@ -25,6 +56,17 @@ pub struct CheckConfig {
     pub timer_fires: u8,
     /// State-count safety valve.
     pub max_states: usize,
+    /// Worker threads for the exploration. `0` (the default) uses the
+    /// machine's available parallelism; `1` runs fully inline. The
+    /// report is identical for every value — parallelism only changes
+    /// wall-clock time.
+    pub threads: usize,
+    /// Fingerprint-collision guard: store the full canonical rendering
+    /// of every state behind its 64-bit fingerprint and panic if two
+    /// distinct states ever hash alike. Roughly doubles memory and adds
+    /// a rendering per state — a debugging/validation mode, off by
+    /// default.
+    pub paranoid_fingerprints: bool,
 }
 
 impl CheckConfig {
@@ -41,6 +83,25 @@ impl CheckConfig {
             drops: 1,
             timer_fires: 2,
             max_states: 2_000_000,
+            threads: 0,
+            paranoid_fingerprints: false,
+        }
+    }
+
+    /// The same configuration pinned to `threads` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Worker count after resolving `0` to the machine's parallelism.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
         }
     }
 }
@@ -62,20 +123,10 @@ fn initial_state(config: &CheckConfig) -> CheckState {
         parts.insert(site, p);
         sites.push(site);
     }
-    let mut state = CheckState {
-        coord,
-        parts,
-        in_flight: Vec::new(),
-        timers: std::collections::BTreeSet::new(),
-        crashes_left: config.crashes,
-        drops_left: config.drops,
-        timers_left: config.timer_fires,
-        history: acp_acta::History::new(),
-        trail: Vec::new(),
-    };
+    let mut state = CheckState::new(coord, parts, config.crashes, config.drops, config.timer_fires);
     let actions = state.coord.begin_commit(TXN, &sites);
     state.absorb(COORD, actions);
-    state.trail.push("begin commit".into());
+    state.trail.push("begin commit");
     state
 }
 
@@ -163,30 +214,140 @@ fn successors(state: &CheckState) -> Vec<CheckState> {
     next
 }
 
-/// Run the bounded exploration.
-#[must_use]
-pub fn check(config: &CheckConfig) -> CheckReport {
-    let mut report = CheckReport::default();
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut stack = vec![initial_state(config)];
-    seen.insert(stack[0].fingerprint());
+/// Shard count for the concurrent `seen` set. Power of two, sized so
+/// that even 16 workers rarely contend on a shard's lock.
+const SEEN_SHARDS: usize = 64;
 
-    while let Some(state) = stack.pop() {
-        report.states_explored += 1;
-        if report.states_explored >= config.max_states {
-            report.truncated = true;
-            break;
+/// Concurrent set of visited fingerprints, sharded by low hash bits.
+///
+/// Locking discipline: workers only ever call [`SeenSet::contains`]
+/// (read locks) while a level is being expanded; [`SeenSet::insert`]
+/// (write locks) happens only in the single-threaded merge between
+/// levels. The `RwLock`s are thus never write-contended.
+enum SeenSet {
+    /// Production mode: fingerprints only.
+    Fast(Vec<RwLock<HashSet<u64>>>),
+    /// Collision-guard mode: the full canonical state rendering is kept
+    /// behind every fingerprint and compared on every hit.
+    Paranoid(Vec<RwLock<HashMap<u64, String>>>),
+}
+
+impl SeenSet {
+    fn new(paranoid: bool) -> Self {
+        if paranoid {
+            SeenSet::Paranoid((0..SEEN_SHARDS).map(|_| RwLock::default()).collect())
+        } else {
+            SeenSet::Fast((0..SEEN_SHARDS).map(|_| RwLock::default()).collect())
         }
+    }
 
+    fn shard(fp: u64) -> usize {
+        (fp % SEEN_SHARDS as u64) as usize
+    }
+
+    /// Is `fp` already recorded? In paranoid mode, `canonical` must be
+    /// the state's canonical rendering and a hit with a *different*
+    /// stored rendering panics: a real 64-bit collision.
+    fn contains(&self, fp: u64, canonical: Option<&str>) -> bool {
+        match self {
+            SeenSet::Fast(shards) => shards[Self::shard(fp)]
+                .read()
+                .expect("seen shard poisoned")
+                .contains(&fp),
+            SeenSet::Paranoid(shards) => {
+                match shards[Self::shard(fp)]
+                    .read()
+                    .expect("seen shard poisoned")
+                    .get(&fp)
+                {
+                    None => false,
+                    Some(stored) => {
+                        Self::guard(fp, stored, canonical);
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record `fp`; returns `true` if it was new. Same paranoid
+    /// semantics as [`SeenSet::contains`].
+    fn insert(&self, fp: u64, canonical: Option<&str>) -> bool {
+        match self {
+            SeenSet::Fast(shards) => shards[Self::shard(fp)]
+                .write()
+                .expect("seen shard poisoned")
+                .insert(fp),
+            SeenSet::Paranoid(shards) => {
+                let mut shard = shards[Self::shard(fp)]
+                    .write()
+                    .expect("seen shard poisoned");
+                if let Some(stored) = shard.get(&fp) {
+                    Self::guard(fp, stored, canonical);
+                    false
+                } else {
+                    let c = canonical.expect("paranoid insert without canonical state");
+                    shard.insert(fp, c.to_string());
+                    true
+                }
+            }
+        }
+    }
+
+    fn guard(fp: u64, stored: &str, canonical: Option<&str>) {
+        let c = canonical.expect("paranoid lookup without canonical state");
+        assert_eq!(
+            stored, c,
+            "64-bit fingerprint collision: two distinct states hash to {fp:#x}"
+        );
+    }
+}
+
+/// What one worker produced from one frontier chunk. Everything needed
+/// to continue is carried here so the merge can stay single-threaded
+/// and deterministic.
+struct ChunkOutcome {
+    /// Index of the chunk in the frontier (merge order key).
+    idx: usize,
+    counterexamples: Vec<Counterexample>,
+    terminal_states: usize,
+    max_terminal_table: usize,
+    fully_forgotten: usize,
+    /// Sealed successors that passed the read-only `seen` pre-filter,
+    /// paired with their canonical rendering in paranoid mode.
+    candidates: Vec<(CheckState, Option<String>)>,
+}
+
+/// Expand one chunk of frontier states. Pure with respect to shared
+/// state (reads `seen`, never writes), so its result depends only on
+/// the chunk — not on scheduling.
+fn process_chunk(
+    idx: usize,
+    chunk: &[CheckState],
+    seen: &SeenSet,
+    paranoid: bool,
+) -> ChunkOutcome {
+    let mut out = ChunkOutcome {
+        idx,
+        counterexamples: Vec::new(),
+        terminal_states: 0,
+        max_terminal_table: 0,
+        fully_forgotten: 0,
+        candidates: Vec::new(),
+    };
+    for state in chunk {
         // Invariant check at every state (not only terminal ones): a
         // violation may be transient if later moves "fix" the history.
         let violations = check_atomicity(&state.history);
         if !violations.is_empty() {
+            let trail = state.trail.to_vec();
+            let history = state.history.to_string();
             for v in violations {
-                report.counterexamples.push(Counterexample {
+                out.counterexamples.push(Counterexample {
                     violation: v,
-                    trail: state.trail.clone(),
-                    history: state.history.to_string(),
+                    trail: trail.clone(),
+                    history: history.clone(),
+                    count: 1,
                 });
             }
             // Do not expand a violating state further: one witness per
@@ -194,22 +355,154 @@ pub fn check(config: &CheckConfig) -> CheckReport {
             continue;
         }
 
-        let succ = successors(&state);
         if state.is_terminal() {
-            report.terminal_states += 1;
+            out.terminal_states += 1;
             let table = state.coord.protocol_table_size();
-            report.max_terminal_table = report.max_terminal_table.max(table);
+            out.max_terminal_table = out.max_terminal_table.max(table);
             if table == 0 {
-                report.terminal_states_fully_forgotten += 1;
+                out.fully_forgotten += 1;
             }
         }
-        for s in succ {
-            if seen.insert(s.fingerprint()) {
-                stack.push(s);
+
+        for mut s in successors(state) {
+            s.seal();
+            let canonical = if paranoid {
+                Some(s.canonical_state())
+            } else {
+                None
+            };
+            if !seen.contains(s.fingerprint(), canonical.as_deref()) {
+                out.candidates.push((s, canonical));
             }
         }
     }
+    out
+}
+
+/// Frontiers below this size are expanded inline even when a thread
+/// pool is available: the fork/join overhead dwarfs the work.
+const MIN_PARALLEL_FRONTIER: usize = 256;
+
+fn chunk_size(frontier: usize, threads: usize) -> usize {
+    // ~4 chunks per worker for load balance, clamped so tiny chunks
+    // don't drown in stealing overhead and huge ones don't straggle.
+    (frontier / (threads * 4)).clamp(8, 512)
+}
+
+/// Run the bounded exploration.
+///
+/// # Panics
+/// In paranoid-fingerprint mode, panics if a 64-bit fingerprint
+/// collision is detected (never observed; the guard exists to make
+/// "the hash is trustworthy" an assertion instead of a hope).
+#[must_use]
+pub fn check(config: &CheckConfig) -> CheckReport {
+    let threads = config.effective_threads();
+    let paranoid = config.paranoid_fingerprints;
+    let seen = SeenSet::new(paranoid);
+    let mut report = CheckReport::default();
+
+    let mut init = initial_state(config);
+    init.seal();
+    let canonical = if paranoid {
+        Some(init.canonical_state())
+    } else {
+        None
+    };
+    seen.insert(init.fingerprint(), canonical.as_deref());
+    let mut frontier = vec![init];
+
+    while !frontier.is_empty() {
+        // Deterministic truncation: the budget cuts the frontier at a
+        // fixed index, never mid-chunk at a scheduling-dependent point.
+        let budget = config.max_states.saturating_sub(report.states_explored);
+        if frontier.len() >= budget {
+            frontier.truncate(budget);
+            report.truncated = true;
+        }
+        report.states_explored += frontier.len();
+
+        let outcomes = expand_level(&frontier, &seen, threads, paranoid);
+
+        // Serial merge in chunk-index order: the only writes to `seen`
+        // and the only place the next frontier is assembled, so both
+        // are independent of worker scheduling.
+        let mut next = Vec::new();
+        for out in outcomes {
+            report.terminal_states += out.terminal_states;
+            report.terminal_states_fully_forgotten += out.fully_forgotten;
+            report.max_terminal_table = report.max_terminal_table.max(out.max_terminal_table);
+            report.counterexamples.extend(out.counterexamples);
+            for (state, canonical) in out.candidates {
+                if seen.insert(state.fingerprint(), canonical.as_deref()) {
+                    next.push(state);
+                }
+            }
+        }
+
+        if report.truncated {
+            break;
+        }
+        frontier = next;
+    }
+
+    report.canonicalize();
     report
+}
+
+/// Expand every state in `frontier`, returning per-chunk outcomes
+/// sorted by chunk index.
+fn expand_level(
+    frontier: &[CheckState],
+    seen: &SeenSet,
+    threads: usize,
+    paranoid: bool,
+) -> Vec<ChunkOutcome> {
+    if threads <= 1 || frontier.len() < MIN_PARALLEL_FRONTIER {
+        return frontier
+            .chunks(chunk_size(frontier.len().max(1), threads.max(1)))
+            .enumerate()
+            .map(|(i, c)| process_chunk(i, c, seen, paranoid))
+            .collect();
+    }
+
+    let injector: Injector<(usize, &[CheckState])> = Injector::new();
+    let mut n_chunks = 0;
+    for (i, c) in frontier
+        .chunks(chunk_size(frontier.len(), threads))
+        .enumerate()
+    {
+        injector.push((i, c));
+        n_chunks += 1;
+    }
+
+    let workers = threads.min(n_chunks);
+    let mut outcomes: Vec<ChunkOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let injector = &injector;
+                scope.spawn(move || {
+                    let mut outs = Vec::new();
+                    loop {
+                        match injector.steal() {
+                            Steal::Success((i, chunk)) => {
+                                outs.push(process_chunk(i, chunk, seen, paranoid));
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => {}
+                        }
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("checker worker panicked"))
+            .collect()
+    });
+    outcomes.sort_unstable_by_key(|o| o.idx);
+    outcomes
 }
 
 #[cfg(test)]
@@ -267,5 +560,29 @@ mod tests {
             report.max_terminal_table > 0,
             "some terminal state must still remember the transaction: {report}"
         );
+    }
+
+    #[test]
+    fn paranoid_fingerprints_find_no_collisions() {
+        let mut config = CheckConfig::new(
+            CoordinatorKind::U2pc(ProtocolKind::PrC),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        );
+        config.paranoid_fingerprints = true;
+        // Panics inside check() if any two distinct states collide.
+        let report = check(&config);
+        assert!(report.states_explored > 1000);
+    }
+
+    #[test]
+    fn seen_set_paranoid_mode_detects_a_planted_collision() {
+        let seen = SeenSet::new(true);
+        assert!(seen.insert(42, Some("state A")));
+        // Same fingerprint, same canonical state: an ordinary duplicate.
+        assert!(!seen.insert(42, Some("state A")));
+        assert!(seen.contains(42, Some("state A")));
+        // Same fingerprint, different canonical state: a collision.
+        let boom = std::panic::catch_unwind(|| seen.insert(42, Some("state B")));
+        assert!(boom.is_err(), "planted collision must be caught");
     }
 }

@@ -1,8 +1,12 @@
 //! # acp-check
 //!
-//! A bounded model checker for the commit protocols: exhaustive DFS over
-//! message deliveries, message drops, crash/recover points and timer
-//! firings for small configurations.
+//! A bounded model checker for the commit protocols: exhaustive
+//! breadth-first exploration over message deliveries, message drops,
+//! crash/recover points and timer firings for small configurations.
+//! The exploration is parallel (level-synchronized BFS with
+//! work-stealing chunk distribution — see [`explore`]) yet produces a
+//! report that is identical for every thread count, so experiment
+//! output stays diffable.
 //!
 //! The paper's Theorem 1 is an existence proof ("it is possible for …");
 //! this checker turns it into a *search*: given a coordinator kind, a
@@ -26,4 +30,4 @@ pub mod state;
 
 pub use explore::{check, CheckConfig};
 pub use report::{CheckReport, Counterexample};
-pub use state::CheckState;
+pub use state::{CheckState, Trail};

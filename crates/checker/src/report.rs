@@ -12,11 +12,20 @@ pub struct Counterexample {
     pub trail: Vec<String>,
     /// The ACTA history of the branch, rendered.
     pub history: String,
+    /// How many explored interleavings reach this same violation with
+    /// this same history (the trail shown is one representative — the
+    /// lexicographically smallest, which under BFS is also a shortest
+    /// one).
+    pub count: usize,
 }
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "VIOLATION: {}", self.violation)?;
+        write!(f, "VIOLATION: {}", self.violation)?;
+        if self.count > 1 {
+            write!(f, " ({} equivalent interleavings)", self.count)?;
+        }
+        writeln!(f)?;
         writeln!(f, "trail:")?;
         for (i, step) in self.trail.iter().enumerate() {
             writeln!(f, "  {i:>3}. {step}")?;
@@ -34,6 +43,7 @@ pub struct CheckReport {
     /// Terminal (quiescent) states reached.
     pub terminal_states: usize,
     /// Atomicity violations found (empty = bounded-exhaustive pass).
+    /// Deduplicated by (violation, history); see [`Counterexample::count`].
     pub counterexamples: Vec<Counterexample>,
     /// Whether the exploration stopped early on `max_states`.
     pub truncated: bool,
@@ -50,6 +60,49 @@ impl CheckReport {
     #[must_use]
     pub fn clean(&self) -> bool {
         self.counterexamples.is_empty()
+    }
+
+    /// Total violating interleavings explored (sum of per-entry counts).
+    #[must_use]
+    pub fn violation_interleavings(&self) -> usize {
+        self.counterexamples.iter().map(|cx| cx.count).sum()
+    }
+
+    /// Put the report in canonical form: merge counterexamples that
+    /// report the same violation on the same history (keeping the
+    /// lexicographically smallest trail as the representative and
+    /// summing counts), then sort by trail. After this, two reports of
+    /// the same exploration compare equal field-for-field regardless of
+    /// how many threads produced them or in what order states were
+    /// popped.
+    pub fn canonicalize(&mut self) {
+        // Group duplicates: sort so equal (violation, history) pairs are
+        // adjacent, smallest trail first.
+        self.counterexamples.sort_unstable_by(|a, b| {
+            (a.violation.txn, &a.violation.detail, &a.history, &a.trail).cmp(&(
+                b.violation.txn,
+                &b.violation.detail,
+                &b.history,
+                &b.trail,
+            ))
+        });
+        let mut merged: Vec<Counterexample> = Vec::new();
+        for cx in self.counterexamples.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.violation == cx.violation && last.history == cx.history => {
+                    last.count += cx.count;
+                }
+                _ => merged.push(cx),
+            }
+        }
+        merged.sort_unstable_by(|a, b| {
+            (&a.trail, a.violation.txn, &a.violation.detail).cmp(&(
+                &b.trail,
+                b.violation.txn,
+                &b.violation.detail,
+            ))
+        });
+        self.counterexamples = merged;
     }
 }
 
@@ -79,19 +132,24 @@ mod tests {
     use super::*;
     use acp_types::TxnId;
 
+    fn cx(detail: &str, trail: &[&str], history: &str) -> Counterexample {
+        Counterexample {
+            violation: AtomicityViolation {
+                txn: TxnId::new(1),
+                detail: detail.into(),
+            },
+            trail: trail.iter().map(|s| (*s).to_string()).collect(),
+            history: history.into(),
+            count: 1,
+        }
+    }
+
     #[test]
     fn display_renders_counterexample() {
         let report = CheckReport {
             states_explored: 10,
             terminal_states: 2,
-            counterexamples: vec![Counterexample {
-                violation: AtomicityViolation {
-                    txn: TxnId::new(1),
-                    detail: "boom".into(),
-                },
-                trail: vec!["deliver x".into()],
-                history: "0: Decide(...)\n".into(),
-            }],
+            counterexamples: vec![cx("boom", &["deliver x"], "0: Decide(...)\n")],
             ..Default::default()
         };
         let s = report.to_string();
@@ -99,5 +157,26 @@ mod tests {
         assert!(s.contains("boom"));
         assert!(s.contains("deliver x"));
         assert!(!report.clean());
+    }
+
+    #[test]
+    fn canonicalize_merges_equivalent_counterexamples_and_sorts_by_trail() {
+        let mut report = CheckReport {
+            counterexamples: vec![
+                cx("boom", &["b", "z"], "h1"),
+                cx("other", &["a"], "h2"),
+                cx("boom", &["b", "a"], "h1"),
+            ],
+            ..Default::default()
+        };
+        report.canonicalize();
+        assert_eq!(report.counterexamples.len(), 2);
+        // Sorted by trail: ["a"] before ["b", "a"].
+        assert_eq!(report.counterexamples[0].trail, vec!["a"]);
+        assert_eq!(report.counterexamples[0].count, 1);
+        // The two "boom"/"h1" entries merged, smallest trail kept.
+        assert_eq!(report.counterexamples[1].trail, vec!["b", "a"]);
+        assert_eq!(report.counterexamples[1].count, 2);
+        assert_eq!(report.violation_interleavings(), 3);
     }
 }

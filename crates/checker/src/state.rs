@@ -6,7 +6,9 @@ use acp_types::{Message, Payload, SiteId, TxnId};
 use acp_wal::MemLog;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The coordinator's site in every checked configuration.
 pub const COORD: SiteId = SiteId(0);
@@ -22,8 +24,77 @@ pub struct ArmedTimer {
     pub purpose: TimerPurpose,
 }
 
+/// The move trail of a state, as an `Arc`-linked parent chain.
+///
+/// Successor generation used to clone a `Vec<String>` per state — an
+/// O(depth) copy on the checker's hottest path. The cons list shares
+/// the whole prefix with the parent: extending it is one small
+/// allocation and an `Arc` bump, and the flat `Vec<String>` form is
+/// reconstructed lazily, only for the rare states that become
+/// counterexamples.
+#[derive(Clone, Default)]
+pub struct Trail(Option<Arc<TrailNode>>);
+
+struct TrailNode {
+    step: String,
+    prev: Option<Arc<TrailNode>>,
+}
+
+impl Trail {
+    /// The empty trail.
+    #[must_use]
+    pub fn new() -> Self {
+        Trail(None)
+    }
+
+    /// Append a step (O(1): the previous chain is shared, not copied).
+    pub fn push(&mut self, step: impl Into<String>) {
+        self.0 = Some(Arc::new(TrailNode {
+            step: step.into(),
+            prev: self.0.take(),
+        }));
+    }
+
+    /// Number of steps taken.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.0.as_deref();
+        while let Some(node) = cur {
+            n += 1;
+            cur = node.prev.as_deref();
+        }
+        n
+    }
+
+    /// Is the trail empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Reconstruct the oldest-first step list (O(depth); called only
+    /// when a counterexample is reported).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.0.as_deref();
+        while let Some(node) = cur {
+            out.push(node.step.clone());
+            cur = node.prev.as_deref();
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl std::fmt::Debug for Trail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.to_vec()).finish()
+    }
+}
+
 /// One complete system state of the bounded exploration.
-#[derive(Clone)]
 pub struct CheckState {
     /// The coordinator engine.
     pub coord: Coordinator<MemLog>,
@@ -43,11 +114,57 @@ pub struct CheckState {
     pub timers_left: u8,
     /// The ACTA history of this branch.
     pub history: History,
-    /// Human-readable move trail (for counterexample reporting).
-    pub trail: Vec<String>,
+    /// Move trail (for counterexample reporting).
+    pub trail: Trail,
+    /// Cached fingerprint, set by [`CheckState::seal`] once mutation is
+    /// done. `None` while a successor is still under construction.
+    pub(crate) fp: Option<u64>,
+}
+
+impl Clone for CheckState {
+    fn clone(&self) -> Self {
+        CheckState {
+            coord: self.coord.clone(),
+            parts: self.parts.clone(),
+            in_flight: self.in_flight.clone(),
+            timers: self.timers.clone(),
+            crashes_left: self.crashes_left,
+            drops_left: self.drops_left,
+            timers_left: self.timers_left,
+            history: self.history.clone(),
+            trail: self.trail.clone(),
+            // A clone exists to be mutated into a successor; its cached
+            // fingerprint is stale by construction.
+            fp: None,
+        }
+    }
 }
 
 impl CheckState {
+    /// A fresh, unsealed state: the given engines, empty network and
+    /// history, full failure budgets.
+    #[must_use]
+    pub fn new(
+        coord: Coordinator<MemLog>,
+        parts: BTreeMap<SiteId, Participant<MemLog>>,
+        crashes: u8,
+        drops: u8,
+        timer_fires: u8,
+    ) -> Self {
+        CheckState {
+            coord,
+            parts,
+            in_flight: Vec::new(),
+            timers: BTreeSet::new(),
+            crashes_left: crashes,
+            drops_left: drops,
+            timers_left: timer_fires,
+            history: History::new(),
+            trail: Trail::new(),
+            fp: None,
+        }
+    }
+
     /// Absorb a batch of engine actions at `site` into the state.
     pub fn absorb(&mut self, site: SiteId, actions: Vec<Action>) {
         for a in actions {
@@ -91,34 +208,94 @@ impl CheckState {
         self.timers.retain(|t| t.site != site);
     }
 
-    /// A 64-bit fingerprint of the semantic state, for deduplication.
-    /// The history and trail are deliberately excluded: two states with
-    /// identical machine/network state behave identically regardless of
-    /// how they were reached (violations are checked *before* dedup, so
-    /// none are missed).
+    /// Compute and cache the fingerprint. Must be called exactly when a
+    /// state's mutation is complete (successor construction does this);
+    /// after sealing, [`CheckState::fingerprint`] is a field read.
+    pub fn seal(&mut self) {
+        self.fp = Some(self.compute_fingerprint());
+    }
+
+    /// The 64-bit fingerprint of the semantic state, for deduplication.
+    ///
+    /// # Panics
+    /// If the state has not been [`CheckState::seal`]ed.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
+        self.fp.expect("CheckState::fingerprint before seal()")
+    }
+
+    /// Hash the semantic state. The history and trail are deliberately
+    /// excluded: two states with identical machine/network state behave
+    /// identically regardless of how they were reached (every frontier
+    /// state is checked for violations before its duplicates are
+    /// pruned, so none are missed).
+    ///
+    /// Everything is hashed directly — no string rendering, no
+    /// intermediate collections. The old implementation built the full
+    /// canonical `String` of every engine plus a per-link `BTreeMap`
+    /// just to feed a hasher; that was the dominant allocation cost of
+    /// the exploration.
+    fn compute_fingerprint(&self) -> u64 {
         let mut h = DefaultHasher::new();
-        self.coord.fingerprint().hash(&mut h);
+        self.coord.hash_state(&mut h);
         for (site, p) in &self.parts {
             site.hash(&mut h);
-            p.fingerprint().hash(&mut h);
+            p.hash_state(&mut h);
         }
         // In-flight messages: order only matters per link (FIFO), so
         // hash each link's queue separately in a canonical link order.
-        let mut links: BTreeMap<(SiteId, SiteId), Vec<String>> = BTreeMap::new();
-        for m in &self.in_flight {
-            links
-                .entry((m.from, m.to))
-                .or_default()
-                .push(m.payload.to_string());
+        let mut links: Vec<(SiteId, SiteId)> = self.in_flight.iter().map(|m| (m.from, m.to)).collect();
+        links.sort_unstable();
+        links.dedup();
+        for &(from, to) in &links {
+            (from, to).hash(&mut h);
+            for m in &self.in_flight {
+                if m.from == from && m.to == to {
+                    m.payload.hash(&mut h);
+                }
+            }
         }
-        links.hash(&mut h);
         for t in &self.timers {
             (t.site, t.token).hash(&mut h);
         }
         (self.crashes_left, self.drops_left, self.timers_left).hash(&mut h);
         h.finish()
+    }
+
+    /// The full canonical rendering of the semantic state — exactly the
+    /// information [`CheckState::fingerprint`] hashes, as a comparable
+    /// string. The paranoid fingerprint mode stores this behind each
+    /// 64-bit hash to prove no collision silently merged two distinct
+    /// states.
+    #[must_use]
+    pub fn canonical_state(&self) -> String {
+        let mut s = self.coord.fingerprint();
+        for (site, p) in &self.parts {
+            let _ = write!(s, "#{site}:{}", p.fingerprint());
+        }
+        s.push('#');
+        let mut links: Vec<(SiteId, SiteId)> = self.in_flight.iter().map(|m| (m.from, m.to)).collect();
+        links.sort_unstable();
+        links.dedup();
+        for &(from, to) in &links {
+            let _ = write!(s, "[{from}>{to}:");
+            for m in &self.in_flight {
+                if m.from == from && m.to == to {
+                    let _ = write!(s, "{},", m.payload);
+                }
+            }
+            s.push(']');
+        }
+        s.push('#');
+        for t in &self.timers {
+            let _ = write!(s, "{}:{};", t.site, t.token);
+        }
+        let _ = write!(
+            s,
+            "#c{}d{}t{}",
+            self.crashes_left, self.drops_left, self.timers_left
+        );
+        s
     }
 
     /// Is the state quiescent: nothing in flight and no armed timers
@@ -143,5 +320,24 @@ impl CheckState {
             Payload::Prepare { txn } => format!("{}→{} prepare {txn}", m.from, m.to),
             other => format!("{}→{} {other}", m.from, m.to),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Trail;
+
+    #[test]
+    fn trail_push_shares_prefix_and_reconstructs_in_order() {
+        let mut a = Trail::new();
+        assert!(a.is_empty());
+        a.push("one");
+        a.push("two");
+        let mut b = a.clone();
+        b.push("three");
+        assert_eq!(a.to_vec(), vec!["one", "two"]);
+        assert_eq!(b.to_vec(), vec!["one", "two", "three"]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
     }
 }

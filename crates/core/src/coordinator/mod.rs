@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const MAX_DECISION_RESENDS: u32 = 16;
 
 /// Volatile per-transaction coordinator state.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum Phase {
     /// Collecting votes.
     Voting {
@@ -240,6 +240,28 @@ impl<L: StableLog> Coordinator<L> {
             s.push_str(&format!("{tok}:{txn}:{p:?};"));
         }
         s
+    }
+
+    /// Hash the same semantic state as [`Coordinator::fingerprint`]
+    /// directly into `h`, without rendering strings or cloning the log.
+    /// This is the model checker's hot path: it runs once per explored
+    /// state, so it must not allocate.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.kind.hash(h);
+        for (txn, st) in &self.table {
+            txn.hash(h);
+            st.phase.hash(h);
+            st.plan.mode.hash(h);
+        }
+        0xA1u8.hash(h); // section separator, mirrors the '|' in fingerprint()
+        self.log
+            .for_each_record(&mut |rec| rec.payload.hash(h))
+            .expect("records");
+        0xA2u8.hash(h);
+        for (tok, (txn, p)) in &self.timers {
+            (tok, txn, p).hash(h);
+        }
     }
 
     /// The commit mode that would be selected for the given sites (for

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 pub const MAX_INQUIRY_RETRIES: u32 = 64;
 
 /// Volatile per-transaction participant state.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 enum PartState {
     /// Voted "Yes", awaiting the decision; must not unilaterally abort.
     Prepared {
@@ -182,6 +182,30 @@ impl<L: StableLog> Participant<L> {
             s.push_str(&format!("{tok}:{txn};"));
         }
         s
+    }
+
+    /// Hash the same semantic state as [`Participant::fingerprint`]
+    /// directly into `h` without rendering strings or cloning the log
+    /// (the model checker's hot path; see `Coordinator::hash_state`).
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.protocol.hash(h);
+        for (txn, st) in &self.active {
+            txn.hash(h);
+            st.hash(h);
+        }
+        0xB1u8.hash(h);
+        for (txn, o) in &self.enforced {
+            (txn, o).hash(h);
+        }
+        0xB2u8.hash(h);
+        self.log
+            .for_each_record(&mut |rec| rec.payload.hash(h))
+            .expect("records");
+        0xB3u8.hash(h);
+        for (tok, txn) in &self.timers {
+            (tok, txn).hash(h);
+        }
     }
 
     // -- internals ----------------------------------------------------

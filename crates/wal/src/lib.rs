@@ -66,6 +66,18 @@ pub trait StableLog {
     /// low-water mark, in append order.
     fn records(&self) -> Result<Vec<LogRecord>, WalError>;
 
+    /// Visit every durable record in append order without materializing
+    /// a vector. Hot paths that only need to fold over the records (the
+    /// model checker's state fingerprints) use this; the default
+    /// delegates to [`StableLog::records`], and in-memory logs override
+    /// it with direct iteration.
+    fn for_each_record(&self, f: &mut dyn FnMut(&LogRecord)) -> Result<(), WalError> {
+        for r in self.records()? {
+            f(&r);
+        }
+        Ok(())
+    }
+
     /// Discard all records with LSN strictly below `lsn` (garbage
     /// collection). `lsn` becomes the new low-water mark.
     fn truncate_prefix(&mut self, lsn: Lsn) -> Result<(), WalError>;

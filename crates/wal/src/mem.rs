@@ -117,6 +117,13 @@ impl StableLog for MemLog {
         Ok(self.durable.iter().cloned().collect())
     }
 
+    fn for_each_record(&self, f: &mut dyn FnMut(&LogRecord)) -> Result<(), WalError> {
+        for r in &self.durable {
+            f(r);
+        }
+        Ok(())
+    }
+
     fn truncate_prefix(&mut self, lsn: Lsn) -> Result<(), WalError> {
         let high = self.durable.back().map_or(self.low_water, |r| r.lsn.next());
         if lsn < self.low_water || lsn > high {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline release build, full test suite, and a
+# smoke run of the Theorem 1 experiment (exercises the simulator, the
+# parallel model checker and the report pipeline end to end).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
+out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
+echo "$out" | head -12
+
+# The experiment's two headline facts, asserted mechanically: every
+# U2PC row finds counterexamples, the PrAny row finds none.
+echo "$out" | grep -E '^\| U2PC/PrC' | grep -qv '| 0 ' \
+  || { echo "FAIL: U2PC/PrC found no counterexamples"; exit 1; }
+echo "$out" | grep -E '^\| PrAny' | awk -F'|' '{gsub(/ /,"",$4); exit $4 != "0"}' \
+  || { echo "FAIL: PrAny reported counterexamples"; exit 1; }
+
+echo "== verify OK"

@@ -1,0 +1,306 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, `BenchmarkId`, `Throughput`) with a
+//! simple wall-clock measurement loop: per benchmark it calibrates an
+//! iteration count to a target sample duration, runs `sample_size`
+//! samples, and prints min/mean/max like the real crate's `time:`
+//! line. There is no statistical outlier analysis, HTML report, or
+//! baseline comparison.
+//!
+//! Environment knobs:
+//! - `CRITERION_JSON=<path>`: append one JSON line per benchmark with
+//!   the raw numbers (used to record `BENCH_*.json` files).
+//! - `CRITERION_SAMPLE_MS`: target milliseconds per sample (default 50).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup outputs are sized (accepted for API compatibility;
+/// the stub always runs one setup per routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Optional throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over per-iteration inputs built by `setup`
+    /// (setup time is excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+fn target_sample_duration() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{00b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput (reported alongside timing).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Define a benchmark in this group.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_id(), &mut f);
+        self
+    }
+
+    /// Define a benchmark parameterized by `input`.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: grow the iteration count until one sample reaches
+        // the target duration (or the count saturates).
+        let target = target_sample_duration();
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight for the target from the observed rate, with
+            // a 2x floor so calibration terminates quickly.
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let needed = if per_iter > 0.0 {
+                (target.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 2
+            };
+            iters = needed.clamp(iters * 2, 1 << 20);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let min = samples_ns[0];
+        let max = *samples_ns.last().expect("samples");
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median = samples_ns[samples_ns.len() / 2];
+
+        let mut line = format!(
+            "{}/{id}  time: [{} {} {}]",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let gib = bytes as f64 / mean * 1_000_000_000.0 / (1u64 << 30) as f64;
+            line.push_str(&format!("  thrpt: {gib:.3} GiB/s"));
+        }
+        println!("{line}");
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"max_ns\":{:.1}}}",
+                    self.name, id, iters, samples_ns.len(), min, mean, median, max
+                );
+            }
+        }
+    }
+
+    /// Close the group (printing nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); the
+            // stub runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub_selftest");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function(BenchmarkId::new("param", 4), |b| {
+            b.iter_batched(|| vec![0u8; 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

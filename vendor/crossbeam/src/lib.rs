@@ -1,0 +1,389 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Implements the two modules this workspace uses — [`channel`] and
+//! [`deque`] — over `std::sync` primitives. Semantics match the real
+//! crate for the subset exercised here: clonable MPMC channel
+//! endpoints with disconnect detection, and an injector/worker/stealer
+//! deque family for work-stealing loops. The implementations favour
+//! simplicity over the real crate's lock-free performance; the hot
+//! paths that matter in this repository (the model checker) move whole
+//! chunks of work per operation, so a mutex per queue is not a
+//! bottleneck.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! MPMC channels with the crossbeam API.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half. Clonable; the channel disconnects when every
+    /// sender is dropped.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half. Clonable; sends fail once every receiver is
+    /// dropped.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// An unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    /// A "bounded" channel. The capacity is accepted for API
+    /// compatibility but not enforced: sends never block. Every bounded
+    /// channel in this workspace is a single-use reply slot, for which
+    /// the distinction is unobservable.
+    #[must_use]
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, failing if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.0.senders.load(Ordering::SeqCst) == 0
+        }
+
+        /// Dequeue, blocking until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvError);
+                }
+                q = self.0.ready.wait(q).expect("channel wait");
+            }
+        }
+
+        /// Dequeue, blocking up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .expect("channel wait");
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    if self.disconnected() {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.disconnected() {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-distribution queues with the crossbeam-deque API shape.
+    //!
+    //! [`Injector`] is a global FIFO every worker can push to and steal
+    //! from; [`Worker`] is a per-thread LIFO queue whose [`Stealer`]
+    //! handles let other threads take work from the opposite end.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Nothing to steal.
+        Empty,
+        /// One stolen task.
+        Success(T),
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        #[must_use]
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steal one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    /// A per-thread deque: the owner pushes and pops LIFO at the back,
+    /// stealers take FIFO from the front.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle for stealing from some worker's deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// An empty LIFO worker deque.
+        #[must_use]
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle onto this deque.
+        #[must_use]
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Push a task (owner side, back).
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pop a task (owner side, back — LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker lock").pop_back()
+        }
+
+        /// Is the deque currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the front (opposite the owner's end).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use super::deque::{Injector, Steal, Worker};
+    use std::time::Duration;
+
+    #[test]
+    fn channel_mpmc_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop(tx);
+        drop(tx2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn channel_timeout_then_delivery() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let handle = std::thread::spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deque_owner_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert!(!inj.is_empty());
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+}

@@ -1,0 +1,471 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The crates-io mirror is unreachable in this environment, so this
+//! crate implements the API subset the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`, range/tuple/`Just`
+//! strategies, `any`, `prop::collection::{vec, btree_set}`,
+//! `prop::option::of`, `prop_oneof!`, `proptest!` with an optional
+//! `#![proptest_config(...)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic
+//! random cases (seeded from the test name, so failures reproduce).
+//! There is **no shrinking** — a failing case reports its index and
+//! message but not a minimized input. That trades debugging convenience
+//! for zero dependencies; the generators here are small enough that raw
+//! failing cases stay readable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Deterministic test-case generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary label (the test name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in label.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property assertion inside a `proptest!` body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wrap a failure message.
+    #[must_use]
+    pub fn new(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike the real crate there is no value tree or
+/// shrinking: a strategy is just a deterministic function of the rng.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Mapped<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Mapped(Arc::new(move |rng| f(self.gen_value(rng))))
+    }
+}
+
+/// A boxed, clonable strategy produced by combinators.
+pub struct Mapped<V>(Arc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for Mapped<V> {
+    fn clone(&self) -> Self {
+        Mapped(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for Mapped<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                ((u128::from(rng.next_u64()) % span) as i128 + self.start as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                ((u128::from(rng.next_u64()) % span) as i128 + lo as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical full-range generator, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// The full-range strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary + 'static>() -> Mapped<T> {
+    Mapped(Arc::new(T::arbitrary))
+}
+
+/// Combinator plumbing used by the exported macros.
+pub mod strategy {
+    use super::{Mapped, Strategy, TestRng};
+    use std::sync::Arc;
+
+    /// Erase a strategy's concrete type.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Mapped<S::Value> {
+        Mapped(Arc::new(move |rng: &mut TestRng| s.gen_value(rng)))
+    }
+
+    /// Choose uniformly among the given strategies each case.
+    pub fn one_of<V: 'static>(options: Vec<Mapped<V>>) -> Mapped<V> {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Mapped(Arc::new(move |rng: &mut TestRng| {
+            let i = rng.below(options.len());
+            options[i].gen_value(rng)
+        }))
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::option`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Mapped, Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+        use std::sync::Arc;
+
+        /// A vector of `size.start..size.end` elements.
+        pub fn vec<S>(elem: S, size: Range<usize>) -> Mapped<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            Mapped(Arc::new(move |rng: &mut TestRng| {
+                let n = size.clone().gen_value(rng);
+                (0..n).map(|_| elem.gen_value(rng)).collect()
+            }))
+        }
+
+        /// A set of `size.start..size.end` distinct elements. If the
+        /// element domain is too small the set may come out smaller —
+        /// generation gives up after a bounded number of duplicate draws.
+        pub fn btree_set<S>(elem: S, size: Range<usize>) -> Mapped<BTreeSet<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: Ord,
+        {
+            Mapped(Arc::new(move |rng: &mut TestRng| {
+                let n = size.clone().gen_value(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < n && attempts < n * 20 + 100 {
+                    out.insert(elem.gen_value(rng));
+                    attempts += 1;
+                }
+                out
+            }))
+        }
+    }
+
+    /// Optional-value strategies.
+    pub mod option {
+        use crate::{Mapped, Strategy, TestRng};
+        use std::sync::Arc;
+
+        /// `None` about a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S>(inner: S) -> Mapped<Option<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            Mapped(Arc::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(inner.gen_value(rng))
+                }
+            }))
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Define property tests. Mirrors the real macro's shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::gen_value(&($strat), &mut rng); )+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body; ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, y in 1u8..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u32..5, any::<bool>()), 2..6),
+            o in prop::option::of(0usize..3),
+            tag in prop_oneof![Just("a"), Just("b")],
+            mapped in (0u64..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|(n, _)| *n < 5));
+            if let Some(x) = o { prop_assert!(x < 3); }
+            prop_assert!(tag == "a" || tag == "b");
+            prop_assert_eq!(mapped % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_respected(s in prop::collection::btree_set(0u32..100, 1..6)) {
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

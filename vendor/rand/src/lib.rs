@@ -1,0 +1,242 @@
+//! Offline vendored stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The crates-io mirror is unreachable in this environment, so the
+//! workspace vendors the small API subset it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`]
+//! methods `random`/`random_range`, and [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` here is xoshiro256** seeded via SplitMix64 — deterministic,
+//! fast, and statistically strong enough for simulation workloads. It
+//! does **not** reproduce the upstream `StdRng` (ChaCha12) stream, so
+//! seed-derived scenarios differ numerically from runs made with the
+//! real crate; all recorded experiment outputs in this repository were
+//! produced with this generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Random number generator trait: the `rand 0.9` method names.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (see [`Standard`] impls).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types that can be drawn uniformly from the generator's raw bits.
+pub trait Standard: Sized {
+    /// Draw a value from `rng`.
+    fn from_rng<G: Rng + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<G: Rng + ?Sized>(rng: &mut G) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<G: Rng + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_rng<G: Rng + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniform values can be drawn for. One blanket [`SampleRange`]
+/// impl per range shape hangs off this trait so that integer-literal
+/// ranges drive type inference exactly like the real crate's.
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from the half-open interval `[lo, hi)`.
+    fn sample_half_open<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self;
+    /// Draw uniformly from the closed interval `[lo, hi]`.
+    fn sample_closed<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_half_open<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                ((u128::from(rng.next_u64()) % span) as i128 + lo as i128) as $t
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_closed<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                ((u128::from(rng.next_u64()) % span) as i128 + lo as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self {
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+    fn sample_closed<G: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut G) -> Self {
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw a value in the range from `rng`.
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_closed(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Seedable generators (the subset of the real trait the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64. Deterministic per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice utilities.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<G: Rng + ?Sized>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: Rng + ?Sized>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.random_range(0..=3);
+            assert!(y <= 3);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.random_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}
