@@ -1,12 +1,23 @@
-//! E1–E4: regenerate the protocol schedules of Figures 1–4 as traces.
+//! E1–E4: regenerate the protocol schedules of Figures 1–4 as traces,
+//! and render the full figure artifact set (ASCII schedules, Mermaid
+//! sequence diagrams, raw event streams, cost metrics) from the typed
+//! `acp-obs` event stream into `results/figures/`.
 //!
 //! ```sh
 //! cargo run -p acp-bench --bin exp_figures
 //! ```
+//!
+//! stdout keeps the historical simulator-trace format (captured in
+//! `results/exp_figures.txt`); the files under `results/figures/` are
+//! the observability-layer renderings, byte-stable across runs and
+//! thread counts (pinned by the `obs_figures` golden test and the
+//! `scripts/verify.sh` drift check).
 
-use acp_bench::one_txn_scenario;
+use acp_bench::figures::render_paper_figures;
+use acp_bench::{default_threads, one_txn_scenario};
 use acp_core::harness::run_scenario;
 use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy};
+use std::path::Path;
 
 fn show(title: &str, kind: CoordinatorKind, protos: &[ProtocolKind], abort: bool) {
     println!("==== {title} ====");
@@ -69,5 +80,18 @@ fn main() {
         CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
         &[ProtocolKind::PrA, ProtocolKind::PrC],
         true,
+    );
+
+    // Render the observability-layer figure set into results/figures/.
+    let arts = render_paper_figures(default_threads());
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/figures");
+    std::fs::create_dir_all(&dir).expect("create results/figures");
+    for (name, contents) in &arts.files {
+        std::fs::write(dir.join(name), contents).expect("write figure");
+    }
+    eprintln!(
+        "wrote {} figure artifacts to {}",
+        arts.files.len(),
+        dir.display()
     );
 }

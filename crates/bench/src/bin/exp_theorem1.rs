@@ -9,17 +9,23 @@
 use acp_acta::check_atomicity;
 use acp_bench::{default_threads, parallel_map, row, sep};
 use acp_check::{check, CheckConfig};
-use acp_core::harness::{run_scenario, Scenario};
+use acp_core::harness::{run_scenario_with_sink, Scenario};
+use acp_obs::{CountingSink, MetricsRegistry, TraceSink};
 use acp_sim::{FailureSchedule, SimTime};
 use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId, TxnId};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 
 const POP: [ProtocolKind; 2] = [ProtocolKind::PrA, ProtocolKind::PrC];
 
 /// Sweep a single participant crash through the decision window and
 /// count runs with atomicity violations. The 104 sweep points are
 /// independent simulator runs, fanned across the thread pool; the
-/// violation count is order-insensitive, so output is unchanged.
-fn sweep(kind: CoordinatorKind) -> (u32, u32) {
+/// violation count is order-insensitive, so output is unchanged — and
+/// so are the aggregate cost metrics, because the registry's atomic
+/// additions commute across any scheduling.
+fn sweep(kind: CoordinatorKind, registry: &Arc<MetricsRegistry>) -> (u32, u32) {
     let mut points = Vec::new();
     for crash_us in (1_100..2_400).step_by(50) {
         for victim in [SiteId::new(1), SiteId::new(2)] {
@@ -29,6 +35,7 @@ fn sweep(kind: CoordinatorKind) -> (u32, u32) {
         }
     }
     let runs = points.len() as u32;
+    let sink: Arc<dyn TraceSink> = Arc::new(CountingSink::new(Arc::clone(registry)));
     let violations = parallel_map(points, default_threads(), |(crash_us, victim, abort)| {
         let mut s = Scenario::new(kind, &POP);
         s.add_txn(TxnId::new(1), SimTime::from_millis(1));
@@ -40,7 +47,7 @@ fn sweep(kind: CoordinatorKind) -> (u32, u32) {
             SimTime::from_micros(crash_us),
             SimTime::from_millis(400),
         );
-        let out = run_scenario(&s);
+        let out = run_scenario_with_sink(&s, Arc::clone(&sink));
         u32::from(!check_atomicity(&out.history).is_empty())
     })
     .into_iter()
@@ -75,8 +82,18 @@ fn main() {
     );
     println!("{}", sep(&widths));
 
-    for kind in kinds {
-        let (v, runs) = sweep(kind);
+    let mut metrics_doc = String::from(
+        "{\n  \"experiment\": \"E5 / Theorem 1 — 104-point crash sweep per coordinator, PrA+PrC population\",\n  \"configs\": [",
+    );
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (v, runs) = sweep(kind, &registry);
+        let _ = write!(
+            metrics_doc,
+            "{}\n    {{\n      \"coordinator\": \"{kind}\",\n      \"sweep_violations\": {v},\n      \"sweep_runs\": {runs},\n      \"protocols\": {}\n    }}",
+            if i == 0 { "" } else { "," },
+            registry.protocols_json(3)
+        );
         let report = check(&CheckConfig::new(kind, &POP));
         println!(
             "{}",
@@ -95,6 +112,12 @@ fn main() {
             )
         );
     }
+
+    metrics_doc.push_str("\n  ]\n}\n");
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("metrics_e5.json"), &metrics_doc).expect("write metrics_e5.json");
+    eprintln!("wrote per-protocol cost metrics to results/metrics_e5.json");
 
     println!("\nFirst mechanical counterexample for U2PC/PrC (Theorem 1 Part III):\n");
     let report = check(&CheckConfig::new(

@@ -7,12 +7,16 @@
 use acp_acta::safe_state::check_all_safe_states;
 use acp_acta::{check_atomicity, check_operational};
 use acp_bench::{default_threads, parallel_map, row, sep};
-use acp_core::harness::{run_scenario, Scenario};
+use acp_core::harness::{run_scenario_with_sink, Scenario};
+use acp_obs::{CountingSink, MetricsRegistry, TraceSink};
 use acp_sim::{NetworkConfig, SimTime};
 use acp_types::{CoordinatorKind, Outcome, SelectionPolicy, SiteId};
 use acp_workload::{FailurePlan, PopulationMix, TxnMix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 
 struct CampaignStats {
     runs: u64,
@@ -27,10 +31,18 @@ struct CampaignStats {
 
 /// Run the whole campaign. Each seed is a fully independent simulation
 /// (its RNG is derived from the seed alone), so seeds fan across the
-/// thread pool and the summed statistics are identical to a serial run.
-fn campaign(seeds: u64, policy: SelectionPolicy, loss: f64, crash_rate: f64) -> CampaignStats {
+/// thread pool and the summed statistics are identical to a serial run —
+/// as are the cost metrics, whose atomic additions commute.
+fn campaign(
+    seeds: u64,
+    policy: SelectionPolicy,
+    loss: f64,
+    crash_rate: f64,
+    registry: &Arc<MetricsRegistry>,
+) -> CampaignStats {
+    let sink: Arc<dyn TraceSink> = Arc::new(CountingSink::new(Arc::clone(registry)));
     let per_seed = parallel_map((0..seeds).collect(), default_threads(), |seed| {
-        run_seed(seed, policy, loss, crash_rate)
+        run_seed(seed, policy, loss, crash_rate, Arc::clone(&sink))
     });
     let mut stats = CampaignStats {
         runs: 0,
@@ -55,7 +67,13 @@ fn campaign(seeds: u64, policy: SelectionPolicy, loss: f64, crash_rate: f64) -> 
     stats
 }
 
-fn run_seed(seed: u64, policy: SelectionPolicy, loss: f64, crash_rate: f64) -> CampaignStats {
+fn run_seed(
+    seed: u64,
+    policy: SelectionPolicy,
+    loss: f64,
+    crash_rate: f64,
+    sink: Arc<dyn TraceSink>,
+) -> CampaignStats {
     let mut stats = CampaignStats {
         runs: 0,
         txns: 0,
@@ -97,7 +115,7 @@ fn run_seed(seed: u64, policy: SelectionPolicy, loss: f64, crash_rate: f64) -> C
         }
         .schedule(&mut rng, &all, horizon);
 
-        let out = run_scenario(&s);
+        let out = run_scenario_with_sink(&s, sink);
         stats.runs += 1;
         stats.txns += plans.len() as u64;
         stats.commits += out
@@ -148,14 +166,28 @@ fn main() {
         )
     );
     println!("{}", sep(&widths));
-    for (policy, loss, rate) in [
+    let mut metrics_doc = format!(
+        "{{\n  \"experiment\": \"E7 / Theorem 3 — randomized PrAny campaigns, {seeds} seeds per config\",\n  \"configs\": ["
+    );
+    for (i, (policy, loss, rate)) in [
         (SelectionPolicy::PaperStrict, 0.0, 0.0),
         (SelectionPolicy::PaperStrict, 0.05, 0.0),
         (SelectionPolicy::PaperStrict, 0.0, 12.0),
         (SelectionPolicy::PaperStrict, 0.03, 8.0),
         (SelectionPolicy::Optimized, 0.03, 8.0),
-    ] {
-        let s = campaign(seeds, policy, loss, rate);
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let registry = Arc::new(MetricsRegistry::new());
+        let s = campaign(seeds, policy, loss, rate, &registry);
+        let _ = write!(
+            metrics_doc,
+            "{}\n    {{\n      \"policy\": \"{policy}\",\n      \"loss\": {loss},\n      \"crashes_per_second\": {rate},\n      \"txns\": {},\n      \"protocols\": {}\n    }}",
+            if i == 0 { "" } else { "," },
+            s.txns,
+            registry.protocols_json(3)
+        );
         // A campaign that ran nothing proves nothing: never report it
         // as CLEAN.
         let clean = s.txns > 0
@@ -187,4 +219,10 @@ fn main() {
             )
         );
     }
+
+    metrics_doc.push_str("\n  ]\n}\n");
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("metrics_e7.json"), &metrics_doc).expect("write metrics_e7.json");
+    eprintln!("wrote per-protocol cost metrics to results/metrics_e7.json");
 }

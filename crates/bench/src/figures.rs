@@ -1,0 +1,215 @@
+//! Self-documenting figure rendering: replay the paper's five figures
+//! from live simulator runs through the `acp-obs` event stream.
+//!
+//! Figures 1–4 are protocol schedules (commit and abort panels); each
+//! panel is one [`Scenario`] run whose typed event stream is rendered to
+//! the ASCII schedule format and a Mermaid sequence diagram. Figure 5 is
+//! the protocol taxonomy tree, rendered by `acp-types`. The whole
+//! artifact set is a pure function of the scenarios — byte-stable across
+//! runs and thread counts — so the generated files are checked in and a
+//! golden test plus a CI drift check keep them honest.
+
+use crate::{one_txn_scenario, parallel_map, site_label};
+use acp_core::harness::run_scenario;
+use acp_obs::{
+    event_to_json, render_ascii, render_mermaid, MetricsRegistry, ProtocolEvent,
+};
+use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId};
+use std::collections::BTreeMap;
+
+/// One panel of a paper figure: a scenario plus naming.
+pub struct FigurePanel {
+    /// File stem for the panel's Mermaid diagram (e.g. `fig2_prn_commit`).
+    pub slug: &'static str,
+    /// File stem of the ASCII file the panel belongs to (e.g. `fig2_prn`).
+    pub group: &'static str,
+    /// Human title, matching the paper's figure caption.
+    pub title: &'static str,
+    /// Coordinator variant.
+    pub kind: CoordinatorKind,
+    /// Participant protocols.
+    pub protos: Vec<ProtocolKind>,
+    /// Client-abort panel?
+    pub abort: bool,
+}
+
+/// The eight schedule panels of Figures 1–4, in paper order.
+#[must_use]
+pub fn paper_panels() -> Vec<FigurePanel> {
+    let prany = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let mixed = vec![ProtocolKind::PrA, ProtocolKind::PrC];
+    vec![
+        FigurePanel {
+            slug: "fig1a_prany_commit",
+            group: "fig1_prany",
+            title: "Figure 1a — PrAny (PrA + PrC participants), commit",
+            kind: prany,
+            protos: mixed.clone(),
+            abort: false,
+        },
+        FigurePanel {
+            slug: "fig1b_prany_abort",
+            group: "fig1_prany",
+            title: "Figure 1b — PrAny (PrA + PrC participants), abort",
+            kind: prany,
+            protos: mixed,
+            abort: true,
+        },
+        FigurePanel {
+            slug: "fig2_prn_commit",
+            group: "fig2_prn",
+            title: "Figure 2 — PrN, commit",
+            kind: CoordinatorKind::Single(ProtocolKind::PrN),
+            protos: vec![ProtocolKind::PrN; 2],
+            abort: false,
+        },
+        FigurePanel {
+            slug: "fig2_prn_abort",
+            group: "fig2_prn",
+            title: "Figure 2 — PrN, abort",
+            kind: CoordinatorKind::Single(ProtocolKind::PrN),
+            protos: vec![ProtocolKind::PrN; 2],
+            abort: true,
+        },
+        FigurePanel {
+            slug: "fig3_pra_commit",
+            group: "fig3_pra",
+            title: "Figure 3 — PrA, commit",
+            kind: CoordinatorKind::Single(ProtocolKind::PrA),
+            protos: vec![ProtocolKind::PrA; 2],
+            abort: false,
+        },
+        FigurePanel {
+            slug: "fig3_pra_abort",
+            group: "fig3_pra",
+            title: "Figure 3 — PrA, abort",
+            kind: CoordinatorKind::Single(ProtocolKind::PrA),
+            protos: vec![ProtocolKind::PrA; 2],
+            abort: true,
+        },
+        FigurePanel {
+            slug: "fig4a_prc_commit",
+            group: "fig4_prc",
+            title: "Figure 4a — PrC, commit",
+            kind: CoordinatorKind::Single(ProtocolKind::PrC),
+            protos: vec![ProtocolKind::PrC; 2],
+            abort: false,
+        },
+        FigurePanel {
+            slug: "fig4b_prc_abort",
+            group: "fig4_prc",
+            title: "Figure 4b — PrC, abort",
+            kind: CoordinatorKind::Single(ProtocolKind::PrC),
+            protos: vec![ProtocolKind::PrC; 2],
+            abort: true,
+        },
+    ]
+}
+
+/// Everything the figure regeneration produces, keyed by file name
+/// (relative to `results/figures/`). Deterministic: same scenarios →
+/// byte-identical map, at any thread count.
+pub struct FigureArtifacts {
+    /// File name → contents.
+    pub files: BTreeMap<String, String>,
+}
+
+/// Site labels for a panel's renderings.
+fn panel_labels(protos: &[ProtocolKind]) -> BTreeMap<u32, String> {
+    let mut labels = BTreeMap::new();
+    labels.insert(0, site_label(SiteId::new(0), protos));
+    for i in 1..=protos.len() as u32 {
+        labels.insert(i, site_label(SiteId::new(i), protos));
+    }
+    labels
+}
+
+/// Run all figure panels (fanned across `threads` workers) and render
+/// the complete artifact set: per-figure ASCII schedules, per-panel
+/// Mermaid diagrams, the Figure 5 taxonomy, the raw event streams as
+/// JSON lines, and aggregate per-protocol cost metrics.
+#[must_use]
+pub fn render_paper_figures(threads: usize) -> FigureArtifacts {
+    let panels = paper_panels();
+    let runs: Vec<Vec<ProtocolEvent>> = parallel_map(
+        panels
+            .iter()
+            .map(|p| {
+                let mut s = one_txn_scenario(p.kind, &p.protos, p.abort);
+                s.max_events = 10_000;
+                s
+            })
+            .collect(),
+        threads,
+        |s| run_scenario(&s).events,
+    );
+
+    let mut files: BTreeMap<String, String> = BTreeMap::new();
+    let mut traces = String::new();
+    let registry = MetricsRegistry::new();
+
+    for (panel, events) in panels.iter().zip(&runs) {
+        let labels = panel_labels(&panel.protos);
+        let ascii = render_ascii(panel.title, events, &labels);
+        files
+            .entry(format!("{}.txt", panel.group))
+            .and_modify(|f| {
+                f.push('\n');
+                f.push_str(&ascii);
+            })
+            .or_insert(ascii);
+        files.insert(
+            format!("{}.mmd", panel.slug),
+            render_mermaid(panel.title, events, &labels),
+        );
+        traces.push_str(&format!(
+            "{{\"meta\":\"panel\",\"slug\":\"{}\",\"title\":\"{}\",\"events\":{}}}\n",
+            panel.slug,
+            panel.title,
+            events.len()
+        ));
+        for ev in events {
+            traces.push_str(&event_to_json(ev));
+            traces.push('\n');
+            registry.record(ev);
+        }
+    }
+
+    files.insert(
+        "fig5_taxonomy.txt".to_string(),
+        acp_types::taxonomy::render_taxonomy(),
+    );
+    files.insert("traces.jsonl".to_string(), traces);
+    files.insert(
+        "metrics.json".to_string(),
+        registry.to_json("figures (E1-E4 schedule panels)"),
+    );
+
+    FigureArtifacts { files }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_set_is_complete() {
+        let arts = render_paper_figures(1);
+        for name in [
+            "fig1_prany.txt",
+            "fig2_prn.txt",
+            "fig3_pra.txt",
+            "fig4_prc.txt",
+            "fig5_taxonomy.txt",
+            "fig1a_prany_commit.mmd",
+            "fig4b_prc_abort.mmd",
+            "traces.jsonl",
+            "metrics.json",
+        ] {
+            assert!(arts.files.contains_key(name), "missing {name}");
+        }
+        // Each schedule file holds both its panels.
+        let f2 = &arts.files["fig2_prn.txt"];
+        assert!(f2.contains("PrN, commit") && f2.contains("PrN, abort"));
+    }
+}

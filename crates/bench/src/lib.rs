@@ -13,6 +13,8 @@ use acp_core::harness::{run_scenario, Scenario, ScenarioOutcome};
 use acp_sim::SimTime;
 use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SiteId, TxnId};
 
+pub mod figures;
+
 /// Standard single-transaction scenario used across experiments:
 /// all-yes voters, reliable 200us links.
 #[must_use]

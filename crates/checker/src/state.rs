@@ -185,6 +185,10 @@ impl CheckState {
                     // event itself; data-engine effects are out of scope
                     // for the checker.
                 }
+                Action::Gc { .. } => {
+                    // Observational only; the truncation itself already
+                    // happened inside the engine's log.
+                }
             }
         }
     }

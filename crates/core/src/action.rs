@@ -66,6 +66,16 @@ pub enum Action {
     },
     /// Record a significant event in the global ACTA history.
     Acta(ActaEvent),
+    /// The engine garbage-collected a prefix of its stable log (the
+    /// observable form of Definition 1's "can, eventually, garbage
+    /// collect"). Purely observational: hosts surface it as a `LogGc`
+    /// protocol event; it carries no obligation.
+    Gc {
+        /// New low-water mark — records below this LSN are gone.
+        released_up_to: u64,
+        /// How many records the collection reclaimed.
+        records_released: u64,
+    },
 }
 
 impl Action {

@@ -468,7 +468,13 @@ impl<L: StableLog> Coordinator<L> {
             txn,
         }));
         if self.auto_gc {
-            self.collect_garbage();
+            let released = self.collect_garbage();
+            if released > 0 {
+                out.push(Action::Gc {
+                    released_up_to: self.log.low_water_mark().0,
+                    records_released: released as u64,
+                });
+            }
         }
     }
 

@@ -12,14 +12,16 @@ use crate::action::{Action, TimerPurpose};
 use crate::coordinator::Coordinator;
 use crate::participant::Participant;
 use acp_acta::{ActaEvent, FinalState, History};
+use acp_obs::{FanoutSink, NullSink, ProtoLabel, ProtocolEvent, TraceSink, VecSink};
 use acp_sim::{Context, FailureSchedule, NetworkConfig, Process, SimTime, Trace, World};
 use acp_types::{
-    CoordinatorKind, CostCounters, Message, Outcome, ProtocolKind, SiteId, TxnId, Vote,
+    CoordinatorKind, CostCounters, Message, Outcome, Payload, ProtocolKind, SiteId, TxnId, Vote,
 };
 use acp_wal::MemLog;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Timer delays used by the harness.
 #[derive(Clone, Copy, Debug)]
@@ -170,6 +172,10 @@ pub struct ScenarioOutcome {
     pub participant_costs: BTreeMap<(SiteId, TxnId), CostCounters>,
     /// Events the simulator processed.
     pub events_processed: u64,
+    /// The complete typed protocol-event stream of the run (also fanned
+    /// out to the caller's sink in [`run_scenario_with_sink`]); feed it
+    /// to `acp_obs::render` to reproduce the paper's figures.
+    pub events: Vec<ProtocolEvent>,
 }
 
 impl ScenarioOutcome {
@@ -196,6 +202,14 @@ pub struct SiteProc {
     inner: Inner,
     history: Rc<RefCell<History>>,
     delays: TimerDelays,
+    /// Observability sink; protocol-level events (log writes, votes,
+    /// decisions, GC) are emitted here as they happen.
+    sink: Arc<dyn TraceSink>,
+    /// The label under which this site's events are attributed.
+    proto: ProtoLabel,
+    /// When this site last reached a decision (drives the GC-latency
+    /// metric: `LogGc::since_decision_us`).
+    last_decision: Option<SimTime>,
     /// Harness timer-token → engine token or deferred transaction start.
     timer_map: BTreeMap<u64, HarnessTimer>,
     /// Client requests not yet submitted. These model *clients*, not
@@ -245,7 +259,18 @@ impl SiteProc {
     fn handle_actions(&mut self, actions: Vec<Action>, ctx: &mut Context) {
         for action in actions {
             match action {
-                Action::Send { to, payload } => ctx.send(to, payload),
+                Action::Send { to, payload } => {
+                    if let Payload::Vote { txn, vote } = &payload {
+                        self.sink.record(&ProtocolEvent::VoteCast {
+                            at_us: ctx.now.as_micros(),
+                            site: ctx.self_id.raw(),
+                            proto: self.proto,
+                            vote: vote_name(*vote),
+                            txn: Some(txn.raw()),
+                        });
+                    }
+                    ctx.send(to, payload);
+                }
                 Action::Enforce { txn, outcome } => {
                     ctx.note("enforce", format!("{txn} {outcome}"));
                 }
@@ -257,12 +282,110 @@ impl SiteProc {
                     ctx.set_timer(self.delays.delay(purpose), harness_token);
                 }
                 Action::Acta(event) => {
+                    self.emit_acta(&event, ctx);
                     let (tag, detail) = note_for(&event);
                     ctx.note(tag, detail);
                     self.history.borrow_mut().push(event);
                 }
+                Action::Gc {
+                    released_up_to,
+                    records_released,
+                } => {
+                    let since_decision_us = self
+                        .last_decision
+                        .map(|d| (ctx.now - d).as_micros());
+                    self.sink.record(&ProtocolEvent::LogGc {
+                        at_us: ctx.now.as_micros(),
+                        site: ctx.self_id.raw(),
+                        proto: self.proto,
+                        released_up_to,
+                        records_released,
+                        since_decision_us,
+                    });
+                }
             }
         }
+    }
+
+    /// Translate an ACTA event into the typed protocol-event stream.
+    fn emit_acta(&mut self, event: &ActaEvent, ctx: &Context) {
+        let at_us = ctx.now.as_micros();
+        let site = ctx.self_id.raw();
+        let proto = self.proto;
+        match event {
+            ActaEvent::LogWrite {
+                txn, kind, forced, ..
+            } => {
+                let ev = if *forced {
+                    ProtocolEvent::ForceWrite {
+                        at_us,
+                        site,
+                        proto,
+                        record: kind,
+                        txn: Some(txn.raw()),
+                    }
+                } else {
+                    ProtocolEvent::NonForcedWrite {
+                        at_us,
+                        site,
+                        proto,
+                        record: kind,
+                        txn: Some(txn.raw()),
+                    }
+                };
+                self.sink.record(&ev);
+            }
+            ActaEvent::Decide { txn, outcome, .. } => {
+                self.last_decision = Some(ctx.now);
+                self.sink.record(&ProtocolEvent::DecisionReached {
+                    at_us,
+                    site,
+                    proto,
+                    outcome: outcome_name(*outcome),
+                    txn: Some(txn.raw()),
+                });
+            }
+            ActaEvent::Inquire { txn, protocol, .. } => {
+                self.sink.record(&ProtocolEvent::RecoveryStep {
+                    at_us,
+                    site,
+                    proto,
+                    detail: format!("inquire about {txn} ({protocol})"),
+                });
+            }
+            ActaEvent::Respond {
+                txn,
+                outcome,
+                by_presumption,
+                ..
+            } => {
+                let how = if *by_presumption { " by presumption" } else { "" };
+                self.sink.record(&ProtocolEvent::RecoveryStep {
+                    at_us,
+                    site,
+                    proto,
+                    detail: format!("answer inquiry {txn}: {outcome}{how}"),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Stable lowercase name for a vote (event-stream vocabulary).
+fn vote_name(vote: Vote) -> &'static str {
+    match vote {
+        Vote::Yes => "yes",
+        Vote::No => "no",
+        Vote::ReadOnly => "read-only",
+    }
+}
+
+/// Stable lowercase name for an outcome (event-stream vocabulary).
+fn outcome_name(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Commit => "commit",
+        Outcome::Abort => "abort",
     }
 }
 
@@ -401,13 +524,37 @@ impl Process for SiteProc {
 
 /// Run a scenario to quiescence and collect everything the checkers and
 /// experiments need.
+///
+/// Equivalent to [`run_scenario_with_sink`] with a [`NullSink`]; the
+/// full event stream is still collected into
+/// [`ScenarioOutcome::events`].
 #[must_use]
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario_with_sink(scenario, Arc::new(NullSink))
+}
+
+/// Run a scenario to quiescence, streaming every protocol event to
+/// `sink` as it happens (in addition to collecting the stream into
+/// [`ScenarioOutcome::events`]).
+///
+/// The sink sees log writes (forced and lazy), message sends/receives,
+/// votes, decisions, garbage collections, crashes and recovery steps,
+/// each labelled with the protocol variant of the emitting site.
+#[must_use]
+pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> ScenarioOutcome {
     let history = Rc::new(RefCell::new(History::new()));
+    let recorder = Arc::new(VecSink::new());
+    let sink: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(vec![
+        Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        sink,
+    ]));
     let mut world: World<SiteProc> = World::new(scenario.network, scenario.seed);
+    world.set_sink(Arc::clone(&sink));
 
     // Coordinator at site 0.
     let coord_site = scenario.coordinator_site();
+    let coord_label = ProtoLabel::of_coordinator(scenario.kind);
+    world.set_label(coord_site, coord_label);
     let mut engine = Coordinator::new(coord_site, scenario.kind, MemLog::new());
     for (i, &p) in scenario.participant_protocols.iter().enumerate() {
         engine.register_site(SiteId::new(i as u32 + 1), p);
@@ -423,6 +570,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
             inner: Inner::Coord { engine, starts },
             history: Rc::clone(&history),
             delays: scenario.delays,
+            sink: Arc::clone(&sink),
+            proto: coord_label,
+            last_decision: None,
             timer_map: BTreeMap::new(),
             pending_starts: BTreeMap::new(),
             next_token: 0,
@@ -432,6 +582,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     // Participants at sites 1..=n.
     for (i, &p) in scenario.participant_protocols.iter().enumerate() {
         let site = SiteId::new(i as u32 + 1);
+        let label = ProtoLabel::of_participant(p);
+        world.set_label(site, label);
         let mut engine = Participant::new(site, p, MemLog::new());
         for spec in &scenario.txns {
             if let Some(&vote) = spec.votes.get(&site) {
@@ -444,6 +596,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 inner: Inner::Part(engine),
                 history: Rc::clone(&history),
                 delays: scenario.delays,
+                sink: Arc::clone(&sink),
+                proto: label,
+                last_decision: None,
                 timer_map: BTreeMap::new(),
                 pending_starts: BTreeMap::new(),
                 next_token: 0,
@@ -505,6 +660,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         coordinator_costs,
         participant_costs,
         events_processed: world.events_processed(),
+        events: recorder.take(),
     }
 }
 

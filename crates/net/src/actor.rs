@@ -5,7 +5,8 @@ use crate::envelope::Envelope;
 use acp_acta::{ActaEvent, History};
 use acp_core::{Action, Coordinator, GatewayParticipant, Participant, TimerPurpose};
 use acp_engine::{RecoveredOutcome, SiteEngine};
-use acp_types::{Message, Outcome, SiteId, TxnId, Vote};
+use acp_obs::{ProtoLabel, ProtocolEvent, TraceSink};
+use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
 use acp_wal::scan::analyze;
 use acp_wal::{FileLog, StableLog};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -53,6 +54,25 @@ impl NetDelays {
 /// Routing table shared by every actor.
 pub type Routes = Arc<BTreeMap<SiteId, Sender<Envelope>>>;
 
+/// Observability plumbing for the threaded runtime: a shared trace sink
+/// plus the cluster's epoch, so wall-clock instants become trace
+/// microseconds, and the protocol label events are attributed to.
+#[derive(Clone)]
+pub struct NetObs {
+    /// Where the site's protocol events go.
+    pub sink: Arc<dyn TraceSink>,
+    /// The run's `t = 0` (cluster spawn time).
+    pub t0: Instant,
+    /// Label for events emitted by this site.
+    pub proto: ProtoLabel,
+}
+
+impl NetObs {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Shared, mutex-guarded global history (the actors append their ACTA
 /// events; checkers read it after shutdown).
 pub type SharedHistory = Arc<Mutex<History>>;
@@ -89,14 +109,16 @@ pub fn run_gateway(
     routes: Routes,
     history: SharedHistory,
     delays: NetDelays,
+    obs: Option<NetObs>,
 ) -> GatewayFinal {
-    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    let mut ctx = ActorCtx::new(site, routes, history, delays, obs);
     loop {
         let now = Instant::now();
         if let Some(t) = ctx.down_until {
             if now >= t {
                 ctx.down_until = None;
                 ctx.history.lock().push(ActaEvent::Recover { site });
+                ctx.observe_recover();
                 let actions = engine.recover();
                 ctx.run_actions(actions);
             }
@@ -117,6 +139,7 @@ pub fn run_gateway(
                     Envelope::Crash { down_for } => {
                         if ctx.down_until.is_none() {
                             ctx.history.lock().push(ActaEvent::Crash { site });
+                            ctx.observe_crash();
                             engine.crash();
                             ctx.crash_volatile();
                             ctx.down_until = Some(now + down_for);
@@ -127,6 +150,7 @@ pub fn run_gateway(
                         engine.stage_write(txn, &key, &value);
                     }
                     Envelope::Protocol(msg) => {
+                        ctx.observe_recv(&msg);
                         let actions = engine.on_message(msg.from, &msg.payload);
                         ctx.run_actions(actions);
                     }
@@ -150,10 +174,20 @@ struct ActorCtx {
     timer_map: BTreeMap<u64, (u64, TimerPurpose)>,
     next_token: u64,
     down_until: Option<Instant>,
+    /// Observability sink + clock (None = tracing disabled).
+    obs: Option<NetObs>,
+    /// When this site last decided, in trace microseconds (GC latency).
+    last_decision_us: Option<u64>,
 }
 
 impl ActorCtx {
-    fn new(site: SiteId, routes: Routes, history: SharedHistory, delays: NetDelays) -> Self {
+    fn new(
+        site: SiteId,
+        routes: Routes,
+        history: SharedHistory,
+        delays: NetDelays,
+        obs: Option<NetObs>,
+    ) -> Self {
         ActorCtx {
             site,
             routes,
@@ -163,6 +197,8 @@ impl ActorCtx {
             timer_map: BTreeMap::new(),
             next_token: 0,
             down_until: None,
+            obs,
+            last_decision_us: None,
         }
     }
 
@@ -185,6 +221,26 @@ impl ActorCtx {
         for a in actions {
             match a {
                 Action::Send { to, payload } => {
+                    if let Some(obs) = &self.obs {
+                        let at_us = obs.now_us();
+                        if let Payload::Vote { txn, vote } = &payload {
+                            obs.sink.record(&ProtocolEvent::VoteCast {
+                                at_us,
+                                site: self.site.raw(),
+                                proto: obs.proto,
+                                vote: vote_name(*vote),
+                                txn: Some(txn.raw()),
+                            });
+                        }
+                        obs.sink.record(&ProtocolEvent::MsgSend {
+                            at_us,
+                            site: self.site.raw(),
+                            proto: obs.proto,
+                            to: to.raw(),
+                            kind: payload.kind_name(),
+                            txn: Some(payload.txn().raw()),
+                        });
+                    }
                     self.route(Message::new(self.site, to, payload));
                 }
                 Action::SetTimer { token, purpose } => {
@@ -196,11 +252,137 @@ impl ActorCtx {
                         harness,
                     )));
                 }
-                Action::Acta(e) => self.history.lock().push(e),
+                Action::Acta(e) => {
+                    self.observe_acta(&e);
+                    self.history.lock().push(e);
+                }
                 Action::Enforce { txn, outcome } => enforcements.push((txn, outcome)),
+                Action::Gc {
+                    released_up_to,
+                    records_released,
+                } => {
+                    if let Some(obs) = &self.obs {
+                        let at_us = obs.now_us();
+                        obs.sink.record(&ProtocolEvent::LogGc {
+                            at_us,
+                            site: self.site.raw(),
+                            proto: obs.proto,
+                            released_up_to,
+                            records_released,
+                            since_decision_us: self
+                                .last_decision_us
+                                .map(|d| at_us.saturating_sub(d)),
+                        });
+                    }
+                }
             }
         }
         enforcements
+    }
+
+    /// Mirror an ACTA event into the typed protocol-event stream.
+    fn observe_acta(&mut self, event: &ActaEvent) {
+        let Some(obs) = &self.obs else { return };
+        let at_us = obs.now_us();
+        let site = self.site.raw();
+        let proto = obs.proto;
+        match event {
+            ActaEvent::LogWrite {
+                txn, kind, forced, ..
+            } => {
+                let ev = if *forced {
+                    ProtocolEvent::ForceWrite {
+                        at_us,
+                        site,
+                        proto,
+                        record: kind,
+                        txn: Some(txn.raw()),
+                    }
+                } else {
+                    ProtocolEvent::NonForcedWrite {
+                        at_us,
+                        site,
+                        proto,
+                        record: kind,
+                        txn: Some(txn.raw()),
+                    }
+                };
+                obs.sink.record(&ev);
+            }
+            ActaEvent::Decide { txn, outcome, .. } => {
+                obs.sink.record(&ProtocolEvent::DecisionReached {
+                    at_us,
+                    site,
+                    proto,
+                    outcome: match outcome {
+                        Outcome::Commit => "commit",
+                        Outcome::Abort => "abort",
+                    },
+                    txn: Some(txn.raw()),
+                });
+                self.last_decision_us = Some(at_us);
+            }
+            ActaEvent::Inquire { txn, protocol, .. } => {
+                obs.sink.record(&ProtocolEvent::RecoveryStep {
+                    at_us,
+                    site,
+                    proto,
+                    detail: format!("inquire about {txn} ({protocol})"),
+                });
+            }
+            ActaEvent::Respond {
+                txn,
+                outcome,
+                by_presumption,
+                ..
+            } => {
+                let how = if *by_presumption { " by presumption" } else { "" };
+                obs.sink.record(&ProtocolEvent::RecoveryStep {
+                    at_us,
+                    site,
+                    proto,
+                    detail: format!("answer inquiry {txn}: {outcome}{how}"),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Note receipt of a protocol message in the event stream.
+    fn observe_recv(&self, msg: &Message) {
+        if let Some(obs) = &self.obs {
+            obs.sink.record(&ProtocolEvent::MsgRecv {
+                at_us: obs.now_us(),
+                site: self.site.raw(),
+                proto: obs.proto,
+                from: msg.from.raw(),
+                kind: msg.payload.kind_name(),
+                txn: Some(msg.payload.txn().raw()),
+            });
+        }
+    }
+
+    /// Note a crash in the event stream.
+    fn observe_crash(&self) {
+        if let Some(obs) = &self.obs {
+            obs.sink.record(&ProtocolEvent::CrashObserved {
+                at_us: obs.now_us(),
+                site: self.site.raw(),
+                proto: obs.proto,
+            });
+        }
+    }
+
+    /// Note the start of recovery in the event stream.
+    fn observe_recover(&self) {
+        if let Some(obs) = &self.obs {
+            obs.sink.record(&ProtocolEvent::RecoveryStep {
+                at_us: obs.now_us(),
+                site: self.site.raw(),
+                proto: obs.proto,
+                detail: "site back up; restart procedure begins".to_string(),
+            });
+        }
     }
 
     /// Next wake-up interval for `recv_timeout`.
@@ -249,8 +431,9 @@ pub fn run_participant(
     routes: Routes,
     history: SharedHistory,
     delays: NetDelays,
+    obs: Option<NetObs>,
 ) -> ParticipantFinal {
-    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    let mut ctx = ActorCtx::new(site, routes, history, delays, obs);
     // Explicit vote intents from SetIntent envelopes.
     let mut forced_intents: BTreeMap<TxnId, Vote> = BTreeMap::new();
     // Whether a data operation failed (lock conflict) — forces a No.
@@ -264,6 +447,7 @@ pub fn run_participant(
             if now >= t {
                 ctx.down_until = None;
                 ctx.history.lock().push(ActaEvent::Recover { site });
+                ctx.observe_recover();
                 let actions = engine.recover();
                 // Storage recovery needs the protocol log's view.
                 let outcomes = protocol_outcomes(&engine);
@@ -291,6 +475,7 @@ pub fn run_participant(
                     Envelope::Crash { down_for } => {
                         if ctx.down_until.is_none() {
                             ctx.history.lock().push(ActaEvent::Crash { site });
+                            ctx.observe_crash();
                             engine.crash();
                             storage.crash();
                             ctx.crash_volatile();
@@ -308,6 +493,7 @@ pub fn run_participant(
                         forced_intents.insert(txn, vote);
                     }
                     Envelope::Protocol(msg) => {
+                        ctx.observe_recv(&msg);
                         // Prepare needs the storage engine's verdict
                         // before the protocol engine runs.
                         if let acp_types::Payload::Prepare { txn } = msg.payload {
@@ -373,6 +559,15 @@ fn decide_vote(
     }
 }
 
+/// Stable lowercase name for a vote (event-stream vocabulary).
+fn vote_name(vote: Vote) -> &'static str {
+    match vote {
+        Vote::Yes => "yes",
+        Vote::No => "no",
+        Vote::ReadOnly => "read-only",
+    }
+}
+
 fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcome)>) {
     for (txn, outcome) in enf {
         storage.resolve(txn, outcome).expect("resolve");
@@ -403,8 +598,9 @@ pub fn run_coordinator(
     routes: Routes,
     history: SharedHistory,
     delays: NetDelays,
+    obs: Option<NetObs>,
 ) -> CoordinatorFinal {
-    let mut ctx = ActorCtx::new(site, routes, history, delays);
+    let mut ctx = ActorCtx::new(site, routes, history, delays, obs);
     let mut replies: BTreeMap<TxnId, Sender<Outcome>> = BTreeMap::new();
 
     loop {
@@ -413,6 +609,7 @@ pub fn run_coordinator(
             if now >= t {
                 ctx.down_until = None;
                 ctx.history.lock().push(ActaEvent::Recover { site });
+                ctx.observe_recover();
                 let actions = engine.recover();
                 ctx.run_actions(actions);
                 // Any clients still waiting learn the recovered outcome.
@@ -437,6 +634,7 @@ pub fn run_coordinator(
                     Envelope::Crash { down_for } => {
                         if ctx.down_until.is_none() {
                             ctx.history.lock().push(ActaEvent::Crash { site });
+                            ctx.observe_crash();
                             engine.crash();
                             ctx.crash_volatile();
                             ctx.down_until = Some(now + down_for);
@@ -468,6 +666,7 @@ pub fn run_coordinator(
                         }
                     }
                     Envelope::Protocol(msg) => {
+                        ctx.observe_recv(&msg);
                         let actions = engine.on_message(msg.from, &msg.payload);
                         ctx.run_actions(actions);
                         deliver_decisions(&engine, &mut replies);

@@ -3,12 +3,13 @@
 
 use crate::actor::{
     run_coordinator, run_gateway, run_participant, CoordinatorFinal, GatewayFinal, NetDelays,
-    ParticipantFinal, Routes, SharedHistory,
+    NetObs, ParticipantFinal, Routes, SharedHistory,
 };
 use crate::envelope::Envelope;
 use acp_acta::History;
 use acp_core::{Coordinator, GatewayParticipant, LegacyStore, Participant};
 use acp_engine::SiteEngine;
+use acp_obs::{ProtoLabel, TraceSink};
 use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SiteId, TxnId, Vote};
 use acp_wal::tempdir::TempDir;
 use acp_wal::FileLog;
@@ -93,6 +94,27 @@ impl Cluster {
     /// participant, each with file-backed logs under a fresh temp dir.
     #[must_use]
     pub fn spawn(config: &ClusterConfig) -> Cluster {
+        Self::spawn_inner(config, None)
+    }
+
+    /// Spawn a cluster whose sites stream typed protocol events to
+    /// `sink` (timestamps are microseconds since spawn). The sink must
+    /// tolerate concurrent `record` calls — every site thread shares
+    /// it.
+    #[must_use]
+    pub fn spawn_with_sink(config: &ClusterConfig, sink: Arc<dyn TraceSink>) -> Cluster {
+        Self::spawn_inner(config, Some(sink))
+    }
+
+    fn spawn_inner(config: &ClusterConfig, sink: Option<Arc<dyn TraceSink>>) -> Cluster {
+        let t0 = std::time::Instant::now();
+        let obs_for = |proto: ProtoLabel| {
+            sink.as_ref().map(|s| NetObs {
+                sink: Arc::clone(s),
+                t0,
+                proto,
+            })
+        };
         let dir = TempDir::new("cluster").expect("tempdir");
         let history: SharedHistory = Arc::new(Mutex::new(History::new()));
 
@@ -123,10 +145,11 @@ impl Cluster {
                 let routes = Arc::clone(&routes);
                 let history = Arc::clone(&history);
                 let delays = config.delays;
+                let obs = obs_for(ProtoLabel::of_coordinator(config.kind));
                 handles.push((
                     site,
                     SiteHandle::Coord(std::thread::spawn(move || {
-                        run_coordinator(site, engine, rx, routes, history, delays)
+                        run_coordinator(site, engine, rx, routes, history, delays, obs)
                     })),
                 ));
             } else if config.gateways.contains(&(site.raw() as usize - 1)) {
@@ -141,10 +164,11 @@ impl Cluster {
                 let routes = Arc::clone(&routes);
                 let history = Arc::clone(&history);
                 let delays = config.delays;
+                let obs = obs_for(ProtoLabel::Gateway);
                 handles.push((
                     site,
                     SiteHandle::Gateway(std::thread::spawn(move || {
-                        run_gateway(site, engine, rx, routes, history, delays)
+                        run_gateway(site, engine, rx, routes, history, delays, obs)
                     })),
                 ));
             } else {
@@ -162,10 +186,11 @@ impl Cluster {
                 let routes = Arc::clone(&routes);
                 let history = Arc::clone(&history);
                 let delays = config.delays;
+                let obs = obs_for(ProtoLabel::of_participant(proto));
                 handles.push((
                     site,
                     SiteHandle::Part(std::thread::spawn(move || {
-                        run_participant(site, engine, storage, rx, routes, history, delays)
+                        run_participant(site, engine, storage, rx, routes, history, delays, obs)
                     })),
                 ));
             }

@@ -19,5 +19,6 @@ pub mod actor;
 pub mod cluster;
 pub mod envelope;
 
+pub use actor::NetObs;
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
 pub use envelope::Envelope;

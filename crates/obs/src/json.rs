@@ -1,0 +1,136 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace builds fully offline with no serialization dependency,
+//! so the trace and metrics dumps assemble their JSON by hand. Only the
+//! small subset the observability layer needs is implemented: string
+//! escaping and ordered objects of scalar/nested values.
+
+use crate::event::ProtocolEvent;
+use std::fmt::Write as _;
+
+/// Escape `s` for inclusion in a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one event as a single JSON object (one line, no trailing
+/// newline) for the JSON-lines trace format.
+#[must_use]
+pub fn event_to_json(ev: &ProtocolEvent) -> String {
+    let mut s = format!(
+        "{{\"type\":\"{}\",\"at_us\":{},\"site\":{},\"proto\":\"{}\"",
+        ev.tag(),
+        ev.at_us(),
+        ev.site(),
+        ev.proto().name()
+    );
+    match ev {
+        ProtocolEvent::ForceWrite { record, txn, .. }
+        | ProtocolEvent::NonForcedWrite { record, txn, .. } => {
+            let _ = write!(s, ",\"record\":\"{}\"", escape(record));
+            push_txn(&mut s, *txn);
+        }
+        ProtocolEvent::MsgSend { to, kind, txn, .. } => {
+            let _ = write!(s, ",\"to\":{},\"kind\":\"{}\"", to, escape(kind));
+            push_txn(&mut s, *txn);
+        }
+        ProtocolEvent::MsgRecv { from, kind, txn, .. } => {
+            let _ = write!(s, ",\"from\":{},\"kind\":\"{}\"", from, escape(kind));
+            push_txn(&mut s, *txn);
+        }
+        ProtocolEvent::VoteCast { vote, txn, .. } => {
+            let _ = write!(s, ",\"vote\":\"{}\"", escape(vote));
+            push_txn(&mut s, *txn);
+        }
+        ProtocolEvent::DecisionReached { outcome, txn, .. } => {
+            let _ = write!(s, ",\"outcome\":\"{}\"", escape(outcome));
+            push_txn(&mut s, *txn);
+        }
+        ProtocolEvent::LogGc {
+            released_up_to,
+            records_released,
+            since_decision_us,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"released_up_to\":{released_up_to},\"records_released\":{records_released}"
+            );
+            if let Some(lat) = since_decision_us {
+                let _ = write!(s, ",\"since_decision_us\":{lat}");
+            }
+        }
+        ProtocolEvent::CrashObserved { .. } => {}
+        ProtocolEvent::RecoveryStep { detail, .. } => {
+            let _ = write!(s, ",\"detail\":\"{}\"", escape(detail));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn push_txn(s: &mut String, txn: Option<u64>) {
+    if let Some(t) = txn {
+        let _ = write!(s, ",\"txn\":{t}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProtoLabel;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn event_lines_are_valid_objects() {
+        let e = ProtocolEvent::MsgSend {
+            at_us: 1200,
+            site: 0,
+            proto: ProtoLabel::PrAny,
+            to: 2,
+            kind: "prepare",
+            txn: Some(1),
+        };
+        assert_eq!(
+            event_to_json(&e),
+            "{\"type\":\"msg_send\",\"at_us\":1200,\"site\":0,\"proto\":\"PrAny\",\
+             \"to\":2,\"kind\":\"prepare\",\"txn\":1}"
+        );
+    }
+
+    #[test]
+    fn gc_event_carries_latency() {
+        let e = ProtocolEvent::LogGc {
+            at_us: 5000,
+            site: 0,
+            proto: ProtoLabel::PrN,
+            released_up_to: 4,
+            records_released: 3,
+            since_decision_us: Some(800),
+        };
+        let line = event_to_json(&e);
+        assert!(line.contains("\"records_released\":3"));
+        assert!(line.contains("\"since_decision_us\":800"));
+    }
+}

@@ -5,10 +5,12 @@ use crate::network::{Fate, Network, NetworkConfig};
 use crate::process::{Context, Process};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceKind};
-use acp_types::SiteId;
+use acp_obs::{ProtoLabel, ProtocolEvent, TraceSink};
+use acp_types::{Message, SiteId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 /// A deterministic simulated world of fail-stop sites.
 ///
@@ -27,6 +29,12 @@ pub struct World<P: Process> {
     rng: StdRng,
     trace: Trace,
     events_processed: u64,
+    /// Optional typed-event sink (transport-level events: sends,
+    /// deliveries, crashes, recoveries). Protocol-level events are the
+    /// processes' business.
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Protocol attribution per site for emitted events.
+    labels: BTreeMap<SiteId, ProtoLabel>,
 }
 
 impl<P: Process> World<P> {
@@ -44,6 +52,45 @@ impl<P: Process> World<P> {
             rng: StdRng::seed_from_u64(seed),
             trace: Trace::new(),
             events_processed: 0,
+            sink: None,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a typed-event sink. The world emits [`ProtocolEvent`]s for
+    /// network sends/deliveries and site crashes/recoveries (timestamped
+    /// in virtual microseconds); protocol-level events are emitted by
+    /// the processes themselves.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Set the protocol label attributed to `site`'s transport events
+    /// (defaults to [`ProtoLabel::Other`]).
+    pub fn set_label(&mut self, site: SiteId, label: ProtoLabel) {
+        self.labels.insert(site, label);
+    }
+
+    fn label(&self, site: SiteId) -> ProtoLabel {
+        self.labels.get(&site).copied().unwrap_or(ProtoLabel::Other)
+    }
+
+    fn emit(&self, ev: ProtocolEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&ev);
+        }
+    }
+
+    fn emit_send(&self, msg: &Message) {
+        if self.sink.is_some() {
+            self.emit(ProtocolEvent::MsgSend {
+                at_us: self.now.as_micros(),
+                site: msg.from.raw(),
+                proto: self.label(msg.from),
+                to: msg.to.raw(),
+                kind: msg.payload.kind_name(),
+                txn: Some(msg.payload.txn().raw()),
+            });
         }
     }
 
@@ -144,6 +191,7 @@ impl<P: Process> World<P> {
         }
         for msg in outbox {
             self.trace.push(self.now, TraceKind::Sent(msg.clone()));
+            self.emit_send(&msg);
             match self.network.fate(msg.from, msg.to, self.now, &mut self.rng) {
                 Fate::Deliver(at) => {
                     self.push(at, SimEvent::Deliver(msg));
@@ -170,6 +218,11 @@ impl<P: Process> World<P> {
             return; // already down
         }
         self.trace.push(self.now, TraceKind::Crashed(site));
+        self.emit(ProtocolEvent::CrashObserved {
+            at_us: self.now.as_micros(),
+            site: site.raw(),
+            proto: self.label(site),
+        });
         self.procs.get_mut(&site).expect("site").on_crash();
     }
 
@@ -179,6 +232,12 @@ impl<P: Process> World<P> {
         }
         *self.incarnation.get_mut(&site).expect("site") += 1;
         self.trace.push(self.now, TraceKind::Recovered(site));
+        self.emit(ProtocolEvent::RecoveryStep {
+            at_us: self.now.as_micros(),
+            site: site.raw(),
+            proto: self.label(site),
+            detail: "site back up; restart procedure begins".to_string(),
+        });
         let mut ctx = Context::new(self.now, site);
         self.procs
             .get_mut(&site)
@@ -201,6 +260,16 @@ impl<P: Process> World<P> {
                     self.trace.push(self.now, TraceKind::Dropped(msg));
                 } else {
                     self.trace.push(self.now, TraceKind::Delivered(msg.clone()));
+                    if self.sink.is_some() {
+                        self.emit(ProtocolEvent::MsgRecv {
+                            at_us: self.now.as_micros(),
+                            site: msg.to.raw(),
+                            proto: self.label(msg.to),
+                            from: msg.from.raw(),
+                            kind: msg.payload.kind_name(),
+                            txn: Some(msg.payload.txn().raw()),
+                        });
+                    }
                     let site = msg.to;
                     let mut ctx = Context::new(self.now, site);
                     self.procs

@@ -31,6 +31,7 @@ pub mod error;
 pub mod file;
 pub mod gc;
 pub mod mem;
+pub mod observe;
 pub mod record;
 pub mod scan;
 pub mod tempdir;
@@ -39,6 +40,7 @@ pub use error::WalError;
 pub use file::FileLog;
 pub use gc::GcTracker;
 pub use mem::MemLog;
+pub use observe::ObservedLog;
 pub use record::{LogRecord, Lsn, WalStats};
 
 use acp_types::LogPayload;

@@ -13,6 +13,15 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== cargo doc --no-deps --offline (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
+
+echo "== figure drift: regenerate results/figures/ and diff"
+cargo run --release --offline -q -p acp-bench --bin exp_figures > /dev/null
+git diff --exit-code -- results/figures/ \
+  || { echo "FAIL: results/figures/ drifted from the rendering code —"; \
+       echo "      commit the regenerated files"; exit 1; }
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

@@ -32,6 +32,7 @@
 //! | re-export | crate | what it is |
 //! |---|---|---|
 //! | [`types`] | `acp-types` | ids, protocols, messages, log payloads |
+//! | [`obs`] | `acp-obs` | typed event tracing, cost metrics, figure rendering |
 //! | [`wal`] | `acp-wal` | write-ahead-log substrate (memory + file) |
 //! | [`sim`] | `acp-sim` | deterministic discrete-event simulator |
 //! | [`core`] | `acp-core` | the protocol engines + scenario harness |
@@ -49,6 +50,7 @@ pub use acp_check as check;
 pub use acp_core as core;
 pub use acp_engine as engine;
 pub use acp_net as net;
+pub use acp_obs as obs;
 pub use acp_sim as sim;
 pub use acp_types as types;
 pub use acp_wal as wal;
@@ -62,9 +64,14 @@ pub mod prelude {
     };
     pub use acp_check::{check, CheckConfig, CheckReport};
     pub use acp_core::cost::{predict, Population, PredictedCosts};
-    pub use acp_core::harness::{run_scenario, Scenario, ScenarioOutcome, TimerDelays, TxnSpec};
+    pub use acp_core::harness::{
+        run_scenario, run_scenario_with_sink, Scenario, ScenarioOutcome, TimerDelays, TxnSpec,
+    };
     pub use acp_core::{select_mode, Action, CommitPlan, Coordinator, Participant};
     pub use acp_net::{Cluster, ClusterConfig};
+    pub use acp_obs::{
+        CountingSink, MetricsRegistry, ProtoLabel, ProtocolEvent, TraceSink, VecSink,
+    };
     pub use acp_sim::{FailureSchedule, NetworkConfig, SimTime};
     pub use acp_types::{
         CommitMode, CoordinatorKind, CostCounters, Outcome, ProtocolKind, SelectionPolicy, SiteId,

@@ -151,3 +151,51 @@ fn u2pc_violation_reproduces_on_real_threads() {
     // in theorem1.rs and the model checker remain authoritative.
     assert!(violated, "no violation observed across attempts");
 }
+
+#[test]
+fn traced_cluster_emits_protocol_events() {
+    use std::sync::Arc;
+
+    let sink = Arc::new(VecSink::new());
+    let mut cluster =
+        Cluster::spawn_with_sink(&mixed_cluster(), Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"k", b"v");
+    }
+    let outcome = cluster.commit(txn, &parts).expect("decision");
+    assert_eq!(outcome, Outcome::Commit);
+    cluster.settle(Duration::from_millis(300));
+    let report = cluster.shutdown();
+    assert!(check_atomicity(&report.history).is_empty());
+
+    let events = sink.take();
+    // Every voting participant casts exactly one vote, and exactly one
+    // commit decision is reached (at the coordinator).
+    let votes = events
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::VoteCast { .. }))
+        .count();
+    assert_eq!(votes, parts.len(), "{events:#?}");
+    let decisions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            ProtocolEvent::DecisionReached { proto, outcome, .. } => Some((proto, outcome)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(decisions.len(), 1, "{events:#?}");
+    assert_eq!(*decisions[0].0, ProtoLabel::PrAny);
+    // The wire is visible: sends and receives both appear, and
+    // something was forced to stable storage on the participant side.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ProtocolEvent::MsgSend { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ProtocolEvent::MsgRecv { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ProtocolEvent::ForceWrite { .. })));
+}

@@ -1,0 +1,94 @@
+//! Golden-trace test for the observability layer's figure rendering.
+//!
+//! The five paper figures under `results/figures/` are generated from
+//! live simulator runs through the `acp-obs` event stream. This test
+//! pins them three ways:
+//!
+//! 1. **Run-to-run determinism** — two consecutive regenerations are
+//!    byte-identical.
+//! 2. **Thread-count independence** — regenerating at 1, 4 and 7
+//!    worker threads produces the same bytes (the PR 1 determinism
+//!    guarantee, extended to the event stream: `parallel_map` places
+//!    results by index, and every event is emitted inside one
+//!    deterministic scenario run).
+//! 3. **Checked-in copies are current** — every generated artifact
+//!    equals the file committed under `results/figures/`, so the
+//!    rendered figures in the repo can never drift from the code
+//!    (`scripts/verify.sh` enforces the same property in CI).
+
+use acp_bench::figures::render_paper_figures;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn figures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/figures")
+}
+
+#[test]
+fn figure_artifacts_are_byte_stable_across_runs_and_thread_counts() {
+    let baseline = render_paper_figures(1).files;
+    assert!(!baseline.is_empty());
+    for threads in [1, 4, 7] {
+        let again = render_paper_figures(threads).files;
+        assert_eq!(
+            baseline.keys().collect::<Vec<_>>(),
+            again.keys().collect::<Vec<_>>(),
+            "artifact set changed at {threads} threads"
+        );
+        for (name, contents) in &baseline {
+            assert_eq!(
+                contents, &again[name],
+                "{name} not byte-stable at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn checked_in_figures_match_regeneration() {
+    let generated = render_paper_figures(1).files;
+    let dir = figures_dir();
+    let mut on_disk: BTreeMap<String, String> = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir).expect("results/figures exists — run exp_figures") {
+        let entry = entry.expect("dir entry");
+        on_disk.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read_to_string(entry.path()).expect("read figure"),
+        );
+    }
+    assert_eq!(
+        generated.keys().collect::<Vec<_>>(),
+        on_disk.keys().collect::<Vec<_>>(),
+        "file set differs — rerun `cargo run -p acp-bench --bin exp_figures`"
+    );
+    for (name, contents) in &generated {
+        assert_eq!(
+            contents, &on_disk[name],
+            "{name} is stale — rerun `cargo run -p acp-bench --bin exp_figures`"
+        );
+    }
+}
+
+#[test]
+fn rendered_figures_contain_the_papers_signature_schedules() {
+    let files = render_paper_figures(1).files;
+    // Figure 3 (PrA): the commit panel forces the decision; the abort
+    // panel relies on the presumption — participants write part-abort
+    // lazily and the coordinator logs nothing for the abort.
+    let f3 = &files["fig3_pra.txt"];
+    assert!(f3.contains("force:commit"), "{f3}");
+    assert!(f3.contains("write:part-abort"), "{f3}");
+    assert!(!f3.contains("force:part-abort"), "{f3}");
+    // Figure 4 (PrC): the initiation record is forced before voting.
+    let f4 = &files["fig4_prc.txt"];
+    assert!(f4.contains("force:initiation"), "{f4}");
+    // Figure 1 (PrAny): the PrA participant acks commit (forced
+    // part-commit), the PrC one doesn't (lazy part-commit).
+    let f1 = &files["fig1_prany.txt"];
+    assert!(f1.contains("force:part-commit"), "{f1}");
+    assert!(f1.contains("write:part-commit"), "{f1}");
+    // Figure 5: the taxonomy tree places this paper's protocol.
+    let f5 = &files["fig5_taxonomy.txt"];
+    assert!(f5.contains("Presumed Any"), "{f5}");
+    assert!(f5.contains("integrate incompatible ACPs"), "{f5}");
+}
