@@ -172,7 +172,9 @@ impl CheckState {
                 Action::Send { to, payload } => {
                     self.in_flight.push(Message::new(site, to, payload));
                 }
-                Action::SetTimer { token, purpose } => {
+                Action::SetTimer { token, purpose, .. } => {
+                    // The checker explores timer firings nondeterministically,
+                    // so the backoff attempt (a real-time concern) is ignored.
                     self.timers.insert(ArmedTimer {
                         site,
                         token,

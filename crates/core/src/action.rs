@@ -22,14 +22,23 @@ pub enum TimerPurpose {
     ApplyRetry,
 }
 
+impl TimerPurpose {
+    /// Stable display name (also the retry-event vocabulary of
+    /// `acp-obs`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TimerPurpose::VoteTimeout => "vote-timeout",
+            TimerPurpose::AckResend => "ack-resend",
+            TimerPurpose::InquiryRetry => "inquiry-retry",
+            TimerPurpose::ApplyRetry => "apply-retry",
+        }
+    }
+}
+
 impl fmt::Display for TimerPurpose {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TimerPurpose::VoteTimeout => write!(f, "vote-timeout"),
-            TimerPurpose::AckResend => write!(f, "ack-resend"),
-            TimerPurpose::InquiryRetry => write!(f, "inquiry-retry"),
-            TimerPurpose::ApplyRetry => write!(f, "apply-retry"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -63,6 +72,11 @@ pub enum Action {
         token: u64,
         /// What the timer is for (host picks the delay).
         purpose: TimerPurpose,
+        /// How many times this timer has already fired for its purpose
+        /// (0 for the first arming). Hosts scale the base delay
+        /// exponentially in `attempt`, bounded — so retries under
+        /// message loss back off instead of hammering a lossy link.
+        attempt: u32,
     },
     /// Record a significant event in the global ACTA history.
     Acta(ActaEvent),
@@ -129,6 +143,7 @@ mod tests {
             Action::SetTimer {
                 token: 3,
                 purpose: TimerPurpose::VoteTimeout,
+                attempt: 0,
             },
         ];
         assert_eq!(sent_payloads(&actions).len(), 1);

@@ -316,11 +316,21 @@ impl<L: StableLog> Coordinator<L> {
         out.push(Action::Send { to, payload });
     }
 
-    pub(crate) fn arm_timer(&mut self, txn: TxnId, purpose: TimerPurpose, out: &mut Vec<Action>) {
+    pub(crate) fn arm_timer(
+        &mut self,
+        txn: TxnId,
+        purpose: TimerPurpose,
+        attempt: u32,
+        out: &mut Vec<Action>,
+    ) {
         let token = self.next_token;
         self.next_token += 1;
         self.timers.insert(token, (txn, purpose));
-        out.push(Action::SetTimer { token, purpose });
+        out.push(Action::SetTimer {
+            token,
+            purpose,
+            attempt,
+        });
     }
 
     // -- protocol entry points ------------------------------------------
@@ -368,7 +378,7 @@ impl<L: StableLog> Coordinator<L> {
                 logged_any,
             },
         );
-        self.arm_timer(txn, TimerPurpose::VoteTimeout, &mut out);
+        self.arm_timer(txn, TimerPurpose::VoteTimeout, 0, &mut out);
         out
     }
 
@@ -451,7 +461,7 @@ impl<L: StableLog> Coordinator<L> {
                 pending,
                 resends: 0,
             };
-            self.arm_timer(txn, TimerPurpose::AckResend, out);
+            self.arm_timer(txn, TimerPurpose::AckResend, 0, out);
         }
     }
 
@@ -683,7 +693,7 @@ impl<L: StableLog> Coordinator<L> {
                         self.send(txn, to, Payload::Decision { txn, outcome }, &mut out);
                     }
                     if attempts < MAX_DECISION_RESENDS {
-                        self.arm_timer(txn, TimerPurpose::AckResend, &mut out);
+                        self.arm_timer(txn, TimerPurpose::AckResend, attempts, &mut out);
                     }
                 }
             }

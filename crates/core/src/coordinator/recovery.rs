@@ -133,7 +133,7 @@ impl<L: StableLog> Coordinator<L> {
                 logged_any: true,
             },
         );
-        self.arm_timer(txn, TimerPurpose::AckResend, out);
+        self.arm_timer(txn, TimerPurpose::AckResend, 0, out);
     }
 
     /// Reconstruct the plan for a recovered transaction. For a PrAny

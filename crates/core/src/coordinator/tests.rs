@@ -176,6 +176,7 @@ mod prn {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::VoteTimeout,
+                    ..
                 } => Some(*token),
                 _ => None,
             })
@@ -460,6 +461,7 @@ mod u2pc {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::VoteTimeout,
+                    ..
                 } => Some(*token),
                 _ => None,
             })
@@ -721,6 +723,7 @@ mod prany {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::VoteTimeout,
+                    ..
                 } => Some(*token),
                 _ => None,
             })
@@ -769,6 +772,7 @@ mod prany {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::VoteTimeout,
+                    ..
                 } => Some(*token),
                 _ => None,
             })
@@ -898,6 +902,7 @@ mod prany {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::VoteTimeout,
+                    ..
                 } => Some(*token),
                 _ => None,
             })

@@ -246,11 +246,15 @@ impl<L: StableLog> GatewayParticipant<L> {
         out.push(Action::Send { to, payload });
     }
 
-    fn arm_timer(&mut self, txn: TxnId, purpose: TimerPurpose, out: &mut Vec<Action>) {
+    fn arm_timer(&mut self, txn: TxnId, purpose: TimerPurpose, attempt: u32, out: &mut Vec<Action>) {
         let token = self.next_token;
         self.next_token += 1;
         self.timers.insert(token, txn);
-        out.push(Action::SetTimer { token, purpose });
+        out.push(Action::SetTimer {
+            token,
+            purpose,
+            attempt,
+        });
     }
 
     /// Handle a prepare request: take the reservation, force the redo
@@ -356,7 +360,7 @@ impl<L: StableLog> GatewayParticipant<L> {
             },
             &mut out,
         );
-        self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+        self.arm_timer(txn, TimerPurpose::InquiryRetry, 0, &mut out);
         out
     }
 
@@ -374,8 +378,10 @@ impl<L: StableLog> GatewayParticipant<L> {
             match self.legacy.write(k, v) {
                 Ok(()) => *next_write += 1,
                 Err(Unavailable) => {
-                    // Commitment-after/redo: keep retrying.
-                    self.arm_timer(txn, TimerPurpose::ApplyRetry, out);
+                    // Commitment-after/redo: keep retrying. Availability
+                    // is binary, so the retry interval stays flat
+                    // (attempt 0) rather than backing off.
+                    self.arm_timer(txn, TimerPurpose::ApplyRetry, 0, out);
                     return;
                 }
             }
@@ -486,7 +492,7 @@ impl<L: StableLog> GatewayParticipant<L> {
                     &mut out,
                 );
                 if attempts < crate::participant::MAX_INQUIRY_RETRIES {
-                    self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+                    self.arm_timer(txn, TimerPurpose::InquiryRetry, attempts, &mut out);
                 }
             }
             Some(GatewayPhase::Applying { .. }) => self.try_apply(txn, &mut out),
@@ -548,7 +554,7 @@ impl<L: StableLog> GatewayParticipant<L> {
                     Payload::Inquiry { txn, protocol },
                     &mut out,
                 );
-                self.arm_timer(txn, TimerPurpose::InquiryRetry, &mut out);
+                self.arm_timer(txn, TimerPurpose::InquiryRetry, 1, &mut out);
             } else if let Some(outcome) = s.part_decision {
                 self.enforced.entry(txn).or_insert(outcome);
                 if outcome == Outcome::Commit {
@@ -700,6 +706,7 @@ mod tests {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::ApplyRetry,
+                    ..
                 } => Some(*token),
                 _ => None,
             })
@@ -712,6 +719,7 @@ mod tests {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::ApplyRetry,
+                    ..
                 } => Some(*token),
                 _ => None,
             })

@@ -234,13 +234,14 @@ impl<L: StableLog> Participant<L> {
         out.push(Action::Send { to, payload });
     }
 
-    fn arm_inquiry_timer(&mut self, txn: TxnId, out: &mut Vec<Action>) {
+    fn arm_inquiry_timer(&mut self, txn: TxnId, attempt: u32, out: &mut Vec<Action>) {
         let token = self.next_token;
         self.next_token += 1;
         self.timers.insert(token, txn);
         out.push(Action::SetTimer {
             token,
             purpose: TimerPurpose::InquiryRetry,
+            attempt,
         });
     }
 
@@ -297,7 +298,7 @@ impl<L: StableLog> Participant<L> {
                     },
                     &mut out,
                 );
-                self.arm_inquiry_timer(txn, &mut out);
+                self.arm_inquiry_timer(txn, 0, &mut out);
             }
             Vote::No => {
                 // Unilateral abort: no stable trace, no second phase.
@@ -431,7 +432,7 @@ impl<L: StableLog> Participant<L> {
                 &mut out,
             );
             if attempts < MAX_INQUIRY_RETRIES {
-                self.arm_inquiry_timer(txn, &mut out);
+                self.arm_inquiry_timer(txn, attempts, &mut out);
             }
         }
         out
@@ -481,7 +482,7 @@ impl<L: StableLog> Participant<L> {
                     Payload::Inquiry { txn, protocol },
                     &mut out,
                 );
-                self.arm_inquiry_timer(txn, &mut out);
+                self.arm_inquiry_timer(txn, 1, &mut out);
             } else if let Some(outcome) = s.part_decision {
                 // Decision durable but end record lost in the crash: the
                 // data engine re-enforces via redo; protocol-wise, close
@@ -657,6 +658,7 @@ mod tests {
                 Action::SetTimer {
                     token,
                     purpose: TimerPurpose::InquiryRetry,
+                    ..
                 } => Some(*token),
                 _ => None,
             })

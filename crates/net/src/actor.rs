@@ -40,14 +40,25 @@ impl Default for NetDelays {
     }
 }
 
+/// Doublings beyond which the backoff stops growing (mirrors the
+/// simulator harness; `MAX_BACKOFF` caps the result long before this).
+const BACKOFF_SHIFT_CAP: u32 = 16;
+
+/// Upper bound on any backed-off delay in the threaded runtime.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
+
 impl NetDelays {
-    fn delay(&self, p: TimerPurpose) -> Duration {
-        match p {
+    fn delay(&self, p: TimerPurpose, attempt: u32) -> Duration {
+        let base = match p {
             TimerPurpose::VoteTimeout => self.vote_timeout,
             TimerPurpose::AckResend => self.ack_resend,
             TimerPurpose::InquiryRetry => self.inquiry_retry,
             TimerPurpose::ApplyRetry => self.apply_retry,
-        }
+        };
+        // Bounded exponential backoff: min(base << attempt, MAX_BACKOFF).
+        base.saturating_mul(1u32 << attempt.min(BACKOFF_SHIFT_CAP).min(31))
+            .min(MAX_BACKOFF)
+            .max(base)
     }
 }
 
@@ -243,12 +254,28 @@ impl ActorCtx {
                     }
                     self.route(Message::new(self.site, to, payload));
                 }
-                Action::SetTimer { token, purpose } => {
+                Action::SetTimer {
+                    token,
+                    purpose,
+                    attempt,
+                } => {
+                    if attempt > 0 {
+                        if let Some(obs) = &self.obs {
+                            obs.sink.record(&ProtocolEvent::RetryScheduled {
+                                at_us: obs.now_us(),
+                                site: self.site.raw(),
+                                proto: obs.proto,
+                                purpose: purpose.name(),
+                                attempt,
+                                txn: None,
+                            });
+                        }
+                    }
                     let harness = self.next_token;
                     self.next_token += 1;
                     self.timer_map.insert(harness, (token, purpose));
                     self.timers.push(Reverse((
-                        Instant::now() + self.delays.delay(purpose),
+                        Instant::now() + self.delays.delay(purpose, attempt),
                         harness,
                     )));
                 }

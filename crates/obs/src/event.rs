@@ -224,6 +224,27 @@ pub enum ProtocolEvent {
         /// known — the "GC latency" metric.
         since_decision_us: Option<u64>,
     },
+    /// An engine re-armed a retry timer with exponential backoff: the
+    /// previous attempt fired without resolving (a decision re-send
+    /// whose acknowledgments are still owed, an inquiry that went
+    /// unanswered). Emitted only for genuine retries (`attempt > 0`),
+    /// so clean runs carry none of these and their traces are
+    /// unchanged; under message loss the per-protocol retry counts
+    /// quantify how hard each protocol worked to terminate.
+    RetryScheduled {
+        /// Event time in microseconds.
+        at_us: u64,
+        /// Retrying site.
+        site: u32,
+        /// The protocol the site runs.
+        proto: ProtoLabel,
+        /// Timer purpose (display form, e.g. `inquiry-retry`).
+        purpose: &'static str,
+        /// The attempt number just scheduled (1 = first retry).
+        attempt: u32,
+        /// The transaction, when the host knows it.
+        txn: Option<u64>,
+    },
     /// A site fail-stopped.
     CrashObserved {
         /// Event time in microseconds.
@@ -260,6 +281,7 @@ impl ProtocolEvent {
             | ProtocolEvent::VoteCast { at_us, .. }
             | ProtocolEvent::DecisionReached { at_us, .. }
             | ProtocolEvent::LogGc { at_us, .. }
+            | ProtocolEvent::RetryScheduled { at_us, .. }
             | ProtocolEvent::CrashObserved { at_us, .. }
             | ProtocolEvent::RecoveryStep { at_us, .. } => *at_us,
         }
@@ -276,6 +298,7 @@ impl ProtocolEvent {
             | ProtocolEvent::VoteCast { site, .. }
             | ProtocolEvent::DecisionReached { site, .. }
             | ProtocolEvent::LogGc { site, .. }
+            | ProtocolEvent::RetryScheduled { site, .. }
             | ProtocolEvent::CrashObserved { site, .. }
             | ProtocolEvent::RecoveryStep { site, .. } => *site,
         }
@@ -292,6 +315,7 @@ impl ProtocolEvent {
             | ProtocolEvent::VoteCast { proto, .. }
             | ProtocolEvent::DecisionReached { proto, .. }
             | ProtocolEvent::LogGc { proto, .. }
+            | ProtocolEvent::RetryScheduled { proto, .. }
             | ProtocolEvent::CrashObserved { proto, .. }
             | ProtocolEvent::RecoveryStep { proto, .. } => *proto,
         }
@@ -308,6 +332,7 @@ impl ProtocolEvent {
             ProtocolEvent::VoteCast { .. } => "vote_cast",
             ProtocolEvent::DecisionReached { .. } => "decision_reached",
             ProtocolEvent::LogGc { .. } => "log_gc",
+            ProtocolEvent::RetryScheduled { .. } => "retry_scheduled",
             ProtocolEvent::CrashObserved { .. } => "crash_observed",
             ProtocolEvent::RecoveryStep { .. } => "recovery_step",
         }

@@ -76,6 +76,19 @@ pub fn event_to_json(ev: &ProtocolEvent) -> String {
                 let _ = write!(s, ",\"since_decision_us\":{lat}");
             }
         }
+        ProtocolEvent::RetryScheduled {
+            purpose,
+            attempt,
+            txn,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"purpose\":\"{}\",\"attempt\":{attempt}",
+                escape(purpose)
+            );
+            push_txn(&mut s, *txn);
+        }
         ProtocolEvent::CrashObserved { .. } => {}
         ProtocolEvent::RecoveryStep { detail, .. } => {
             let _ = write!(s, ",\"detail\":\"{}\"", escape(detail));

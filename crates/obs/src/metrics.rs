@@ -54,6 +54,10 @@ pub enum Counter {
     GcLatencyUsSum,
     /// Number of GC runs with a known decision-to-GC latency.
     GcLatencySamples,
+    /// Inquiry retries scheduled with backoff (attempt ≥ 1).
+    InquiryRetries,
+    /// Decision re-sends scheduled with backoff (attempt ≥ 1).
+    DecisionResends,
     /// Observed site crashes.
     Crashes,
     /// Observed site recoveries.
@@ -62,7 +66,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in JSON-dump order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::ForcedWrites,
         Counter::LazyWrites,
         Counter::MsgsSent,
@@ -79,6 +83,8 @@ impl Counter {
         Counter::GcRecordsReleased,
         Counter::GcLatencyUsSum,
         Counter::GcLatencySamples,
+        Counter::InquiryRetries,
+        Counter::DecisionResends,
         Counter::Crashes,
         Counter::Recoveries,
     ];
@@ -103,6 +109,8 @@ impl Counter {
             Counter::GcRecordsReleased => "gc_records_released",
             Counter::GcLatencyUsSum => "gc_latency_us_sum",
             Counter::GcLatencySamples => "gc_latency_samples",
+            Counter::InquiryRetries => "inquiry_retries",
+            Counter::DecisionResends => "decision_resends",
             Counter::Crashes => "crashes",
             Counter::Recoveries => "recoveries",
         }
@@ -178,6 +186,13 @@ impl MetricsRegistry {
                     self.add(p, Counter::GcLatencySamples, 1);
                 }
             }
+            ProtocolEvent::RetryScheduled { purpose, .. } => match *purpose {
+                "inquiry-retry" => self.add(p, Counter::InquiryRetries, 1),
+                "ack-resend" => self.add(p, Counter::DecisionResends, 1),
+                // Other purposes (e.g. a gateway apply retry) are not
+                // separately bucketed.
+                _ => {}
+            },
             ProtocolEvent::CrashObserved { .. } => self.add(p, Counter::Crashes, 1),
             ProtocolEvent::RecoveryStep { .. } => self.add(p, Counter::Recoveries, 1),
         }
@@ -338,6 +353,33 @@ mod tests {
         assert_eq!(r.get(ProtoLabel::PrAny, Counter::GcRecordsReleased), 6);
         assert_eq!(r.get(ProtoLabel::PrAny, Counter::GcLatencyUsSum), 700);
         assert_eq!(r.get(ProtoLabel::PrAny, Counter::GcLatencySamples), 1);
+    }
+
+    #[test]
+    fn retries_are_bucketed_by_purpose() {
+        let r = MetricsRegistry::new();
+        for (purpose, attempt) in [("inquiry-retry", 1), ("inquiry-retry", 2), ("ack-resend", 1)] {
+            r.record(&ProtocolEvent::RetryScheduled {
+                at_us: 0,
+                site: 1,
+                proto: ProtoLabel::PrC,
+                purpose,
+                attempt,
+                txn: None,
+            });
+        }
+        assert_eq!(r.get(ProtoLabel::PrC, Counter::InquiryRetries), 2);
+        assert_eq!(r.get(ProtoLabel::PrC, Counter::DecisionResends), 1);
+        // Unbucketed purposes count nowhere.
+        r.record(&ProtocolEvent::RetryScheduled {
+            at_us: 0,
+            site: 1,
+            proto: ProtoLabel::Gateway,
+            purpose: "apply-retry",
+            attempt: 1,
+            txn: None,
+        });
+        assert!(r.is_zero(ProtoLabel::Gateway));
     }
 
     #[test]

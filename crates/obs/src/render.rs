@@ -55,6 +55,12 @@ pub fn describe(ev: &ProtocolEvent, labels: &BTreeMap<u32, String>) -> String {
             }
             s
         }
+        ProtocolEvent::RetryScheduled {
+            purpose,
+            attempt,
+            txn,
+            ..
+        } => format!("retry {purpose} #{attempt}{}", txn_suffix(*txn)),
         ProtocolEvent::CrashObserved { .. } => "CRASH".to_string(),
         ProtocolEvent::RecoveryStep { detail, .. } => format!("recover: {detail}"),
     }
@@ -179,6 +185,11 @@ pub fn render_mermaid(
                 records_released, ..
             } => {
                 let _ = writeln!(out, "    Note over S{s}: gc reclaims {records_released} records");
+            }
+            ProtocolEvent::RetryScheduled {
+                purpose, attempt, ..
+            } => {
+                let _ = writeln!(out, "    Note over S{s}: retry {purpose} #{attempt}");
             }
             ProtocolEvent::CrashObserved { .. } => {
                 let _ = writeln!(out, "    Note over S{s}: CRASH");

@@ -24,9 +24,9 @@ const HEADER_MAGIC: u32 = 0x5741_4C48;
 /// On-disk format version.
 const VERSION: u32 = 1;
 /// Header length in bytes.
-const HEADER_LEN: u64 = 16;
+pub(crate) const HEADER_LEN: u64 = 16;
 
-fn encode_header(low_water: Lsn) -> [u8; 16] {
+pub(crate) fn encode_header(low_water: Lsn) -> [u8; 16] {
     let mut h = [0u8; 16];
     h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
     h[4..8].copy_from_slice(&VERSION.to_le_bytes());
@@ -34,7 +34,7 @@ fn encode_header(low_water: Lsn) -> [u8; 16] {
     h
 }
 
-fn decode_header(buf: &[u8]) -> Result<Lsn, WalError> {
+pub(crate) fn decode_header(buf: &[u8]) -> Result<Lsn, WalError> {
     if buf.len() < HEADER_LEN as usize {
         return Err(WalError::Corrupt {
             offset: 0,

@@ -15,6 +15,9 @@
 //!   are lost on a crash, forced records survive,
 //! * a file-backed stable log for the threaded runtime
 //!   ([`file::FileLog`]),
+//! * a fault-injecting stable log ([`fault::FaultyLog`]) that keeps the
+//!   `FileLog` byte image in memory and corrupts it on demand — torn
+//!   writes, partial fsyncs, bit flips — so recovery can be fuzzed,
 //! * log-analysis scanning ([`scan`]) used by the recovery procedures of
 //!   §4.2, and
 //! * garbage-collection tracking ([`gc::GcTracker`]) — the observable
@@ -28,6 +31,7 @@
 pub mod crc;
 pub mod encode;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod gc;
 pub mod mem;
@@ -37,6 +41,7 @@ pub mod scan;
 pub mod tempdir;
 
 pub use error::WalError;
+pub use fault::{Fault, FaultyLog, RecoveryReport};
 pub use file::FileLog;
 pub use gc::GcTracker;
 pub use mem::MemLog;

@@ -13,6 +13,13 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+# The WAL fuzz suite honours PROPTEST_CASES (its fixed-seed default is
+# 64 cases per property). Export a bigger value before calling this
+# script for a longer campaign, e.g. PROPTEST_CASES=4096
+# scripts/verify.sh — the smoke slice stays fast by default.
+echo "== fuzz smoke: torn-write WAL suite (PROPTEST_CASES=${PROPTEST_CASES:-64})"
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --offline --test fuzz_wal
+
 echo "== cargo doc --no-deps --offline (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
@@ -21,6 +28,15 @@ cargo run --release --offline -q -p acp-bench --bin exp_figures > /dev/null
 git diff --exit-code -- results/figures/ \
   || { echo "FAIL: results/figures/ drifted from the rendering code —"; \
        echo "      commit the regenerated files"; exit 1; }
+
+echo "== fault matrix: regenerate results/exp_faults.txt and diff"
+# exp_faults exits non-zero if any cell FAILs; the diff then catches
+# silent drift of the committed matrix (a regression in either
+# direction). Fixed seed count keeps the output deterministic.
+cargo run --release --offline -q -p acp-bench --bin exp_faults > /dev/null
+git diff --exit-code -- results/exp_faults.txt \
+  || { echo "FAIL: results/exp_faults.txt drifted from the fault campaign —"; \
+       echo "      investigate, then commit the regenerated matrix"; exit 1; }
 
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"

@@ -1,0 +1,199 @@
+//! Double-crash sweeps: crash-during-recovery schedules
+//! (`FailureSchedule::double_crash`) moved across the commit window.
+//!
+//! A site crashes, comes back, gets a short window to re-run its §4.2
+//! recovery procedure (re-building the protocol table, re-sending
+//! decisions, re-inquiring), and crashes *again* before that recovery
+//! can finish. Recovery must be idempotent: the second restart re-runs
+//! the same log analysis over a log that now also contains whatever the
+//! interrupted recovery appended, and every correctness criterion must
+//! still hold. The sweeps move the first crash through the whole commit
+//! window in 50us steps, like `tests/recovery.rs` does for single
+//! crashes.
+
+mod common;
+
+use common::*;
+use presumed_any::prelude::*;
+
+const T: TxnId = TxnId(1);
+
+const MIXED: [ProtocolKind; 3] = [ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC];
+
+/// Sweep a crash-during-recovery schedule for one victim across the
+/// commit window. `redo_window` is how long the first recovery runs
+/// before the second crash lands.
+fn double_crash_sweep(
+    kind: CoordinatorKind,
+    protos: &[ProtocolKind],
+    abort: bool,
+    victim: SiteId,
+    redo_window: SimTime,
+) {
+    for crash_us in (900..2_600).step_by(50) {
+        let mut s = Scenario::new(kind, protos);
+        s.add_txn(T, SimTime::from_millis(1));
+        if abort {
+            s.txns[0].abort_at = Some(SimTime::from_micros(1_250));
+        }
+        let crash_at = SimTime::from_micros(crash_us);
+        s.failures = FailureSchedule::double_crash(
+            victim,
+            crash_at,
+            crash_at + SimTime::from_millis(40),
+            redo_window,
+            SimTime::from_millis(110),
+        );
+        let out = run_scenario(&s);
+        let a = check_atomicity(&out.history);
+        assert!(a.is_empty(), "double crash at {crash_us}us of {victim}: {a:?}");
+        let o = check_operational(&out.history, &out.final_state);
+        assert!(o.is_empty(), "double crash at {crash_us}us of {victim}: {o:?}");
+        let ss = check_all_safe_states(&out.history, coord());
+        assert!(ss.is_empty(), "double crash at {crash_us}us of {victim}: {ss:?}");
+    }
+}
+
+#[test]
+fn coordinator_double_crash_sweep_commit() {
+    double_crash_sweep(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &MIXED,
+        false,
+        coord(),
+        SimTime::from_micros(300),
+    );
+}
+
+#[test]
+fn coordinator_double_crash_sweep_abort() {
+    double_crash_sweep(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &MIXED,
+        true,
+        coord(),
+        SimTime::from_micros(300),
+    );
+}
+
+#[test]
+fn participant_double_crash_sweep_commit() {
+    for victim in [site(1), site(2), site(3)] {
+        double_crash_sweep(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &MIXED,
+            false,
+            victim,
+            SimTime::from_micros(300),
+        );
+    }
+}
+
+#[test]
+fn participant_double_crash_sweep_abort() {
+    for victim in [site(1), site(2), site(3)] {
+        double_crash_sweep(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &MIXED,
+            true,
+            victim,
+            SimTime::from_micros(300),
+        );
+    }
+}
+
+/// The second crash lands the very instant recovery begins
+/// (`redo_window` zero fuses the outages: the boundary recovery never
+/// runs at all) and just after it begins (one microsecond of recovery).
+/// Both extremes of the crash-during-recovery spectrum must converge.
+#[test]
+fn zero_and_tiny_redo_windows() {
+    for redo_us in [0u64, 1, 50] {
+        for victim in [coord(), site(3)] {
+            double_crash_sweep(
+                CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+                &MIXED,
+                false,
+                victim,
+                SimTime::from_micros(redo_us),
+            );
+        }
+    }
+}
+
+/// Single-protocol coordinators under double crashes: each presumption's
+/// recovery procedure must be idempotent on its own, not just PrAny's.
+#[test]
+fn single_protocol_double_crash_sweeps() {
+    for p in ProtocolKind::ALL {
+        let protos = [p, p];
+        double_crash_sweep(
+            CoordinatorKind::Single(p),
+            &protos,
+            false,
+            coord(),
+            SimTime::from_micros(300),
+        );
+        double_crash_sweep(
+            CoordinatorKind::Single(p),
+            &protos,
+            false,
+            site(1),
+            SimTime::from_micros(300),
+        );
+    }
+}
+
+/// Both the coordinator and a participant suffer crash-during-recovery
+/// schedules, overlapping in time — the worst case the substrate can
+/// schedule without partitioning.
+#[test]
+fn coordinator_and_participant_both_double_crash() {
+    for (c_at, p_at) in [(1_300u64, 1_500u64), (1_500, 1_300), (1_700, 1_700)] {
+        let mut s = Scenario::new(CoordinatorKind::PrAny(SelectionPolicy::PaperStrict), &MIXED);
+        s.add_txn(T, SimTime::from_millis(1));
+        let mut f = FailureSchedule::double_crash(
+            coord(),
+            SimTime::from_micros(c_at),
+            SimTime::from_micros(c_at) + SimTime::from_millis(30),
+            SimTime::from_micros(400),
+            SimTime::from_millis(80),
+        );
+        let p = FailureSchedule::double_crash(
+            site(3),
+            SimTime::from_micros(p_at),
+            SimTime::from_micros(p_at) + SimTime::from_millis(25),
+            SimTime::from_micros(200),
+            SimTime::from_millis(100),
+        );
+        for o in p.outages {
+            f.push(o.site, o.crash_at, o.recover_at);
+        }
+        s.failures = f;
+        let out = run_scenario(&s);
+        assert_fully_correct(&out);
+        assert!(out.decided.contains_key(&T));
+    }
+}
+
+/// Double crashes under 20% message loss: the recovery inquiries and
+/// decision re-sends themselves ride lossy links, so the bounded
+/// exponential backoff is what drives convergence.
+#[test]
+fn double_crash_under_message_loss() {
+    for seed in 0..4 {
+        let mut s = Scenario::new(CoordinatorKind::PrAny(SelectionPolicy::PaperStrict), &MIXED);
+        s.network = NetworkConfig::lossy(0.2);
+        s.seed = seed;
+        s.add_txn(T, SimTime::from_millis(1));
+        s.failures = FailureSchedule::double_crash(
+            site(2),
+            SimTime::from_micros(1_500),
+            SimTime::from_millis(35),
+            SimTime::from_micros(500),
+            SimTime::from_millis(90),
+        );
+        let out = run_scenario(&s);
+        assert_fully_correct(&out);
+    }
+}

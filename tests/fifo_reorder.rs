@@ -1,0 +1,116 @@
+//! Footnote-5 regression: the no-memory presumption assumes FIFO links.
+//!
+//! Footnote 5 lets a participant with *no memory* of a transaction ack
+//! a decision immediately, on the assumption that no memory means
+//! "already received, enforced and forgotten the decision". That
+//! inference is sound only on FIFO links, where a decision cannot
+//! arrive before the prepare that precedes it. Under reordering the
+//! chain breaks for PrC:
+//!
+//! 1. the coordinator's `Decision(abort)` overtakes the delayed
+//!    `Prepare` at one participant;
+//! 2. the participant has no memory, so footnote 5 applies — PrC acks
+//!    aborts, so it acks without having enforced anything;
+//! 3. the coordinator collects every ack and (being presumed-commit)
+//!    forgets the aborted transaction;
+//! 4. the late `Prepare` finally arrives; the participant prepares and
+//!    is now in doubt;
+//! 5. its inquiry reaches a coordinator with no memory, which answers
+//!    by PrC's presumption: *commit* — and the participant enforces
+//!    commit against a globally aborted transaction.
+//!
+//! The test demonstrates the resulting atomicity violation under
+//! `fifo: false` and asserts the ACTA checkers catch it; the control
+//! run shows the identical schedule parameters are clean under
+//! `fifo: true` (the default, which every other test relies on).
+
+mod common;
+
+use common::*;
+use presumed_any::prelude::*;
+
+const T: TxnId = TxnId(1);
+
+/// High-jitter network so a decision can overtake a prepare when FIFO
+/// ordering is off.
+fn jittery(fifo: bool) -> NetworkConfig {
+    NetworkConfig {
+        min_latency: SimTime::from_micros(100),
+        max_latency: SimTime::from_millis(30),
+        loss_probability: 0.0,
+        fifo,
+    }
+}
+
+/// A client abort shortly after initiation: the abort decision goes out
+/// while some prepares are still in flight, maximizing the overtake
+/// window.
+fn scenario(fifo: bool, seed: u64) -> Scenario {
+    let protos = [ProtocolKind::PrC, ProtocolKind::PrC, ProtocolKind::PrC];
+    let mut s = Scenario::new(CoordinatorKind::Single(ProtocolKind::PrC), &protos);
+    s.network = jittery(fifo);
+    s.seed = seed;
+    s.add_txn(T, SimTime::from_millis(1));
+    s.txns[0].abort_at = Some(SimTime::from_micros(1_400));
+    s
+}
+
+const SEEDS: std::ops::Range<u64> = 0..40;
+
+#[test]
+fn non_fifo_breaks_footnote_5_and_the_checkers_catch_it() {
+    let mut violating_seeds = 0u32;
+    for seed in SEEDS {
+        let out = run_scenario(&scenario(false, seed));
+        let atomicity = check_atomicity(&out.history);
+        if atomicity.is_empty() {
+            continue;
+        }
+        violating_seeds += 1;
+        // The violation is exactly the footnote-5 failure: some
+        // participant enforced *commit* for the aborted transaction
+        // after being answered by PrC's presumption.
+        assert_eq!(out.decided.get(&T), Some(&Outcome::Abort), "seed {seed}");
+        let wrong_commit = out
+            .enforced
+            .iter()
+            .any(|((_, txn), o)| *txn == T && *o == Outcome::Commit);
+        assert!(
+            wrong_commit,
+            "seed {seed}: atomicity violation without a presumed commit: {atomicity:?}"
+        );
+        // The history must show the inquiry answered by presumption —
+        // the ACTA predicate pinpoints step 5 of the failure chain.
+        let by_presumption = out.history.events().iter().any(|e| {
+            matches!(
+                e,
+                ActaEvent::Respond {
+                    by_presumption: true,
+                    outcome: Outcome::Commit,
+                    ..
+                }
+            )
+        });
+        assert!(
+            by_presumption,
+            "seed {seed}: commit was enforced but not via a presumption answer"
+        );
+    }
+    assert!(
+        violating_seeds > 0,
+        "no seed in {SEEDS:?} reordered a decision past its prepare; \
+         widen the latency jitter"
+    );
+}
+
+/// Control: the same schedules on FIFO links are fully correct — the
+/// footnote-5 inference holds whenever links deliver in order, which is
+/// the §2 system model every protocol in the paper assumes.
+#[test]
+fn fifo_control_is_fully_correct() {
+    for seed in SEEDS {
+        let out = run_scenario(&scenario(true, seed));
+        assert_fully_correct(&out);
+        assert_eq!(out.decided.get(&T), Some(&Outcome::Abort), "seed {seed}");
+    }
+}

@@ -90,11 +90,29 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// A configuration running `default_cases` cases unless the
+    /// `PROPTEST_CASES` environment variable overrides the count —
+    /// mirroring the real crate's env handling so CI can run a quick
+    /// smoke slice by default and the full campaign on demand.
+    #[must_use]
+    pub fn with_cases_env(default_cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(default_cases),
+        }
+    }
+}
+
+/// Parse the `PROPTEST_CASES` environment variable, if set and valid.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
     }
 }
 
