@@ -1,0 +1,376 @@
+//! E12 — group-commit batching for forced writes.
+//!
+//! Two faces:
+//!
+//! 1. **Deterministic sim accounting** (always runs, output committed
+//!    to `results/exp_group_commit.txt`): n concurrent lock-step
+//!    transactions under a narrow batch window coalesce exactly one
+//!    protocol force slot per batch, so the measured physical-force
+//!    count must equal [`acp_core::cost::predict_batched`]'s model
+//!    *exactly* — slot by slot, with batch size = n.
+//! 2. **Threaded `FileLog` campaign** (skipped when
+//!    `ACP_GROUP_COMMIT_SMOKE=1`): worker threads share one
+//!    [`SharedGroupLog`] over a file-backed log; the leader/follower
+//!    handshake amortizes real fsyncs. Results go to
+//!    `BENCH_group_commit.json` (forces/txn and commits/sec per
+//!    concurrency × batch window, against the unbatched direct path).
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_group_commit
+//! ```
+
+use acp_bench::{row, sep};
+use acp_core::cost::{predict_batched, Population};
+use acp_core::harness::{run_scenario, Scenario};
+use acp_sim::SimTime;
+use acp_types::{
+    CoordinatorKind, LogPayload, Outcome, ProtocolKind, SelectionPolicy, TxnId,
+};
+use acp_wal::{FileLog, SharedGroupLog};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Transactions per worker thread in the threaded campaign.
+const TXNS_PER_THREAD: u64 = 200;
+
+/// Concurrency sweep for the threaded campaign.
+const THREADS: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// Batch windows (µs) for the threaded campaign. Zero still batches
+/// whatever arrives while a leader's fsync is in flight.
+const WINDOWS_US: [u64; 2] = [0, 200];
+
+fn population(protos: &[ProtocolKind]) -> Population {
+    let mut p = Population::new(0, 0, 0);
+    for proto in protos {
+        match proto {
+            ProtocolKind::PrN => p.prn += 1,
+            ProtocolKind::PrA => p.pra += 1,
+            ProtocolKind::PrC => p.prc += 1,
+        }
+    }
+    p
+}
+
+/// Sim batch window (µs). The network's FIFO guarantee skews
+/// same-instant deliveries apart by 1µs each, so one protocol force
+/// slot spreads over at most n-1 µs; 20µs spans that skew for n ≤ 16
+/// while staying far below the 200µs between consecutive slots, so
+/// windows coalesce exactly one slot each.
+const SIM_WINDOW_US: u64 = 20;
+
+/// Run `n` identical same-instant transactions under the sim batch
+/// window and compare the measured batch accounting with the model.
+fn sim_cell(kind: CoordinatorKind, protos: &[ProtocolKind], n: u64) -> (u64, u64, u64, u64, bool) {
+    let mut scenario = Scenario::new(kind, protos);
+    // Fixed-latency network: identical per-message delays keep the n
+    // transactions in lock-step, so each protocol force slot spans only
+    // the FIFO delivery skew and the window coalesces exactly per slot.
+    scenario.network = acp_sim::NetworkConfig::reliable(SimTime::from_micros(200));
+    scenario.batch_window = Some(SIM_WINDOW_US);
+    for t in 1..=n {
+        scenario.add_txn(TxnId::new(t), SimTime::from_millis(1));
+    }
+    let out = run_scenario(&scenario);
+    for t in 1..=n {
+        assert_eq!(
+            out.decided.get(&TxnId::new(t)),
+            Some(&Outcome::Commit),
+            "{kind} txn {t} must commit"
+        );
+    }
+    let predicted = predict_batched(kind, Outcome::Commit, population(protos), n, n);
+    let measured_physical = out.group_commit.batches;
+    let measured_logical = out.group_commit.batched_appends;
+    let exact = measured_physical == predicted.physical_forces
+        && measured_logical == predicted.logical_forces;
+    (
+        measured_physical,
+        predicted.physical_forces,
+        measured_logical,
+        predicted.logical_forces,
+        exact,
+    )
+}
+
+fn sim_table() -> (String, u64) {
+    let mut doc = String::new();
+    let _ = writeln!(
+        doc,
+        "E12 — group-commit batching: sim accounting vs. analytic model\n\
+         n same-instant transactions, fixed 200us links, batch window 20us\n\
+         (spans the FIFO delivery skew within one force slot; never bridges slots)\n\
+         physical = batch forces performed, logical = forced appends absorbed\n"
+    );
+    let widths = [14, 12, 4, 18, 18, 14, 7];
+    let _ = writeln!(
+        doc,
+        "{}",
+        row(
+            &[
+                "coordinator".into(),
+                "population".into(),
+                "n".into(),
+                "physical (model)".into(),
+                "logical (model)".into(),
+                "amortization".into(),
+                "model".into(),
+            ],
+            &widths
+        )
+    );
+    let _ = writeln!(doc, "{}", sep(&widths));
+
+    let cells: [(CoordinatorKind, &[ProtocolKind], &str); 3] = [
+        (
+            CoordinatorKind::Single(ProtocolKind::PrA),
+            &[ProtocolKind::PrA, ProtocolKind::PrA],
+            "PrA x2",
+        ),
+        (
+            CoordinatorKind::Single(ProtocolKind::PrC),
+            &[ProtocolKind::PrC, ProtocolKind::PrC],
+            "PrC x2",
+        ),
+        (
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+            "PrA+PrC",
+        ),
+    ];
+
+    let mut mismatches = 0;
+    for (kind, protos, pop_label) in cells {
+        for n in [1u64, 2, 4, 8, 16] {
+            let (physical, model_physical, logical, model_logical, exact) =
+                sim_cell(kind, protos, n);
+            if !exact {
+                mismatches += 1;
+            }
+            let amort = if physical == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.3}x", logical as f64 / physical as f64)
+            };
+            let _ = writeln!(
+                doc,
+                "{}",
+                row(
+                    &[
+                        kind.to_string(),
+                        pop_label.into(),
+                        n.to_string(),
+                        format!("{physical} ({model_physical})"),
+                        format!("{logical} ({model_logical})"),
+                        amort,
+                        if exact { "exact" } else { "MISMATCH" }.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    let _ = writeln!(
+        doc,
+        "\noverall: {}",
+        if mismatches == 0 {
+            "ALL CELLS EXACT".to_string()
+        } else {
+            format!("{mismatches} CELLS MISMATCHED")
+        }
+    );
+    (doc, mismatches)
+}
+
+/// One threaded cell: `threads` workers, each forcing
+/// [`TXNS_PER_THREAD`] records through the given path.
+struct Cell {
+    mode: &'static str,
+    threads: u64,
+    window_us: u64,
+    txns: u64,
+    physical_syncs: u64,
+    forces_per_txn_x1000: u64,
+    commits_per_sec: u64,
+    max_occupancy: u64,
+    elapsed_ms: u64,
+}
+
+fn threaded_cell(dir: &Path, threads: u64, window_us: u64, batched: bool) -> Cell {
+    let path = dir.join(format!(
+        "gc-{}-{threads}-{window_us}.wal",
+        if batched { "b" } else { "d" }
+    ));
+    let log = SharedGroupLog::new(
+        FileLog::create(&path).expect("wal"),
+        Duration::from_micros(window_us),
+    );
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let log = log.clone();
+            s.spawn(move || {
+                for i in 0..TXNS_PER_THREAD {
+                    let payload = LogPayload::End {
+                        txn: TxnId::new(w * TXNS_PER_THREAD + i + 1),
+                    };
+                    if batched {
+                        log.append_forced_batched(payload).expect("append");
+                    } else {
+                        log.append_forced_direct(payload).expect("append");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let txns = threads * TXNS_PER_THREAD;
+    let stats = log.wal_stats();
+    let group = log.group_stats();
+    // Physical syncs: the direct path forces per append; the batched
+    // path flushes once per batch.
+    let physical = if batched { stats.flushes } else { stats.forces };
+    Cell {
+        mode: if batched { "batched" } else { "direct" },
+        threads,
+        window_us,
+        txns,
+        physical_syncs: physical,
+        forces_per_txn_x1000: physical * 1000 / txns,
+        commits_per_sec: (txns as u128 * 1_000_000 / elapsed.as_micros().max(1)) as u64,
+        max_occupancy: group.max_occupancy,
+        elapsed_ms: elapsed.as_millis() as u64,
+    }
+}
+
+fn threaded_campaign() -> (Vec<Cell>, String) {
+    let dir = acp_wal::tempdir::TempDir::new("group-commit-bench").expect("tempdir");
+    let mut cells = Vec::new();
+    for &threads in &THREADS {
+        cells.push(threaded_cell(dir.path(), threads, 0, false));
+        for &window_us in &WINDOWS_US {
+            cells.push(threaded_cell(dir.path(), threads, window_us, true));
+        }
+    }
+
+    // Acceptance: ≥3× fewer fsyncs per transaction at concurrency ≥ 8
+    // on the batched path (either window) than the direct path's 1.0.
+    let best_at_8 = cells
+        .iter()
+        .filter(|c| c.mode == "batched" && c.threads >= 8)
+        .map(|c| c.forces_per_txn_x1000)
+        .min()
+        .unwrap_or(1000);
+    let reduction_x1000 = 1000 * 1000 / best_at_8.max(1);
+    let pass = reduction_x1000 >= 3000;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"group_commit\",");
+    let _ = writeln!(
+        json,
+        "  \"backend\": \"FileLog behind SharedGroupLog (threaded leader/follower fsync coalescing)\","
+    );
+    let _ = writeln!(json, "  \"txns_per_thread\": {TXNS_PER_THREAD},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"window_us\": {}, \"txns\": {}, \
+             \"physical_syncs\": {}, \"forces_per_txn_x1000\": {}, \"commits_per_sec\": {}, \
+             \"max_occupancy\": {}, \"elapsed_ms\": {}}}{}",
+            c.mode,
+            c.threads,
+            c.window_us,
+            c.txns,
+            c.physical_syncs,
+            c.forces_per_txn_x1000,
+            c.commits_per_sec,
+            c.max_occupancy,
+            c.elapsed_ms,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"acceptance\": {{");
+    let _ = writeln!(
+        json,
+        "    \"criterion\": \"fsyncs/txn reduced >= 3x at concurrency >= 8\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"best_forces_per_txn_x1000_at_8_plus\": {best_at_8},"
+    );
+    let _ = writeln!(json, "    \"reduction_x1000\": {reduction_x1000},");
+    let _ = writeln!(json, "    \"pass\": {pass}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    (cells, json)
+}
+
+fn main() {
+    let (doc, mismatches) = sim_table();
+    print!("{doc}");
+
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("exp_group_commit.txt"), &doc)
+        .expect("write exp_group_commit.txt");
+    eprintln!("wrote results/exp_group_commit.txt");
+
+    if std::env::var_os("ACP_GROUP_COMMIT_SMOKE").is_some() {
+        eprintln!("smoke mode: skipping the threaded FileLog campaign");
+        if mismatches > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("\nthreaded FileLog campaign ({TXNS_PER_THREAD} txns/thread):\n");
+    let widths = [8, 8, 10, 16, 14, 14, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "mode".into(),
+                "threads".into(),
+                "window".into(),
+                "fsyncs/txn".into(),
+                "commits/sec".into(),
+                "max batch".into(),
+                "elapsed".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+    let (cells, json) = threaded_campaign();
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.mode.into(),
+                    c.threads.to_string(),
+                    format!("{}us", c.window_us),
+                    format!("{:.3}", c.forces_per_txn_x1000 as f64 / 1000.0),
+                    c.commits_per_sec.to_string(),
+                    c.max_occupancy.to_string(),
+                    format!("{}ms", c.elapsed_ms),
+                ],
+                &widths
+            )
+        );
+    }
+    let bench_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_group_commit.json");
+    std::fs::write(&bench_path, &json).expect("write BENCH_group_commit.json");
+    eprintln!("wrote BENCH_group_commit.json");
+    let pass = json.contains("\"pass\": true");
+    println!(
+        "\nacceptance (>=3x fsync/txn reduction at concurrency >= 8): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if mismatches > 0 || !pass {
+        std::process::exit(1);
+    }
+}

@@ -214,6 +214,14 @@ impl<L: StableLog> Coordinator<L> {
         &self.log
     }
 
+    /// Mutable access to the stable log, for hosts that drive log-level
+    /// machinery outside the engine's own actions (group-commit ticks
+    /// and batch commits). Protocol records must still go through the
+    /// engine, never be appended here directly.
+    pub fn log_mut(&mut self) -> &mut L {
+        &mut self.log
+    }
+
     /// Per-transaction costs measured at this site.
     #[must_use]
     pub fn costs(&self, txn: TxnId) -> CostCounters {

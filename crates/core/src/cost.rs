@@ -169,6 +169,82 @@ pub fn predict(kind: CoordinatorKind, outcome: Outcome, population: Population) 
     }
 }
 
+/// Predicted costs for `n_txns` concurrent transactions committed
+/// through a group-commit log.
+///
+/// The model: every per-transaction force slot (the coordinator's
+/// initiation and decision forces, each participant's prepared and
+/// decision forces) batches *independently across transactions* — a
+/// slot is one site's forced write at one protocol step, and concurrent
+/// transactions reach the same step together, so one physical force
+/// serves up to `batch` of them. Forces at different steps (or sites)
+/// never share a sync.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchedPrediction {
+    /// Forced writes the protocols *request*: `n_txns ×` the
+    /// per-transaction total. Unchanged by batching — batching changes
+    /// how many syncs serve them, not how many records are forced.
+    pub logical_forces: u64,
+    /// Physical forces (fsyncs) performed: one per slot per batch of up
+    /// to `batch` transactions.
+    pub physical_forces: u64,
+    /// Number of distinct force slots per transaction.
+    pub slots_per_txn: u64,
+}
+
+impl BatchedPrediction {
+    /// Physical forces per transaction, fixed-point ×1000 (the
+    /// workspace's cost arithmetic is float-free).
+    #[must_use]
+    pub fn forces_per_txn_x1000(&self, n_txns: u64) -> u64 {
+        if n_txns == 0 {
+            0
+        } else {
+            self.physical_forces * 1000 / n_txns
+        }
+    }
+
+    /// Amortization factor ×1000: logical forces per physical force.
+    /// 1000 means no saving; `batch × 1000` is the ideal.
+    #[must_use]
+    pub fn amortization_x1000(&self) -> u64 {
+        if self.physical_forces == 0 {
+            0
+        } else {
+            self.logical_forces * 1000 / self.physical_forces
+        }
+    }
+}
+
+/// Predict the batched cost of `n_txns` identical concurrent
+/// transactions with group-commit batches of at most `batch`
+/// transactions per slot.
+///
+/// `batch = 1` degenerates to the unbatched model exactly
+/// (`physical_forces == logical_forces`); `batch >= n_txns` is the
+/// fully-amortized floor of one physical force per slot. The sim
+/// harness measures the `batch = n_txns` point: with a deterministic
+/// batch window, concurrent transactions' same-slot forces land at the
+/// same instant and coalesce completely.
+#[must_use]
+pub fn predict_batched(
+    kind: CoordinatorKind,
+    outcome: Outcome,
+    population: Population,
+    n_txns: u64,
+    batch: u64,
+) -> BatchedPrediction {
+    let per_txn = predict(kind, outcome, population);
+    let slots = per_txn.total_forces();
+    let batch = batch.max(1);
+    let batches_per_slot = n_txns.div_ceil(batch);
+    BatchedPrediction {
+        logical_forces: slots * n_txns,
+        physical_forces: slots * batches_per_slot,
+        slots_per_txn: slots,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +337,47 @@ mod tests {
         assert_eq!(s.coord_forces, 2);
         assert_eq!(o.coord_forces, 1, "no initiation record in PrA mode");
         assert_eq!(s.messages, o.messages);
+    }
+
+    #[test]
+    fn batch_of_one_is_the_unbatched_model() {
+        let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+        let pop = Population::new(1, 1, 1);
+        for o in [Outcome::Commit, Outcome::Abort] {
+            let per_txn = predict(kind, o, pop);
+            let b = predict_batched(kind, o, pop, 8, 1);
+            assert_eq!(b.physical_forces, b.logical_forces);
+            assert_eq!(b.logical_forces, 8 * per_txn.total_forces());
+            assert_eq!(b.amortization_x1000(), 1000, "no saving at batch 1");
+        }
+    }
+
+    #[test]
+    fn full_batch_amortizes_to_one_force_per_slot() {
+        let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+        let pop = Population::new(1, 1, 1);
+        let per_txn = predict(kind, Outcome::Commit, pop);
+        let b = predict_batched(kind, Outcome::Commit, pop, 16, 16);
+        assert_eq!(b.physical_forces, per_txn.total_forces());
+        assert_eq!(b.forces_per_txn_x1000(16), per_txn.total_forces() * 1000 / 16);
+        assert_eq!(b.amortization_x1000(), 16_000, "ideal 16× amortization");
+    }
+
+    #[test]
+    fn partial_batches_round_up() {
+        let kind = CoordinatorKind::Single(ProtocolKind::PrN);
+        let pop = Population::new(2, 0, 0);
+        // 10 txns in batches of 4 → 3 batches per slot.
+        let b = predict_batched(kind, Outcome::Commit, pop, 10, 4);
+        let slots = predict(kind, Outcome::Commit, pop).total_forces();
+        assert_eq!(b.physical_forces, slots * 3);
+        // Monotone: larger batches never cost more syncs.
+        let mut last = u64::MAX;
+        for batch in 1..=10 {
+            let p = predict_batched(kind, Outcome::Commit, pop, 10, batch).physical_forces;
+            assert!(p <= last);
+            last = p;
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use acp_sim::{Context, FailureSchedule, NetworkConfig, Process, SimTime, Trace, 
 use acp_types::{
     CoordinatorKind, CostCounters, Message, Outcome, Payload, ProtocolKind, SiteId, TxnId, Vote,
 };
-use acp_wal::MemLog;
+use acp_wal::{GroupCommitLog, GroupCommitStats, MemLog};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -119,6 +119,17 @@ pub struct Scenario {
     pub delays: TimerDelays,
     /// Safety valve for the event loop.
     pub max_events: u64,
+    /// Group-commit batch window in sim microseconds. `None` (the
+    /// default) disables batching entirely — bit-for-bit the historical
+    /// behavior. `Some(w)` wraps every site's log in a deterministic
+    /// batch-window accountant: forced writes landing within `w` µs of
+    /// a window opener coalesce into one counted physical force
+    /// (`Some(0)` coalesces only same-instant forces — the natural
+    /// choice for concurrent-transaction campaigns, since a reliable
+    /// network lands same-slot forces at identical sim times).
+    /// Durability semantics are unchanged either way, so crash sweeps
+    /// hold under any window.
+    pub batch_window: Option<u64>,
 }
 
 impl Scenario {
@@ -135,6 +146,7 @@ impl Scenario {
             failures: FailureSchedule::none(),
             delays: TimerDelays::default(),
             max_events: 1_000_000,
+            batch_window: None,
         }
     }
 
@@ -198,6 +210,12 @@ pub struct ScenarioOutcome {
     pub participant_costs: BTreeMap<(SiteId, TxnId), CostCounters>,
     /// Events the simulator processed.
     pub events_processed: u64,
+    /// Aggregate group-commit accounting across every site's log:
+    /// `batches` is the number of physical forces a batching backend
+    /// would have performed, `batched_appends` the logical forced
+    /// writes they served. With `batch_window: None` everything is
+    /// zero (batching off).
+    pub group_commit: GroupCommitStats,
     /// The complete typed protocol-event stream of the run (also fanned
     /// out to the caller's sink in [`run_scenario_with_sink`]); feed it
     /// to `acp_obs::render` to reproduce the paper's figures.
@@ -247,14 +265,19 @@ pub struct SiteProc {
     next_token: u64,
 }
 
+/// The log type harness engines run on: the in-memory stable log behind
+/// the group-commit layer (passthrough unless the scenario sets a
+/// batch window).
+pub type HarnessLog = GroupCommitLog<MemLog>;
+
 enum Inner {
     Coord {
-        engine: Coordinator<MemLog>,
+        engine: Coordinator<HarnessLog>,
         /// Transactions to start (drained into `pending_starts` by
         /// `on_start`), with optional client-abort times.
         starts: Vec<(SimTime, TxnId, Vec<SiteId>, Option<SimTime>)>,
     },
-    Part(Participant<MemLog>),
+    Part(Participant<HarnessLog>),
 }
 
 enum HarnessTimer {
@@ -266,7 +289,7 @@ enum HarnessTimer {
 impl SiteProc {
     /// Access the coordinator engine (panics on participant sites).
     #[must_use]
-    pub fn coordinator(&self) -> &Coordinator<MemLog> {
+    pub fn coordinator(&self) -> &Coordinator<HarnessLog> {
         match &self.inner {
             Inner::Coord { engine, .. } => engine,
             Inner::Part(_) => panic!("not a coordinator site"),
@@ -275,10 +298,63 @@ impl SiteProc {
 
     /// Access the participant engine (panics on the coordinator site).
     #[must_use]
-    pub fn participant(&self) -> &Participant<MemLog> {
+    pub fn participant(&self) -> &Participant<HarnessLog> {
         match &self.inner {
             Inner::Part(p) => p,
             Inner::Coord { .. } => panic!("not a participant site"),
+        }
+    }
+
+    /// Advance the site log's group-commit clock to the current sim
+    /// time (expires the open batch window, if any).
+    fn tick_log(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        match &mut self.inner {
+            Inner::Coord { engine, .. } => engine.log_mut().tick(now_us),
+            Inner::Part(p) => p.log_mut().tick(now_us),
+        }
+    }
+
+    /// Emit a [`ProtocolEvent::BatchCommit`] for every batch window
+    /// that closed with occupancy ≥ 2. Batches of one are silent: they
+    /// are indistinguishable from unbatched forces, which keeps clean
+    /// single-transaction traces byte-identical under batching.
+    fn emit_closed_batches(&mut self) {
+        let site = match &self.inner {
+            Inner::Coord { engine, .. } => engine.site().raw(),
+            Inner::Part(p) => p.site().raw(),
+        };
+        let closed = match &mut self.inner {
+            Inner::Coord { engine, .. } => engine.log_mut().take_closed(),
+            Inner::Part(p) => p.log_mut().take_closed(),
+        };
+        for b in closed {
+            if b.occupancy >= 2 {
+                self.sink.record(&ProtocolEvent::BatchCommit {
+                    at_us: b.opened_at_us,
+                    site,
+                    proto: self.proto,
+                    occupancy: b.occupancy,
+                });
+            }
+        }
+    }
+
+    /// End-of-run: seal the still-open batch window, emit its event,
+    /// and return this site's accumulated group-commit accounting.
+    fn finish_batches(&mut self) -> GroupCommitStats {
+        match &mut self.inner {
+            Inner::Coord { engine, .. } => {
+                let _ = engine.log_mut().commit_batch();
+            }
+            Inner::Part(p) => {
+                let _ = p.log_mut().commit_batch();
+            }
+        }
+        self.emit_closed_batches();
+        match &self.inner {
+            Inner::Coord { engine, .. } => engine.log().group_stats(),
+            Inner::Part(p) => p.log().group_stats(),
         }
     }
 
@@ -491,14 +567,17 @@ impl Process for SiteProc {
     }
 
     fn on_message(&mut self, msg: &Message, ctx: &mut Context) {
+        self.tick_log(ctx.now);
         let actions = match &mut self.inner {
             Inner::Coord { engine, .. } => engine.on_message(msg.from, &msg.payload),
             Inner::Part(p) => p.on_message(msg.from, &msg.payload),
         };
         self.handle_actions(actions, ctx);
+        self.emit_closed_batches();
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        self.tick_log(ctx.now);
         let Some(entry) = self.timer_map.remove(&token) else {
             return;
         };
@@ -522,6 +601,7 @@ impl Process for SiteProc {
             },
         };
         self.handle_actions(actions, ctx);
+        self.emit_closed_batches();
     }
 
     fn on_crash(&mut self) {
@@ -545,12 +625,14 @@ impl Process for SiteProc {
     }
 
     fn on_recover(&mut self, ctx: &mut Context) {
+        self.tick_log(ctx.now);
         let (site, actions) = match &mut self.inner {
             Inner::Coord { engine, .. } => (engine.site(), engine.recover()),
             Inner::Part(p) => (p.site(), p.recover()),
         };
         self.history.borrow_mut().push(ActaEvent::Recover { site });
         self.handle_actions(actions, ctx);
+        self.emit_closed_batches();
         // Re-arm the surviving client requests: due ones fire now,
         // future ones at their original time.
         let keys: Vec<u64> = self.pending_starts.keys().copied().collect();
@@ -599,7 +681,11 @@ pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> 
     let coord_site = scenario.coordinator_site();
     let coord_label = ProtoLabel::of_coordinator(scenario.kind);
     world.set_label(coord_site, coord_label);
-    let mut engine = Coordinator::new(coord_site, scenario.kind, MemLog::new());
+    let make_log = || match scenario.batch_window {
+        None => GroupCommitLog::passthrough(MemLog::new()),
+        Some(w) => GroupCommitLog::windowed(MemLog::new(), w),
+    };
+    let mut engine = Coordinator::new(coord_site, scenario.kind, make_log());
     for (i, &p) in scenario.participant_protocols.iter().enumerate() {
         engine.register_site(SiteId::new(i as u32 + 1), p);
     }
@@ -628,7 +714,7 @@ pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> 
         let site = SiteId::new(i as u32 + 1);
         let label = ProtoLabel::of_participant(p);
         world.set_label(site, label);
-        let mut engine = Participant::new(site, p, MemLog::new());
+        let mut engine = Participant::new(site, p, make_log());
         for spec in &scenario.txns {
             if let Some(&vote) = spec.votes.get(&site) {
                 engine.set_intent(spec.txn, vote);
@@ -654,6 +740,17 @@ pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> 
     world.start();
     world.run_until_quiescent(scenario.max_events);
 
+    // Seal any still-open batch windows (their events land after every
+    // protocol event, which is when the batch would have been forced)
+    // and aggregate the per-site group-commit accounting.
+    let mut group_commit = GroupCommitStats::default();
+    let mut all_sites = vec![coord_site];
+    all_sites.extend(scenario.participant_sites());
+    for site in all_sites {
+        let stats = world.process_mut(site).finish_batches();
+        group_commit.merge(&stats);
+    }
+
     // ---- collect ----
     let mut final_state = FinalState::default();
     let mut enforced = BTreeMap::new();
@@ -675,8 +772,8 @@ pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> 
         coordinator_costs.insert(spec.txn, coord.costs(spec.txn));
     }
     let coordinator_table_size = coord.protocol_table_size();
-    let coordinator_log_retained = coord.log().retained();
-    let coordinator_log_retained_bytes = coord.log().retained_bytes();
+    let coordinator_log_retained = coord.log().inner().retained();
+    let coordinator_log_retained_bytes = coord.log().inner().retained_bytes();
 
     for site in scenario.participant_sites() {
         let p = world.process(site).participant();
@@ -705,6 +802,7 @@ pub fn run_scenario_with_sink(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> 
         participant_costs,
         events_processed: world.events_processed(),
         events: recorder.take(),
+        group_commit,
     }
 }
 

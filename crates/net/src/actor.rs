@@ -8,7 +8,7 @@ use acp_engine::{RecoveredOutcome, SiteEngine};
 use acp_obs::{ProtoLabel, ProtocolEvent, TraceSink};
 use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
 use acp_wal::scan::analyze;
-use acp_wal::{FileLog, StableLog};
+use acp_wal::{FileLog, GroupCommitLog, StableLog};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -65,6 +65,15 @@ impl NetDelays {
 /// Routing table shared by every actor.
 pub type Routes = Arc<BTreeMap<SiteId, Sender<Envelope>>>;
 
+/// The protocol-log type the threaded runtime's engines run on: a
+/// file-backed log behind the group-commit layer (passthrough unless
+/// the cluster enables batching).
+pub type NetLog = GroupCommitLog<FileLog>;
+
+/// Most envelopes one actor turn will absorb when group commit is on.
+/// Bounds turn latency; anything left stays queued for the next turn.
+const MAX_TURN_DRAIN: usize = 64;
+
 /// Observability plumbing for the threaded runtime: a shared trace sink
 /// plus the cluster's epoch, so wall-clock instants become trace
 /// microseconds, and the protocol label events are attributed to.
@@ -91,7 +100,7 @@ pub type SharedHistory = Arc<Mutex<History>>;
 /// What a participant thread returns at shutdown.
 pub struct ParticipantFinal {
     /// The protocol engine.
-    pub engine: Participant<FileLog>,
+    pub engine: Participant<NetLog>,
     /// The storage engine.
     pub storage: SiteEngine<FileLog>,
 }
@@ -99,7 +108,7 @@ pub struct ParticipantFinal {
 /// What the coordinator thread returns at shutdown.
 pub struct CoordinatorFinal {
     /// The protocol engine.
-    pub engine: Coordinator<FileLog>,
+    pub engine: Coordinator<NetLog>,
 }
 
 /// What a gateway thread returns at shutdown.
@@ -165,6 +174,13 @@ pub fn run_gateway(
                         let actions = engine.on_message(msg.from, &msg.payload);
                         ctx.run_actions(actions);
                     }
+                    Envelope::ProtocolBatch(msgs) => {
+                        for msg in msgs {
+                            ctx.observe_recv(&msg);
+                            let actions = engine.on_message(msg.from, &msg.payload);
+                            ctx.run_actions(actions);
+                        }
+                    }
                     Envelope::SetIntent { .. } | Envelope::Commit { .. } => {}
                 }
             }
@@ -189,6 +205,11 @@ struct ActorCtx {
     obs: Option<NetObs>,
     /// When this site last decided, in trace microseconds (GC latency).
     last_decision_us: Option<u64>,
+    /// Group commit: withhold `Action::Send` until the turn's batch is
+    /// durable (the host flushes via [`ActorCtx::flush_sends`]).
+    defer_sends: bool,
+    /// Sends withheld this turn, in emission order.
+    deferred_sends: Vec<Message>,
 }
 
 impl ActorCtx {
@@ -210,6 +231,8 @@ impl ActorCtx {
             down_until: None,
             obs,
             last_decision_us: None,
+            defer_sends: false,
+            deferred_sends: Vec::new(),
         }
     }
 
@@ -232,27 +255,15 @@ impl ActorCtx {
         for a in actions {
             match a {
                 Action::Send { to, payload } => {
-                    if let Some(obs) = &self.obs {
-                        let at_us = obs.now_us();
-                        if let Payload::Vote { txn, vote } = &payload {
-                            obs.sink.record(&ProtocolEvent::VoteCast {
-                                at_us,
-                                site: self.site.raw(),
-                                proto: obs.proto,
-                                vote: vote_name(*vote),
-                                txn: Some(txn.raw()),
-                            });
-                        }
-                        obs.sink.record(&ProtocolEvent::MsgSend {
-                            at_us,
-                            site: self.site.raw(),
-                            proto: obs.proto,
-                            to: to.raw(),
-                            kind: payload.kind_name(),
-                            txn: Some(payload.txn().raw()),
-                        });
+                    let msg = Message::new(self.site, to, payload);
+                    if self.defer_sends {
+                        // Externalization waits for the batch force;
+                        // events are emitted when the send happens.
+                        self.deferred_sends.push(msg);
+                    } else {
+                        self.observe_send(&msg);
+                        self.route(msg);
                     }
-                    self.route(Message::new(self.site, to, payload));
                 }
                 Action::SetTimer {
                     token,
@@ -305,6 +316,57 @@ impl ActorCtx {
             }
         }
         enforcements
+    }
+
+    /// Note a protocol send in the event stream (vote casts get their
+    /// own event ahead of the generic send).
+    fn observe_send(&self, msg: &Message) {
+        let Some(obs) = &self.obs else { return };
+        let at_us = obs.now_us();
+        if let Payload::Vote { txn, vote } = &msg.payload {
+            obs.sink.record(&ProtocolEvent::VoteCast {
+                at_us,
+                site: self.site.raw(),
+                proto: obs.proto,
+                vote: vote_name(*vote),
+                txn: Some(txn.raw()),
+            });
+        }
+        obs.sink.record(&ProtocolEvent::MsgSend {
+            at_us,
+            site: self.site.raw(),
+            proto: obs.proto,
+            to: msg.to.raw(),
+            kind: msg.payload.kind_name(),
+            txn: Some(msg.payload.txn().raw()),
+        });
+    }
+
+    /// Externalize the turn's withheld sends: emit their events, then
+    /// coalesce same-destination messages into one
+    /// [`Envelope::ProtocolBatch`] (ack piggybacking — the transport
+    /// carries one envelope where the unbatched runtime sent several).
+    fn flush_sends(&mut self) {
+        if self.deferred_sends.is_empty() {
+            return;
+        }
+        let msgs = std::mem::take(&mut self.deferred_sends);
+        let mut by_dest: BTreeMap<SiteId, Vec<Message>> = BTreeMap::new();
+        for msg in msgs {
+            self.observe_send(&msg);
+            by_dest.entry(msg.to).or_default().push(msg);
+        }
+        for (to, mut msgs) in by_dest {
+            if let Some(tx) = self.routes.get(&to) {
+                let envelope = if msgs.len() == 1 {
+                    Envelope::Protocol(msgs.pop().expect("one message"))
+                } else {
+                    Envelope::ProtocolBatch(msgs)
+                };
+                // Full/closed mailbox = omission, as in `route`.
+                let _ = tx.send(envelope);
+            }
+        }
     }
 
     /// Mirror an ACTA event into the typed protocol-event stream.
@@ -444,7 +506,67 @@ impl ActorCtx {
     fn crash_volatile(&mut self) {
         self.timer_map.clear();
         self.timers.clear();
+        // Withheld sends die with the crash: their staged log records
+        // were never forced, so externalizing them now would be unsound.
+        // Dropping them is an omission failure the protocols tolerate.
+        self.deferred_sends.clear();
     }
+}
+
+/// End an actor turn under group commit: force the open batch (one
+/// fsync covers every record the turn staged), surface its trace event,
+/// then externalize the withheld sends. A batch of one emits no event —
+/// it is indistinguishable from an unbatched force. If the force fails,
+/// the sends are dropped (omission) rather than externalized without
+/// durability.
+fn finish_group_turn(log: &mut NetLog, ctx: &mut ActorCtx) {
+    if !log.batching() {
+        return;
+    }
+    match log.commit_batch() {
+        Ok(_) => {
+            for b in log.take_closed() {
+                if b.occupancy >= 2 {
+                    if let Some(obs) = &ctx.obs {
+                        obs.sink.record(&ProtocolEvent::BatchCommit {
+                            at_us: obs.now_us(),
+                            site: ctx.site.raw(),
+                            proto: obs.proto,
+                            occupancy: b.occupancy,
+                        });
+                    }
+                }
+            }
+            ctx.flush_sends();
+        }
+        Err(_) => ctx.deferred_sends.clear(),
+    }
+}
+
+/// Pull every ready envelope (up to [`MAX_TURN_DRAIN`]) so one turn —
+/// and one batch force — serves them all. Incoming
+/// [`Envelope::ProtocolBatch`]es are flattened back into individual
+/// protocol messages here.
+fn drain_ready(rx: &Receiver<Envelope>, first: Envelope, batching: bool) -> Vec<Envelope> {
+    fn push(e: Envelope, out: &mut Vec<Envelope>) {
+        match e {
+            Envelope::ProtocolBatch(msgs) => {
+                out.extend(msgs.into_iter().map(Envelope::Protocol));
+            }
+            e => out.push(e),
+        }
+    }
+    let mut out = Vec::new();
+    push(first, &mut out);
+    if batching {
+        while out.len() < MAX_TURN_DRAIN {
+            match rx.try_recv() {
+                Ok(e) => push(e, &mut out),
+                Err(_) => break,
+            }
+        }
+    }
+    out
 }
 
 /// Run a participant site: protocol engine + storage engine, both over
@@ -452,7 +574,7 @@ impl ActorCtx {
 #[allow(clippy::needless_pass_by_value)]
 pub fn run_participant(
     site: SiteId,
-    mut engine: Participant<FileLog>,
+    mut engine: Participant<NetLog>,
     mut storage: SiteEngine<FileLog>,
     rx: Receiver<Envelope>,
     routes: Routes,
@@ -461,12 +583,14 @@ pub fn run_participant(
     obs: Option<NetObs>,
 ) -> ParticipantFinal {
     let mut ctx = ActorCtx::new(site, routes, history, delays, obs);
+    let batching = engine.log().batching();
+    ctx.defer_sends = batching;
     // Explicit vote intents from SetIntent envelopes.
     let mut forced_intents: BTreeMap<TxnId, Vote> = BTreeMap::new();
     // Whether a data operation failed (lock conflict) — forces a No.
     let mut poisoned: BTreeMap<TxnId, bool> = BTreeMap::new();
 
-    loop {
+    'main: loop {
         let now = Instant::now();
 
         // Recovery point reached?
@@ -491,53 +615,65 @@ pub fn run_participant(
                 apply_enforcements(&mut storage, enf);
             }
         }
+        finish_group_turn(engine.log_mut(), &mut ctx);
 
         match rx.recv_timeout(ctx.next_timeout(now)) {
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
-            Ok(envelope) => {
-                let now = Instant::now();
-                match envelope {
-                    Envelope::Shutdown => break,
-                    Envelope::Crash { down_for } => {
-                        if ctx.down_until.is_none() {
-                            ctx.history.lock().push(ActaEvent::Crash { site });
-                            ctx.observe_crash();
-                            engine.crash();
-                            storage.crash();
-                            ctx.crash_volatile();
-                            ctx.down_until = Some(now + down_for);
+            Ok(first) => {
+                // One turn absorbs every ready envelope, so a single
+                // batch force covers all their log records.
+                for envelope in drain_ready(&rx, first, batching) {
+                    let now = Instant::now();
+                    match envelope {
+                        Envelope::Shutdown => {
+                            finish_group_turn(engine.log_mut(), &mut ctx);
+                            break 'main;
                         }
-                    }
-                    _ if ctx.is_down(now) => {} // omission: dropped
-                    Envelope::Apply { txn, key, value } => {
-                        storage.begin(txn);
-                        if storage.put(txn, &key, &value).is_err() {
-                            poisoned.insert(txn, true);
+                        Envelope::Crash { down_for } => {
+                            if ctx.down_until.is_none() {
+                                ctx.history.lock().push(ActaEvent::Crash { site });
+                                ctx.observe_crash();
+                                engine.crash();
+                                storage.crash();
+                                ctx.crash_volatile();
+                                ctx.down_until = Some(now + down_for);
+                            }
                         }
-                    }
-                    Envelope::SetIntent { txn, vote } => {
-                        forced_intents.insert(txn, vote);
-                    }
-                    Envelope::Protocol(msg) => {
-                        ctx.observe_recv(&msg);
-                        // Prepare needs the storage engine's verdict
-                        // before the protocol engine runs.
-                        if let acp_types::Payload::Prepare { txn } = msg.payload {
-                            let vote = decide_vote(
-                                &mut storage,
-                                txn,
-                                forced_intents.get(&txn).copied(),
-                                poisoned.get(&txn).copied().unwrap_or(false),
-                            );
-                            engine.set_intent(txn, vote);
+                        _ if ctx.is_down(now) => {} // omission: dropped
+                        Envelope::Apply { txn, key, value } => {
+                            storage.begin(txn);
+                            if storage.put(txn, &key, &value).is_err() {
+                                poisoned.insert(txn, true);
+                            }
                         }
-                        let actions = engine.on_message(msg.from, &msg.payload);
-                        let enf = ctx.run_actions(actions);
-                        apply_enforcements(&mut storage, enf);
+                        Envelope::SetIntent { txn, vote } => {
+                            forced_intents.insert(txn, vote);
+                        }
+                        Envelope::Protocol(msg) => {
+                            ctx.observe_recv(&msg);
+                            // Prepare needs the storage engine's verdict
+                            // before the protocol engine runs.
+                            if let acp_types::Payload::Prepare { txn } = msg.payload {
+                                let vote = decide_vote(
+                                    &mut storage,
+                                    txn,
+                                    forced_intents.get(&txn).copied(),
+                                    poisoned.get(&txn).copied().unwrap_or(false),
+                                );
+                                engine.set_intent(txn, vote);
+                            }
+                            let actions = engine.on_message(msg.from, &msg.payload);
+                            let enf = ctx.run_actions(actions);
+                            apply_enforcements(&mut storage, enf);
+                        }
+                        Envelope::ProtocolBatch(_) => {
+                            unreachable!("flattened by drain_ready")
+                        }
+                        Envelope::Commit { .. } => {} // not a coordinator
                     }
-                    Envelope::Commit { .. } => {} // not a coordinator
                 }
+                finish_group_turn(engine.log_mut(), &mut ctx);
             }
         }
     }
@@ -603,7 +739,7 @@ fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcom
 
 /// Derive the storage-recovery outcome map from the participant's
 /// protocol log.
-fn protocol_outcomes(engine: &Participant<FileLog>) -> BTreeMap<TxnId, RecoveredOutcome> {
+fn protocol_outcomes(engine: &Participant<NetLog>) -> BTreeMap<TxnId, RecoveredOutcome> {
     let mut outcomes = BTreeMap::new();
     let records = engine.log().records().expect("records");
     for (txn, s) in analyze(&records) {
@@ -620,7 +756,7 @@ fn protocol_outcomes(engine: &Participant<FileLog>) -> BTreeMap<TxnId, Recovered
 #[allow(clippy::needless_pass_by_value)]
 pub fn run_coordinator(
     site: SiteId,
-    mut engine: Coordinator<FileLog>,
+    mut engine: Coordinator<NetLog>,
     rx: Receiver<Envelope>,
     routes: Routes,
     history: SharedHistory,
@@ -628,9 +764,11 @@ pub fn run_coordinator(
     obs: Option<NetObs>,
 ) -> CoordinatorFinal {
     let mut ctx = ActorCtx::new(site, routes, history, delays, obs);
+    let batching = engine.log().batching();
+    ctx.defer_sends = batching;
     let mut replies: BTreeMap<TxnId, Sender<Outcome>> = BTreeMap::new();
 
-    loop {
+    'main: loop {
         let now = Instant::now();
         if let Some(t) = ctx.down_until {
             if now >= t {
@@ -639,14 +777,22 @@ pub fn run_coordinator(
                 ctx.observe_recover();
                 let actions = engine.recover();
                 ctx.run_actions(actions);
+                finish_group_turn(engine.log_mut(), &mut ctx);
                 // Any clients still waiting learn the recovered outcome.
                 deliver_decisions(&engine, &mut replies);
             }
         }
         if ctx.down_until.is_none() {
+            let mut fired = false;
             for token in ctx.due_timers(now) {
                 let actions = engine.on_timer(token);
                 ctx.run_actions(actions);
+                fired = true;
+            }
+            if fired {
+                // Decision records a timer turn staged must be durable
+                // before any waiting client hears the outcome.
+                finish_group_turn(engine.log_mut(), &mut ctx);
                 deliver_decisions(&engine, &mut replies);
             }
         }
@@ -654,52 +800,64 @@ pub fn run_coordinator(
         match rx.recv_timeout(ctx.next_timeout(now)) {
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
-            Ok(envelope) => {
-                let now = Instant::now();
-                match envelope {
-                    Envelope::Shutdown => break,
-                    Envelope::Crash { down_for } => {
-                        if ctx.down_until.is_none() {
-                            ctx.history.lock().push(ActaEvent::Crash { site });
-                            ctx.observe_crash();
-                            engine.crash();
-                            ctx.crash_volatile();
-                            ctx.down_until = Some(now + down_for);
+            Ok(first) => {
+                for envelope in drain_ready(&rx, first, batching) {
+                    let now = Instant::now();
+                    match envelope {
+                        Envelope::Shutdown => {
+                            finish_group_turn(engine.log_mut(), &mut ctx);
+                            break 'main;
                         }
-                    }
-                    _ if ctx.is_down(now) => {}
-                    Envelope::Commit {
-                        txn,
-                        participants,
-                        reply,
-                    } => {
-                        // Guard client misuse: a duplicate request for a
-                        // decided transaction is answered from the memo;
-                        // an in-flight duplicate or an empty participant
-                        // list is rejected by dropping the reply channel
-                        // (the client's recv sees Disconnected and gets
-                        // `None`) instead of tripping the engine's
-                        // asserts and killing the coordinator thread.
-                        if let Some(outcome) = engine.decided(txn) {
-                            let _ = reply.send(outcome);
-                        } else if participants.is_empty()
-                            || engine.protocol_table_txns().contains(&txn)
-                        {
-                            drop(reply);
-                        } else {
-                            replies.insert(txn, reply);
-                            let actions = engine.begin_commit(txn, &participants);
+                        Envelope::Crash { down_for } => {
+                            if ctx.down_until.is_none() {
+                                ctx.history.lock().push(ActaEvent::Crash { site });
+                                ctx.observe_crash();
+                                engine.crash();
+                                ctx.crash_volatile();
+                                ctx.down_until = Some(now + down_for);
+                            }
+                        }
+                        _ if ctx.is_down(now) => {}
+                        Envelope::Commit {
+                            txn,
+                            participants,
+                            reply,
+                        } => {
+                            // Guard client misuse: a duplicate request for a
+                            // decided transaction is answered from the memo;
+                            // an in-flight duplicate or an empty participant
+                            // list is rejected by dropping the reply channel
+                            // (the client's recv sees Disconnected and gets
+                            // `None`) instead of tripping the engine's
+                            // asserts and killing the coordinator thread.
+                            if let Some(outcome) = engine.decided(txn) {
+                                let _ = reply.send(outcome);
+                            } else if participants.is_empty()
+                                || engine.protocol_table_txns().contains(&txn)
+                            {
+                                drop(reply);
+                            } else {
+                                replies.insert(txn, reply);
+                                let actions = engine.begin_commit(txn, &participants);
+                                ctx.run_actions(actions);
+                            }
+                        }
+                        Envelope::Protocol(msg) => {
+                            ctx.observe_recv(&msg);
+                            let actions = engine.on_message(msg.from, &msg.payload);
                             ctx.run_actions(actions);
                         }
+                        Envelope::ProtocolBatch(_) => {
+                            unreachable!("flattened by drain_ready")
+                        }
+                        Envelope::Apply { .. } | Envelope::SetIntent { .. } => {}
                     }
-                    Envelope::Protocol(msg) => {
-                        ctx.observe_recv(&msg);
-                        let actions = engine.on_message(msg.from, &msg.payload);
-                        ctx.run_actions(actions);
-                        deliver_decisions(&engine, &mut replies);
-                    }
-                    Envelope::Apply { .. } | Envelope::SetIntent { .. } => {}
                 }
+                // Force the turn's staged records (one fsync for every
+                // transaction the drain served) before clients or peers
+                // can observe the decisions.
+                finish_group_turn(engine.log_mut(), &mut ctx);
+                deliver_decisions(&engine, &mut replies);
             }
         }
     }
@@ -708,10 +866,7 @@ pub fn run_coordinator(
 
 /// Send the decision to any waiting client whose transaction has been
 /// decided.
-fn deliver_decisions(
-    engine: &Coordinator<FileLog>,
-    replies: &mut BTreeMap<TxnId, Sender<Outcome>>,
-) {
+fn deliver_decisions(engine: &Coordinator<NetLog>, replies: &mut BTreeMap<TxnId, Sender<Outcome>>) {
     let decided: Vec<(TxnId, Outcome)> = replies
         .keys()
         .filter_map(|&txn| engine.decided(txn).map(|o| (txn, o)))

@@ -8,6 +8,10 @@ use std::time::Duration;
 pub enum Envelope {
     /// A protocol message from another site.
     Protocol(Message),
+    /// Several protocol messages from one site, externalized together
+    /// after a single group-commit force (ack piggybacking): the
+    /// receiver processes them as if they arrived back-to-back.
+    ProtocolBatch(Vec<Message>),
     /// Client data operation: upsert `key := value` under `txn` at this
     /// participant.
     Apply {

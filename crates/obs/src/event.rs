@@ -245,6 +245,21 @@ pub enum ProtocolEvent {
         /// The transaction, when the host knows it.
         txn: Option<u64>,
     },
+    /// A group-commit batch closed with more than one member: a single
+    /// physical force served `occupancy` forced appends from concurrent
+    /// transactions. Batches of one are *not* emitted — a batch of one
+    /// is indistinguishable from an unbatched force, which keeps clean
+    /// single-transaction traces byte-identical with batching enabled.
+    BatchCommit {
+        /// Event time in microseconds.
+        at_us: u64,
+        /// The site whose log closed the batch.
+        site: u32,
+        /// The protocol the site runs.
+        proto: ProtoLabel,
+        /// Forced appends the single physical force covered.
+        occupancy: u64,
+    },
     /// A site fail-stopped.
     CrashObserved {
         /// Event time in microseconds.
@@ -282,6 +297,7 @@ impl ProtocolEvent {
             | ProtocolEvent::DecisionReached { at_us, .. }
             | ProtocolEvent::LogGc { at_us, .. }
             | ProtocolEvent::RetryScheduled { at_us, .. }
+            | ProtocolEvent::BatchCommit { at_us, .. }
             | ProtocolEvent::CrashObserved { at_us, .. }
             | ProtocolEvent::RecoveryStep { at_us, .. } => *at_us,
         }
@@ -299,6 +315,7 @@ impl ProtocolEvent {
             | ProtocolEvent::DecisionReached { site, .. }
             | ProtocolEvent::LogGc { site, .. }
             | ProtocolEvent::RetryScheduled { site, .. }
+            | ProtocolEvent::BatchCommit { site, .. }
             | ProtocolEvent::CrashObserved { site, .. }
             | ProtocolEvent::RecoveryStep { site, .. } => *site,
         }
@@ -316,6 +333,7 @@ impl ProtocolEvent {
             | ProtocolEvent::DecisionReached { proto, .. }
             | ProtocolEvent::LogGc { proto, .. }
             | ProtocolEvent::RetryScheduled { proto, .. }
+            | ProtocolEvent::BatchCommit { proto, .. }
             | ProtocolEvent::CrashObserved { proto, .. }
             | ProtocolEvent::RecoveryStep { proto, .. } => *proto,
         }
@@ -333,6 +351,7 @@ impl ProtocolEvent {
             ProtocolEvent::DecisionReached { .. } => "decision_reached",
             ProtocolEvent::LogGc { .. } => "log_gc",
             ProtocolEvent::RetryScheduled { .. } => "retry_scheduled",
+            ProtocolEvent::BatchCommit { .. } => "batch_commit",
             ProtocolEvent::CrashObserved { .. } => "crash_observed",
             ProtocolEvent::RecoveryStep { .. } => "recovery_step",
         }

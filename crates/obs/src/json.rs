@@ -89,6 +89,9 @@ pub fn event_to_json(ev: &ProtocolEvent) -> String {
             );
             push_txn(&mut s, *txn);
         }
+        ProtocolEvent::BatchCommit { occupancy, .. } => {
+            let _ = write!(s, ",\"occupancy\":{occupancy}");
+        }
         ProtocolEvent::CrashObserved { .. } => {}
         ProtocolEvent::RecoveryStep { detail, .. } => {
             let _ = write!(s, ",\"detail\":\"{}\"", escape(detail));

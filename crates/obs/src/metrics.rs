@@ -62,11 +62,18 @@ pub enum Counter {
     Crashes,
     /// Observed site recoveries.
     Recoveries,
+    /// Group-commit batches with occupancy ≥ 2: forced writes that a
+    /// single physical force served for several transactions at once.
+    BatchedForces,
+    /// Total occupancy of those batches (forced appends amortized into
+    /// shared forces). `BatchOccupancy / BatchedForces` is the mean
+    /// multi-transaction batch size.
+    BatchOccupancy,
 }
 
 impl Counter {
     /// All counters, in JSON-dump order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::ForcedWrites,
         Counter::LazyWrites,
         Counter::MsgsSent,
@@ -87,6 +94,8 @@ impl Counter {
         Counter::DecisionResends,
         Counter::Crashes,
         Counter::Recoveries,
+        Counter::BatchedForces,
+        Counter::BatchOccupancy,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -113,6 +122,8 @@ impl Counter {
             Counter::DecisionResends => "decision_resends",
             Counter::Crashes => "crashes",
             Counter::Recoveries => "recoveries",
+            Counter::BatchedForces => "batched_forces",
+            Counter::BatchOccupancy => "batch_occupancy",
         }
     }
 
@@ -193,6 +204,10 @@ impl MetricsRegistry {
                 // separately bucketed.
                 _ => {}
             },
+            ProtocolEvent::BatchCommit { occupancy, .. } => {
+                self.add(p, Counter::BatchedForces, 1);
+                self.add(p, Counter::BatchOccupancy, *occupancy);
+            }
             ProtocolEvent::CrashObserved { .. } => self.add(p, Counter::Crashes, 1),
             ProtocolEvent::RecoveryStep { .. } => self.add(p, Counter::Recoveries, 1),
         }
@@ -380,6 +395,25 @@ mod tests {
             txn: None,
         });
         assert!(r.is_zero(ProtoLabel::Gateway));
+    }
+
+    #[test]
+    fn batch_commits_feed_both_amortization_counters() {
+        let r = MetricsRegistry::new();
+        r.record(&ProtocolEvent::BatchCommit {
+            at_us: 10,
+            site: 0,
+            proto: ProtoLabel::PrAny,
+            occupancy: 4,
+        });
+        r.record(&ProtocolEvent::BatchCommit {
+            at_us: 20,
+            site: 0,
+            proto: ProtoLabel::PrAny,
+            occupancy: 2,
+        });
+        assert_eq!(r.get(ProtoLabel::PrAny, Counter::BatchedForces), 2);
+        assert_eq!(r.get(ProtoLabel::PrAny, Counter::BatchOccupancy), 6);
     }
 
     #[test]

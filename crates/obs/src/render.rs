@@ -61,6 +61,9 @@ pub fn describe(ev: &ProtocolEvent, labels: &BTreeMap<u32, String>) -> String {
             txn,
             ..
         } => format!("retry {purpose} #{attempt}{}", txn_suffix(*txn)),
+        ProtocolEvent::BatchCommit { occupancy, .. } => {
+            format!("group-commit force ({occupancy} records)")
+        }
         ProtocolEvent::CrashObserved { .. } => "CRASH".to_string(),
         ProtocolEvent::RecoveryStep { detail, .. } => format!("recover: {detail}"),
     }
@@ -190,6 +193,9 @@ pub fn render_mermaid(
                 purpose, attempt, ..
             } => {
                 let _ = writeln!(out, "    Note over S{s}: retry {purpose} #{attempt}");
+            }
+            ProtocolEvent::BatchCommit { occupancy, .. } => {
+                let _ = writeln!(out, "    Note over S{s}: group-commit x{occupancy}");
             }
             ProtocolEvent::CrashObserved { .. } => {
                 let _ = writeln!(out, "    Note over S{s}: CRASH");

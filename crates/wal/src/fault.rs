@@ -94,6 +94,19 @@ pub struct FaultyLog {
     next: Lsn,
     stats: WalStats,
     faults_applied: u64,
+    /// Model the parent-directory fsync after GC's `rename(tmp, path)`.
+    /// `true` (the default) matches the fixed [`crate::file::FileLog`]:
+    /// the post-GC image is crash-durable the moment `truncate_prefix`
+    /// returns. `false` models the pre-fix bug: the rename lives only in
+    /// the dentry cache, and a crash resurrects the pre-GC file.
+    durable_gc_rename: bool,
+    /// The pre-GC image that a crash would resurrect while the GC rename
+    /// is still volatile (`durable_gc_rename == false`).
+    pre_gc_image: Option<Vec<u8>>,
+    /// When set, the next `truncate_prefix` fails with an injected I/O
+    /// error *before* the image swap — the hostile-storage analogue of
+    /// an `EIO` mid-rewrite.
+    fail_next_gc_rewrite: bool,
 }
 
 impl Default for FaultyLog {
@@ -116,7 +129,25 @@ impl FaultyLog {
             next: Lsn::ZERO,
             stats: WalStats::default(),
             faults_applied: 0,
+            durable_gc_rename: true,
+            pre_gc_image: None,
+            fail_next_gc_rewrite: false,
         }
+    }
+
+    /// Model (or un-model) the missing parent-directory fsync after GC's
+    /// rename. With `false`, a `truncate_prefix` followed by a crash
+    /// resurrects the pre-GC image — the exact bug the directory sync in
+    /// [`crate::file::FileLog::truncate_prefix`] exists to prevent.
+    pub fn set_durable_gc_rename(&mut self, durable: bool) {
+        self.durable_gc_rename = durable;
+    }
+
+    /// Make the next `truncate_prefix` fail with an injected I/O error
+    /// before any state changes, so tests can prove the error path
+    /// leaves memory and (simulated) disk consistent.
+    pub fn fail_next_gc_rewrite(&mut self) {
+        self.fail_next_gc_rewrite = true;
     }
 
     /// Queue a fault. Torn tails and bit flips fire at the next
@@ -183,6 +214,15 @@ impl FaultyLog {
         self.stats.lost_on_crash += lost_buffered as u64;
         self.buffer.clear();
         self.pending.clear();
+
+        // A GC rename that was never made durable by a directory sync is
+        // undone by the crash: the directory still points at the pre-GC
+        // file, so the scan below runs against it — resurrecting every
+        // record GC believed reclaimed, *and* losing everything appended
+        // to the post-rename file since.
+        if let Some(old) = self.pre_gc_image.take() {
+            self.image = old;
+        }
 
         for f in self.queued.drain(..) {
             match f {
@@ -282,16 +322,41 @@ impl StableLog for FaultyLog {
                 high: high.raw(),
             });
         }
-        let before = self.durable.len();
-        self.durable.retain(|r| r.lsn >= lsn);
-        self.stats.truncated += (before - self.durable.len()) as u64;
-        self.low_water = lsn;
-        // Rewrite the image the way FileLog's truncate rewrites the file.
-        self.image.clear();
-        self.image.extend_from_slice(&encode_header(self.low_water));
-        for rec in &self.durable {
-            self.image.extend_from_slice(&encode_frame(rec));
+        if self.fail_next_gc_rewrite {
+            self.fail_next_gc_rewrite = false;
+            return Err(WalError::Io(std::io::Error::other(
+                "injected gc rewrite failure",
+            )));
         }
+        // Stage the rewrite the way FileLog's truncate rewrites the file:
+        // build the post-GC image first, commit in-memory state only
+        // after the "swap" — an injected failure above must leave the
+        // log untouched.
+        let retained: Vec<LogRecord> = self
+            .durable
+            .iter()
+            .filter(|r| r.lsn >= lsn)
+            .cloned()
+            .collect();
+        let mut new_image = encode_header(lsn).to_vec();
+        for rec in &retained {
+            new_image.extend_from_slice(&encode_frame(rec));
+        }
+        if !self.durable_gc_rename {
+            // The rename happened but the directory entry was never
+            // synced: remember the file a crash would bring back. Only
+            // the oldest un-synced image matters — that is what the
+            // directory still durably points at.
+            if self.pre_gc_image.is_none() {
+                self.pre_gc_image = Some(self.image.clone());
+            }
+        } else {
+            self.pre_gc_image = None;
+        }
+        self.stats.truncated += (self.durable.len() - retained.len()) as u64;
+        self.image = new_image;
+        self.durable = retained;
+        self.low_water = lsn;
         Ok(())
     }
 
@@ -481,6 +546,83 @@ mod tests {
         let report = log.crash_and_recover().unwrap();
         assert_eq!(report.survivors, 3);
         assert_eq!(log.low_water_mark(), Lsn(5));
+    }
+
+    #[test]
+    fn volatile_gc_rename_resurrects_pre_gc_records() {
+        // The pre-fix FileLog bug, modelled: truncate_prefix renames the
+        // rewritten file into place but never fsyncs the directory. A
+        // crash then resurrects the pre-GC file — records above the
+        // low-water mark come back, and post-GC appends are lost with
+        // the orphaned post-rename inode.
+        let mut log = FaultyLog::new();
+        for i in 0..8 {
+            log.append(end(i), true).unwrap();
+        }
+        log.set_durable_gc_rename(false);
+        log.truncate_prefix(Lsn(5)).unwrap();
+        assert_eq!(log.records().unwrap().len(), 3, "GC looks fine pre-crash");
+        log.append(end(100), true).unwrap();
+
+        let report = log.crash_and_recover().unwrap();
+        // Resurrection: all 8 pre-GC records are back, the appended
+        // record is gone, and the low-water mark rolled backwards.
+        assert_eq!(report.survivors, 8);
+        assert_eq!(log.low_water_mark(), Lsn::ZERO);
+        assert!(log.records().unwrap().iter().all(|r| r.lsn < Lsn(8)));
+    }
+
+    #[test]
+    fn durable_gc_rename_survives_crash() {
+        // With the directory sync (the fix, and the default), a crash
+        // right after truncate_prefix must see exactly the post-GC
+        // image: same records a real FileLog reopen yields.
+        let dir = TempDir::new("faulty-gc-crash").unwrap();
+        let path = dir.path().join("wal");
+        let mut file = FileLog::create(&path).unwrap();
+        let mut faulty = FaultyLog::new();
+        for i in 0..8 {
+            file.append(end(i), true).unwrap();
+            faulty.append(end(i), true).unwrap();
+        }
+        file.truncate_prefix(Lsn(5)).unwrap();
+        faulty.truncate_prefix(Lsn(5)).unwrap();
+
+        let report = faulty.crash_and_recover().unwrap();
+        assert_eq!(report.survivors, 3);
+        assert_eq!(report.lost_durable, 0);
+        assert_eq!(faulty.low_water_mark(), Lsn(5));
+
+        drop(file);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(
+            faulty.records().unwrap(),
+            reopened.records().unwrap(),
+            "post-GC crash recovery diverged from FileLog reopen"
+        );
+        assert_eq!(reopened.low_water_mark(), Lsn(5));
+    }
+
+    #[test]
+    fn injected_gc_rewrite_failure_leaves_state_unchanged() {
+        let mut log = FaultyLog::new();
+        for i in 0..6 {
+            log.append(end(i), true).unwrap();
+        }
+        let image_before = log.image().to_vec();
+        let stats_before = log.stats();
+        log.fail_next_gc_rewrite();
+        let err = log.truncate_prefix(Lsn(4)).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)));
+        assert_eq!(log.records().unwrap().len(), 6);
+        assert_eq!(log.low_water_mark(), Lsn::ZERO);
+        assert_eq!(log.image(), &image_before[..], "image untouched by failed GC");
+        assert_eq!(log.stats().truncated, stats_before.truncated);
+        // The failure is one-shot: the retry succeeds and recovers clean.
+        log.truncate_prefix(Lsn(4)).unwrap();
+        let report = log.crash_and_recover().unwrap();
+        assert_eq!(report.survivors, 2);
+        assert_eq!(log.low_water_mark(), Lsn(4));
     }
 
     #[test]

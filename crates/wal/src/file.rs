@@ -34,6 +34,36 @@ pub(crate) fn encode_header(low_water: Lsn) -> [u8; 16] {
     h
 }
 
+/// Make a just-renamed (or just-created) directory entry durable by
+/// fsyncing the parent directory. `rename(2)` alone only updates the
+/// in-memory dentry cache: until the directory inode itself is synced, a
+/// crash can resurrect the old entry — for GC that means records above
+/// the low-water mark coming back from the dead.
+fn sync_parent_dir(path: &Path) -> Result<(), WalError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
+/// Remove a stale `*.rewrite` sibling left by a crash between
+/// `truncate_prefix`'s rewrite and its rename. The sibling is dead
+/// weight at best; at worst a later GC opens it with `truncate(true)`
+/// and silently discards whatever evidence a postmortem needed.
+fn remove_stale_rewrite(path: &Path) -> Result<(), WalError> {
+    let rewrite = path.with_extension("rewrite");
+    match std::fs::metadata(&rewrite) {
+        Ok(m) if m.is_file() => {
+            std::fs::remove_file(&rewrite)?;
+            sync_parent_dir(path)?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
 pub(crate) fn decode_header(buf: &[u8]) -> Result<Lsn, WalError> {
     if buf.len() < HEADER_LEN as usize {
         return Err(WalError::Corrupt {
@@ -81,6 +111,7 @@ impl FileLog {
     /// Create a new, empty log file (truncating any existing file).
     pub fn create(path: impl Into<PathBuf>) -> Result<FileLog, WalError> {
         let path = path.into();
+        remove_stale_rewrite(&path)?;
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -89,6 +120,7 @@ impl FileLog {
             .open(&path)?;
         file.write_all(&encode_header(Lsn::ZERO))?;
         file.sync_data()?;
+        sync_parent_dir(&path)?;
         Ok(FileLog {
             path,
             file,
@@ -107,6 +139,7 @@ impl FileLog {
     /// away; everything before it is recovered.
     pub fn open(path: impl Into<PathBuf>) -> Result<FileLog, WalError> {
         let path = path.into();
+        remove_stale_rewrite(&path)?;
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
         let mut image = Vec::new();
         file.read_to_end(&mut image)?;
@@ -219,11 +252,17 @@ impl StableLog for FileLog {
                 high: high.raw(),
             });
         }
-        // Rewrite the retained suffix to a sibling file, then swap.
-        let before = self.durable.len();
-        self.durable.retain(|r| r.lsn >= lsn);
-        self.stats.truncated += (before - self.durable.len()) as u64;
-        self.low_water = lsn;
+        // Rewrite the retained suffix to a sibling file, then swap. All
+        // in-memory mutation is staged until the swap is durable: an I/O
+        // error anywhere below must leave the log exactly as it was, or
+        // memory and disk diverge and `records()` serves ghosts.
+        let retained: Vec<LogRecord> = self
+            .durable
+            .iter()
+            .filter(|r| r.lsn >= lsn)
+            .cloned()
+            .collect();
+        let dropped = (self.durable.len() - retained.len()) as u64;
 
         let tmp_path = self.path.with_extension("rewrite");
         let mut tmp = OpenOptions::new()
@@ -232,14 +271,23 @@ impl StableLog for FileLog {
             .create(true)
             .truncate(true)
             .open(&tmp_path)?;
-        tmp.write_all(&encode_header(self.low_water))?;
-        for rec in &self.durable {
+        tmp.write_all(&encode_header(lsn))?;
+        for rec in &retained {
             tmp.write_all(&encode_frame(rec))?;
         }
         tmp.sync_data()?;
         std::fs::rename(&tmp_path, &self.path)?;
+        // The rename is only crash-durable once the directory entry is
+        // synced; without this the pre-GC file can reappear after a
+        // crash, resurrecting records above the low-water mark.
+        sync_parent_dir(&self.path)?;
         tmp.seek(SeekFrom::End(0))?;
+
+        // Commit: disk now holds the post-GC image.
         self.file = tmp;
+        self.durable = retained;
+        self.stats.truncated += dropped;
+        self.low_water = lsn;
         Ok(())
     }
 
@@ -352,6 +400,87 @@ mod tests {
         let log = FileLog::open(&path).unwrap();
         assert_eq!(log.low_water_mark(), Lsn(15));
         assert_eq!(log.next_lsn(), Lsn(20));
+    }
+
+    #[test]
+    fn stale_rewrite_sibling_is_removed_on_open() {
+        // A crash between writing `wal.rewrite` and the rename leaves a
+        // stale sibling. Before the fix, `open` ignored it and the next
+        // GC opened it with truncate(true), silently discarding it.
+        let dir = TempDir::new("filelog-stale").unwrap();
+        let path = dir.path().join("wal");
+        {
+            let mut log = FileLog::create(&path).unwrap();
+            for i in 0..6 {
+                log.append(end(i), true).unwrap();
+            }
+        }
+        // Fabricate the crash artifact: a half-written rewrite sibling.
+        let stale = path.with_extension("rewrite");
+        std::fs::write(&stale, b"half-written rewrite from a crashed GC").unwrap();
+
+        let mut log = FileLog::open(&path).unwrap();
+        assert!(!stale.exists(), "open must clear the stale .rewrite");
+        assert_eq!(log.records().unwrap().len(), 6, "main log untouched");
+        // GC proceeds normally with the sibling gone.
+        log.truncate_prefix(Lsn(4)).unwrap();
+        assert_eq!(log.records().unwrap().len(), 2);
+        assert!(!stale.exists(), "successful GC leaves no sibling behind");
+    }
+
+    #[test]
+    fn failed_truncate_leaves_memory_and_disk_consistent() {
+        // Inject a rewrite failure by squatting a *directory* on the
+        // `.rewrite` path: opening it as a file fails with EISDIR.
+        // Before the fix, `durable`/`stats`/`low_water` were already
+        // mutated by then, leaving memory claiming a GC that disk never
+        // performed.
+        let dir = TempDir::new("filelog-gcfail").unwrap();
+        let path = dir.path().join("wal");
+        let mut log = FileLog::create(&path).unwrap();
+        for i in 0..8 {
+            log.append(end(i), true).unwrap();
+        }
+        let before_stats = log.stats();
+        std::fs::create_dir(path.with_extension("rewrite")).unwrap();
+
+        let err = log.truncate_prefix(Lsn(5)).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "expected I/O error, got {err:?}");
+        // Nothing moved: the failed GC is invisible.
+        assert_eq!(log.records().unwrap().len(), 8);
+        assert_eq!(log.low_water_mark(), Lsn::ZERO);
+        assert_eq!(log.stats().truncated, before_stats.truncated);
+        // The log keeps working, and disk agrees with memory on reopen.
+        log.append(end(100), true).unwrap();
+        drop(log);
+        std::fs::remove_dir(path.with_extension("rewrite")).unwrap();
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.records().unwrap().len(), 9);
+        assert_eq!(log.low_water_mark(), Lsn::ZERO);
+        // With the obstruction gone the retried GC succeeds.
+        log.truncate_prefix(Lsn(5)).unwrap();
+        assert_eq!(log.records().unwrap().len(), 4);
+        assert_eq!(log.low_water_mark(), Lsn(5));
+    }
+
+    #[test]
+    fn reopen_after_gc_sees_post_gc_image() {
+        // End-to-end: GC, then a "crash" (drop without flush), then
+        // reopen. The post-GC image — and only it — must be visible:
+        // no resurrected pre-GC records, preserved low-water mark.
+        let dir = TempDir::new("filelog-gcreopen").unwrap();
+        let path = dir.path().join("wal");
+        let mut log = FileLog::create(&path).unwrap();
+        for i in 0..10 {
+            log.append(end(i), true).unwrap();
+        }
+        log.truncate_prefix(Lsn(7)).unwrap();
+        drop(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.low_water_mark(), Lsn(7));
+        let recs = log.records().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.lsn >= Lsn(7)), "no resurrected records");
     }
 
     #[test]

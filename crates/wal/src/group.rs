@@ -1,0 +1,635 @@
+//! Group commit: amortize forced log writes across concurrent
+//! transactions.
+//!
+//! The paper prices every protocol in *forced* log writes, and E10
+//! measured a force at ~135µs on [`crate::file::FileLog`] — the fsync
+//! dominates every commit path. Group commit is the classical remedy
+//! (DeWitt et al. 1984; Gray & Reuter §9): decision and prepared records
+//! from concurrent transactions accumulate in a shared buffer and one
+//! physical force makes the whole batch durable, so the per-transaction
+//! fsync cost drops by the batch occupancy.
+//!
+//! Two hosts with very different concurrency models need this, so the
+//! module has two entry points:
+//!
+//! * [`GroupCommitLog`] — a single-owner wrapper for event-loop hosts
+//!   (the deterministic simulator, `acp-net`'s one-thread-per-site
+//!   actors). Batches are delimited by a *batch window* of host time
+//!   ([`GroupCommitLog::windowed`], deterministic accounting for the
+//!   sim) or by explicit turn boundaries ([`GroupCommitLog::deferred`]
+//!   plus [`GroupCommitLog::commit_batch`], real fsync deferral for the
+//!   actor loop). [`GroupCommitLog::passthrough`] disables batching
+//!   entirely and is bit-for-bit today's unbatched behavior — a batch
+//!   of one degenerates to exactly one force, which is why clean
+//!   single-transaction traces stay byte-identical.
+//! * [`SharedGroupLog`] — a `Send + Sync` handle for threaded hosts
+//!   where concurrent transactions share one commit log. Appends stage
+//!   their record and join the open batch; the first staged appender
+//!   becomes the *leader*, holds the batch open for the configured
+//!   window so followers can pile in, then performs the single force.
+//!   Followers observe completion through a sequence/epoch handshake
+//!   (`seq` / `durable_seq` under a mutex+condvar).
+
+use crate::error::WalError;
+use crate::record::{LogRecord, Lsn, WalStats};
+use crate::StableLog;
+use acp_types::LogPayload;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batching effectiveness counters, shared by both host shapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Physical batch forces performed (fsync-equivalents under
+    /// batching). Every batch has occupancy ≥ 1, so this never exceeds
+    /// `batched_appends`.
+    pub batches: u64,
+    /// Forced appends absorbed into those batches.
+    pub batched_appends: u64,
+    /// Largest single batch observed.
+    pub max_occupancy: u64,
+}
+
+impl GroupCommitStats {
+    /// Mean batch occupancy ×1000 (fixed-point, to stay float-free like
+    /// the rest of the workspace's cost arithmetic).
+    #[must_use]
+    pub fn occupancy_x1000(&self) -> u64 {
+        if self.batches == 0 {
+            0
+        } else {
+            self.batched_appends * 1000 / self.batches
+        }
+    }
+
+    fn absorb(&mut self, occupancy: u64) {
+        self.batches += 1;
+        self.batched_appends += occupancy;
+        self.max_occupancy = self.max_occupancy.max(occupancy);
+    }
+
+    /// Fold another site's counters into this aggregate.
+    pub fn merge(&mut self, other: &GroupCommitStats) {
+        self.batches += other.batches;
+        self.batched_appends += other.batched_appends;
+        self.max_occupancy = self.max_occupancy.max(other.max_occupancy);
+    }
+}
+
+/// A batch that has been closed (its single physical force is done, or
+/// — in windowed accounting mode — its window expired). Hosts drain
+/// these via [`GroupCommitLog::take_closed`] to emit trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosedBatch {
+    /// Host time (µs) at which the batch opened; 0 in deferred mode,
+    /// where the host supplies its own clock when emitting.
+    pub opened_at_us: u64,
+    /// Forced appends the batch absorbed.
+    pub occupancy: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// No batching: every forced append forces the inner log. Exactly
+    /// the unbatched behavior, byte for byte.
+    Passthrough,
+    /// Deterministic accounting for the simulator: forced appends still
+    /// force the inner log immediately (crash semantics are untouched),
+    /// but forces whose host time falls within `window_us` of the
+    /// window opener are *accounted* as one batch — the number of
+    /// physical forces a batching backend would have performed.
+    Windowed {
+        /// Batch window in host microseconds. `0` coalesces only
+        /// simultaneous forces (same sim instant).
+        window_us: u64,
+    },
+    /// Real deferral for single-threaded actor hosts: forced appends
+    /// are staged unforced and one [`GroupCommitLog::commit_batch`]
+    /// flush — one fsync — makes the whole turn durable. The host MUST
+    /// commit the batch before externalizing any message that depends
+    /// on the staged records.
+    Deferred,
+}
+
+/// Single-owner group-commit wrapper. See the module docs for the mode
+/// semantics; construct with [`GroupCommitLog::passthrough`],
+/// [`GroupCommitLog::windowed`] or [`GroupCommitLog::deferred`].
+#[derive(Debug)]
+pub struct GroupCommitLog<L: StableLog> {
+    inner: L,
+    mode: Mode,
+    /// Host clock, advanced by [`GroupCommitLog::tick`].
+    now_us: u64,
+    /// Open batch: (opened_at_us, occupancy). `None` when empty.
+    open: Option<(u64, u64)>,
+    closed: Vec<ClosedBatch>,
+    stats: GroupCommitStats,
+    /// Forced appends requested at this layer — the protocol-meaningful
+    /// force count, independent of how many physical syncs served them.
+    logical_forces: u64,
+}
+
+impl<L: StableLog> GroupCommitLog<L> {
+    /// No batching at all: a transparent wrapper whose observable
+    /// behavior is identical to the bare inner log.
+    pub fn passthrough(inner: L) -> Self {
+        Self::with_mode(inner, Mode::Passthrough)
+    }
+
+    /// Deterministic batch-window accounting for the simulator.
+    pub fn windowed(inner: L, window_us: u64) -> Self {
+        Self::with_mode(inner, Mode::Windowed { window_us })
+    }
+
+    /// Turn-deferred batching for single-threaded actor hosts.
+    pub fn deferred(inner: L) -> Self {
+        Self::with_mode(inner, Mode::Deferred)
+    }
+
+    fn with_mode(inner: L, mode: Mode) -> Self {
+        GroupCommitLog {
+            inner,
+            mode,
+            now_us: 0,
+            open: None,
+            closed: Vec::new(),
+            stats: GroupCommitStats::default(),
+            logical_forces: 0,
+        }
+    }
+
+    /// The wrapped log.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped log. Appends made directly on the
+    /// inner log bypass batching and its accounting.
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding batching state. Any deferred batch should be
+    /// committed first.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+
+    /// Batching counters.
+    pub fn group_stats(&self) -> GroupCommitStats {
+        self.stats
+    }
+
+    /// Is batching active (windowed or deferred)?
+    pub fn batching(&self) -> bool {
+        self.mode != Mode::Passthrough
+    }
+
+    /// Advance the host clock. In windowed mode this closes the open
+    /// batch once its window has expired; hosts call it before
+    /// processing each event.
+    pub fn tick(&mut self, now_us: u64) {
+        self.now_us = self.now_us.max(now_us);
+        if let Mode::Windowed { window_us } = self.mode {
+            if let Some((opened, _)) = self.open {
+                if self.now_us > opened.saturating_add(window_us) {
+                    self.close_open();
+                }
+            }
+        }
+    }
+
+    /// The batched forced-append path. In passthrough mode this is a
+    /// plain forced append; in windowed mode the force happens
+    /// immediately but joins the open accounting window; in deferred
+    /// mode the record is staged until [`GroupCommitLog::commit_batch`].
+    pub fn append_forced_batched(&mut self, payload: LogPayload) -> Result<Lsn, WalError> {
+        self.logical_forces += 1;
+        match self.mode {
+            Mode::Passthrough => self.inner.append(payload, true),
+            Mode::Windowed { window_us } => {
+                let lsn = self.inner.append(payload, true)?;
+                match &mut self.open {
+                    Some((opened, occ)) if self.now_us <= opened.saturating_add(window_us) => {
+                        *occ += 1;
+                    }
+                    _ => {
+                        self.close_open();
+                        self.open = Some((self.now_us, 1));
+                    }
+                }
+                Ok(lsn)
+            }
+            Mode::Deferred => {
+                let lsn = self.inner.append(payload, false)?;
+                match &mut self.open {
+                    Some((_, occ)) => *occ += 1,
+                    None => self.open = Some((self.now_us, 1)),
+                }
+                Ok(lsn)
+            }
+        }
+    }
+
+    /// Close the open batch. In deferred mode this performs the single
+    /// physical force (one flush) that makes the staged records
+    /// durable; in windowed mode it just seals the accounting window.
+    /// Returns the closed batch, if one was open.
+    pub fn commit_batch(&mut self) -> Result<Option<ClosedBatch>, WalError> {
+        if self.open.is_none() {
+            return Ok(None);
+        }
+        if self.mode == Mode::Deferred {
+            self.inner.flush()?;
+        }
+        self.close_open();
+        Ok(self.closed.last().copied())
+    }
+
+    /// Drain the batches closed since the last call (for trace-event
+    /// emission).
+    pub fn take_closed(&mut self) -> Vec<ClosedBatch> {
+        std::mem::take(&mut self.closed)
+    }
+
+    fn close_open(&mut self) {
+        if let Some((opened, occ)) = self.open.take() {
+            self.stats.absorb(occ);
+            self.closed.push(ClosedBatch {
+                opened_at_us: opened,
+                occupancy: occ,
+            });
+        }
+    }
+}
+
+impl<L: StableLog> StableLog for GroupCommitLog<L> {
+    fn append(&mut self, payload: LogPayload, force: bool) -> Result<Lsn, WalError> {
+        if force {
+            self.append_forced_batched(payload)
+        } else {
+            self.inner.append(payload, false)
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), WalError> {
+        // A flush makes everything durable, so it subsumes any deferred
+        // batch (which it closes — the flush IS the batch's force).
+        if self.mode == Mode::Deferred {
+            self.close_open();
+        }
+        self.inner.flush()
+    }
+
+    fn records(&self) -> Result<Vec<LogRecord>, WalError> {
+        self.inner.records()
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&LogRecord)) -> Result<(), WalError> {
+        self.inner.for_each_record(f)
+    }
+
+    fn truncate_prefix(&mut self, lsn: Lsn) -> Result<(), WalError> {
+        self.inner.truncate_prefix(lsn)
+    }
+
+    fn low_water_mark(&self) -> Lsn {
+        self.inner.low_water_mark()
+    }
+
+    fn next_lsn(&self) -> Lsn {
+        self.inner.next_lsn()
+    }
+
+    fn stats(&self) -> WalStats {
+        // Report the *logical* force count: what the protocol asked
+        // for, independent of physical batching. Physical syncs are in
+        // `group_stats().batches` (windowed/deferred) or equal anyway
+        // (passthrough).
+        let mut s = self.inner.stats();
+        s.forces = self.logical_forces;
+        s
+    }
+
+    fn lose_unflushed(&mut self) -> Result<usize, WalError> {
+        // A deferred batch that never committed dies with the crash —
+        // its records were staged unforced, so the inner log loses them
+        // (correct: nothing externalized them yet). A windowed batch's
+        // members were physically forced; only the accounting window
+        // closes.
+        match self.mode {
+            Mode::Deferred => {
+                self.open = None;
+            }
+            _ => self.close_open(),
+        }
+        self.inner.lose_unflushed()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threaded leader/follower handshake.
+// ---------------------------------------------------------------------
+
+struct SharedState<L: StableLog> {
+    inner: L,
+    /// Sequence number of the most recent staged append.
+    seq: u64,
+    /// Sequence through which staged appends are durable.
+    durable_seq: u64,
+    /// A leader is currently holding the batch open / forcing it.
+    leader_active: bool,
+    stats: GroupCommitStats,
+}
+
+struct Shared<L: StableLog> {
+    state: Mutex<SharedState<L>>,
+    cond: Condvar,
+    window: Duration,
+}
+
+/// A cloneable, thread-safe group-commit handle: concurrent
+/// transactions on different threads share one commit log and their
+/// forced appends coalesce into leader-forced batches.
+pub struct SharedGroupLog<L: StableLog> {
+    shared: Arc<Shared<L>>,
+}
+
+impl<L: StableLog> Clone for SharedGroupLog<L> {
+    fn clone(&self) -> Self {
+        SharedGroupLog {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<L: StableLog> SharedGroupLog<L> {
+    /// Wrap `inner` with the given batch window. The window is what
+    /// creates batches: a leader holds its batch open for `window` so
+    /// concurrent appenders can stage and join (the condvar wait
+    /// releases the lock). A zero window degenerates to one force per
+    /// append — staging requires the same lock the leader's force
+    /// holds, so nothing can join an instantaneous batch.
+    pub fn new(inner: L, window: Duration) -> Self {
+        SharedGroupLog {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SharedState {
+                    inner,
+                    seq: 0,
+                    durable_seq: 0,
+                    leader_active: false,
+                    stats: GroupCommitStats::default(),
+                }),
+                cond: Condvar::new(),
+                window,
+            }),
+        }
+    }
+
+    /// Forced append through the batched path. Durable on return — the
+    /// calling transaction either led a batch force or was a follower
+    /// whose sequence the leader's force covered.
+    pub fn append_forced_batched(&self, payload: LogPayload) -> Result<Lsn, WalError> {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock().expect("group log poisoned");
+        // Stage unforced: the batch force below makes it durable.
+        let lsn = st.inner.append(payload, false)?;
+        st.seq += 1;
+        let my_seq = st.seq;
+        loop {
+            if st.durable_seq >= my_seq {
+                // A leader's force already covered us.
+                return Ok(lsn);
+            }
+            if !st.leader_active {
+                break;
+            }
+            st = sh.cond.wait(st).expect("group log poisoned");
+        }
+        // Become the leader: hold the batch open for the window so
+        // concurrent appenders can join (they stage under the mutex
+        // while we wait — wait_timeout releases it).
+        st.leader_active = true;
+        if !sh.window.is_zero() {
+            let deadline = Instant::now() + sh.window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = sh
+                    .cond
+                    .wait_timeout(st, deadline - now)
+                    .expect("group log poisoned");
+                st = guard;
+            }
+        }
+        let cut = st.seq;
+        match st.inner.flush() {
+            Ok(()) => {
+                let occupancy = cut - st.durable_seq;
+                st.durable_seq = cut;
+                st.leader_active = false;
+                st.stats.absorb(occupancy);
+                sh.cond.notify_all();
+                Ok(lsn)
+            }
+            Err(e) => {
+                // Leave durable_seq honest; followers will retry the
+                // force as new leaders (or surface the error themselves).
+                st.leader_active = false;
+                sh.cond.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Unbatched forced append (baseline path for comparisons): same
+    /// lock, same inner log, but every call pays its own force.
+    pub fn append_forced_direct(&self, payload: LogPayload) -> Result<Lsn, WalError> {
+        let mut st = self.shared.state.lock().expect("group log poisoned");
+        let lsn = st.inner.append(payload, true)?;
+        st.seq += 1;
+        st.durable_seq = st.seq;
+        Ok(lsn)
+    }
+
+    /// Batching counters.
+    pub fn group_stats(&self) -> GroupCommitStats {
+        self.shared.state.lock().expect("group log poisoned").stats
+    }
+
+    /// Inner-log statistics (flushes = physical syncs of the batched
+    /// path).
+    pub fn wal_stats(&self) -> WalStats {
+        self.shared
+            .state
+            .lock()
+            .expect("group log poisoned")
+            .inner
+            .stats()
+    }
+
+    /// Durable records of the inner log.
+    pub fn records(&self) -> Result<Vec<LogRecord>, WalError> {
+        self.shared
+            .state
+            .lock()
+            .expect("group log poisoned")
+            .inner
+            .records()
+    }
+
+    /// Unwrap the inner log. Fails (returns `self` back) while other
+    /// handles exist.
+    pub fn try_into_inner(self) -> Result<L, SharedGroupLog<L>> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(sh) => Ok(sh.state.into_inner().expect("group log poisoned").inner),
+            Err(arc) => Err(SharedGroupLog { shared: arc }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemLog;
+    use acp_types::TxnId;
+
+    fn end(t: u64) -> LogPayload {
+        LogPayload::End { txn: TxnId::new(t) }
+    }
+
+    #[test]
+    fn passthrough_is_bit_for_bit_identical() {
+        let mut plain = MemLog::new();
+        let mut wrapped = GroupCommitLog::passthrough(MemLog::new());
+        for i in 0..6 {
+            plain.append(end(i), i % 2 == 0).unwrap();
+            wrapped.append(end(i), i % 2 == 0).unwrap();
+        }
+        plain.flush().unwrap();
+        wrapped.flush().unwrap();
+        assert_eq!(plain.records().unwrap(), wrapped.records().unwrap());
+        assert_eq!(plain.stats(), wrapped.stats());
+        assert_eq!(wrapped.group_stats(), GroupCommitStats::default());
+    }
+
+    #[test]
+    fn windowed_coalesces_forces_within_window() {
+        let mut log = GroupCommitLog::windowed(MemLog::new(), 100);
+        log.tick(1_000);
+        log.append_forced_batched(end(1)).unwrap();
+        log.append_forced_batched(end(2)).unwrap();
+        log.tick(1_050); // still inside the window
+        log.append_forced_batched(end(3)).unwrap();
+        log.tick(1_200); // window expired
+        log.append_forced_batched(end(4)).unwrap();
+        log.commit_batch().unwrap();
+
+        let s = log.group_stats();
+        assert_eq!(s.batches, 2, "one window of 3, one of 1");
+        assert_eq!(s.batched_appends, 4);
+        assert_eq!(s.max_occupancy, 3);
+        // Durability was never deferred: all four records are durable.
+        assert_eq!(log.records().unwrap().len(), 4);
+        let closed = log.take_closed();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0], ClosedBatch { opened_at_us: 1_000, occupancy: 3 });
+        assert_eq!(closed[1], ClosedBatch { opened_at_us: 1_200, occupancy: 1 });
+    }
+
+    #[test]
+    fn windowed_zero_window_coalesces_only_simultaneous_forces() {
+        let mut log = GroupCommitLog::windowed(MemLog::new(), 0);
+        log.tick(500);
+        log.append_forced_batched(end(1)).unwrap();
+        log.append_forced_batched(end(2)).unwrap();
+        log.tick(501);
+        log.append_forced_batched(end(3)).unwrap();
+        log.commit_batch().unwrap();
+        let s = log.group_stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.max_occupancy, 2);
+    }
+
+    #[test]
+    fn deferred_batch_is_one_physical_flush() {
+        let mut log = GroupCommitLog::deferred(MemLog::new());
+        let flushes_before = log.inner().stats().flushes;
+        for i in 0..5 {
+            log.append_forced_batched(end(i)).unwrap();
+        }
+        // Nothing durable until the batch commits.
+        assert_eq!(log.records().unwrap().len(), 0);
+        let closed = log.commit_batch().unwrap().unwrap();
+        assert_eq!(closed.occupancy, 5);
+        assert_eq!(log.records().unwrap().len(), 5);
+        assert_eq!(
+            log.inner().stats().flushes,
+            flushes_before + 1,
+            "five forced appends, one physical flush"
+        );
+        // Logical force accounting is preserved for cost checks.
+        assert_eq!(log.stats().forces, 5);
+        assert_eq!(log.group_stats().batches, 1);
+    }
+
+    #[test]
+    fn deferred_uncommitted_batch_dies_with_a_crash() {
+        let mut log = GroupCommitLog::deferred(MemLog::new());
+        log.append_forced_batched(end(1)).unwrap();
+        log.commit_batch().unwrap();
+        log.append_forced_batched(end(2)).unwrap();
+        let lost = log.lose_unflushed().unwrap();
+        assert_eq!(lost, 1, "the staged record is lost");
+        assert_eq!(log.records().unwrap().len(), 1);
+        assert_eq!(log.group_stats().batches, 1, "the dead batch never counted");
+    }
+
+    #[test]
+    fn shared_handshake_makes_every_append_durable() {
+        let log = SharedGroupLog::new(MemLog::new(), Duration::from_micros(200));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        h.append_forced_batched(end(t * 100 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(log.records().unwrap().len(), 8 * 16);
+        let s = log.group_stats();
+        assert_eq!(s.batched_appends, 8 * 16);
+        assert!(s.batches >= 1 && s.batches <= 8 * 16);
+        assert_eq!(log.wal_stats().flushes, s.batches, "one flush per batch");
+    }
+
+    #[test]
+    fn shared_single_thread_degenerates_to_batches_of_one() {
+        let log = SharedGroupLog::new(MemLog::new(), Duration::ZERO);
+        for i in 0..4 {
+            log.append_forced_batched(end(i)).unwrap();
+        }
+        let s = log.group_stats();
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.max_occupancy, 1);
+        assert_eq!(log.records().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn shared_direct_path_counts_no_batches() {
+        let log = SharedGroupLog::new(MemLog::new(), Duration::ZERO);
+        for i in 0..4 {
+            log.append_forced_direct(end(i)).unwrap();
+        }
+        assert_eq!(log.group_stats().batches, 0);
+        assert_eq!(log.wal_stats().forces, 4);
+        assert_eq!(log.records().unwrap().len(), 4);
+    }
+}

@@ -18,6 +18,10 @@
 //! * a fault-injecting stable log ([`fault::FaultyLog`]) that keeps the
 //!   `FileLog` byte image in memory and corrupts it on demand — torn
 //!   writes, partial fsyncs, bit flips — so recovery can be fuzzed,
+//! * a group-commit layer ([`group`]) that batches concurrent
+//!   transactions' forced writes into a single physical force —
+//!   [`group::GroupCommitLog`] for single-owner event-loop hosts,
+//!   [`group::SharedGroupLog`] for threads sharing one commit log,
 //! * log-analysis scanning ([`scan`]) used by the recovery procedures of
 //!   §4.2, and
 //! * garbage-collection tracking ([`gc::GcTracker`]) — the observable
@@ -34,6 +38,7 @@ pub mod error;
 pub mod fault;
 pub mod file;
 pub mod gc;
+pub mod group;
 pub mod mem;
 pub mod observe;
 pub mod record;
@@ -44,6 +49,7 @@ pub use error::WalError;
 pub use fault::{Fault, FaultyLog, RecoveryReport};
 pub use file::FileLog;
 pub use gc::GcTracker;
+pub use group::{ClosedBatch, GroupCommitLog, GroupCommitStats, SharedGroupLog};
 pub use mem::MemLog;
 pub use observe::ObservedLog;
 pub use record::{LogRecord, Lsn, WalStats};

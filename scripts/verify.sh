@@ -38,6 +38,18 @@ git diff --exit-code -- results/exp_faults.txt \
   || { echo "FAIL: results/exp_faults.txt drifted from the fault campaign —"; \
        echo "      investigate, then commit the regenerated matrix"; exit 1; }
 
+echo "== group commit: sim accounting must match the analytic model"
+# Smoke mode runs only the deterministic sim half (the binary exits
+# non-zero on any model mismatch) and regenerates the committed table;
+# the diff catches silent drift. Trace byte-stability with batching
+# enabled is pinned by tests/group_commit.rs in the suite above. The
+# threaded FileLog campaign (BENCH_group_commit.json) is machine-timed,
+# so it is regenerated manually, not here.
+ACP_GROUP_COMMIT_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_group_commit > /dev/null
+git diff --exit-code -- results/exp_group_commit.txt \
+  || { echo "FAIL: results/exp_group_commit.txt drifted from the batched cost model —"; \
+       echo "      investigate, then commit the regenerated table"; exit 1; }
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

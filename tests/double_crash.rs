@@ -176,6 +176,150 @@ fn coordinator_and_participant_both_double_crash() {
     }
 }
 
+// ---------------------------------------------------------------------
+// WAL-byte-level double crashes: first crash inside `truncate_prefix`,
+// second during the recovery that follows it
+// ---------------------------------------------------------------------
+
+mod gc_bytes {
+    use presumed_any::types::{LogPayload, TxnId};
+    use presumed_any::wal::tempdir::TempDir;
+    use presumed_any::wal::{FileLog, Lsn, StableLog};
+    use std::fs;
+
+    fn end(t: u64) -> LogPayload {
+        LogPayload::End { txn: TxnId::new(t) }
+    }
+
+    /// Byte images for the sweep: the pre-GC log (10 forced records)
+    /// and the complete rewrite sibling `truncate_prefix(Lsn(6))` would
+    /// have produced, captured by running a real GC on a scratch copy.
+    fn images(dir: &TempDir) -> (Vec<u8>, Vec<u8>) {
+        let scratch = dir.path().join("scratch");
+        {
+            let mut log = FileLog::create(&scratch).unwrap();
+            for i in 0..10 {
+                log.append(end(i), true).unwrap();
+            }
+        }
+        let pre_gc = fs::read(&scratch).unwrap();
+        {
+            let mut log = FileLog::open(&scratch).unwrap();
+            log.truncate_prefix(Lsn(6)).unwrap();
+        }
+        let rewrite = fs::read(&scratch).unwrap();
+        (pre_gc, rewrite)
+    }
+
+    /// First crash: inside `truncate_prefix`, after `k` bytes of the
+    /// `.rewrite` sibling reached disk but before the rename — the main
+    /// file still holds the pre-GC image. Recovery must scan the full
+    /// pre-GC log, clear the sibling, and be able to redo the GC.
+    ///
+    /// Second crash: during that recovery, tearing `j` bytes off
+    /// whatever the interrupted recovery had appended after its redone
+    /// GC. The second restart must recover the valid record prefix,
+    /// keep the redone low-water mark, and accept appends.
+    #[test]
+    fn gc_crash_then_recovery_scan_crash_sweep() {
+        let dir = TempDir::new("double-crash-gc").unwrap();
+        let (pre_gc, rewrite) = images(&dir);
+
+        // k sweeps the sibling from empty through mid-header, mid-frame
+        // and complete-but-unrenamed; step 7 stays misaligned with the
+        // frame boundaries so every kind of partial write is visited.
+        for k in (0..=rewrite.len()).step_by(7) {
+            let path = dir.path().join(format!("wal-k{k}"));
+            let sibling = path.with_extension("rewrite");
+            fs::write(&path, &pre_gc).unwrap();
+            fs::write(&sibling, &rewrite[..k]).unwrap();
+
+            // First restart: the interrupted GC never happened.
+            let mut log = FileLog::open(&path).unwrap();
+            assert!(!sibling.exists(), "k={k}: stale .rewrite must be cleared");
+            assert_eq!(log.records().unwrap().len(), 10, "k={k}: pre-GC log intact");
+            assert_eq!(log.low_water_mark(), Lsn::ZERO, "k={k}");
+
+            // The recovery redoes the GC and logs its own progress...
+            log.truncate_prefix(Lsn(6)).unwrap();
+            let after_gc = fs::metadata(&path).unwrap().len();
+            log.append(end(100), true).unwrap();
+            log.append(end(101), true).unwrap();
+            let full = fs::metadata(&path).unwrap().len();
+            drop(log);
+
+            // ...and crashes again: tear j bytes off the recovery's own
+            // appends, from one byte up to both records gone.
+            let max_tear = (full - after_gc) as usize;
+            for j in (1..=max_tear).step_by(5) {
+                let torn_path = dir.path().join(format!("wal-k{k}-j{j}"));
+                let torn = fs::read(&path).unwrap();
+                fs::write(&torn_path, &torn[..torn.len() - j]).unwrap();
+
+                // Second restart: valid prefix, preserved low water.
+                let mut log = FileLog::open(&torn_path).unwrap();
+                assert_eq!(
+                    log.low_water_mark(),
+                    Lsn(6),
+                    "k={k} j={j}: redone GC must survive the second crash"
+                );
+                let recs = log.records().unwrap();
+                assert!(
+                    recs.iter().all(|r| r.lsn >= Lsn(6)),
+                    "k={k} j={j}: no resurrected pre-GC records"
+                );
+                assert!(recs.len() >= 4, "k={k} j={j}: retained suffix survives");
+                for (i, r) in recs.iter().enumerate() {
+                    assert_eq!(r.lsn, Lsn(6 + i as u64), "k={k} j={j}: contiguous");
+                }
+
+                // And the log keeps working: append, crash, reopen.
+                let resumed = log.next_lsn();
+                log.append(end(200), true).unwrap();
+                drop(log);
+                let log = FileLog::open(&torn_path).unwrap();
+                let recs = log.records().unwrap();
+                assert_eq!(recs.last().unwrap().lsn, resumed, "k={k} j={j}");
+                assert_eq!(log.next_lsn(), resumed.next(), "k={k} j={j}");
+            }
+        }
+    }
+
+    /// First crash a moment later: after the rename swapped the rewrite
+    /// into place (the GC is durable) but before the recovering site got
+    /// any further. The second crash again tears the recovery's tail.
+    /// The GC must stick: low water 6, no pre-GC ghosts.
+    #[test]
+    fn gc_crash_after_rename_then_recovery_crash() {
+        let dir = TempDir::new("double-crash-gc-renamed").unwrap();
+        let (_, rewrite) = images(&dir);
+
+        let path = dir.path().join("wal");
+        fs::write(&path, &rewrite).unwrap();
+        let mut log = FileLog::open(&path).unwrap();
+        assert_eq!(log.low_water_mark(), Lsn(6));
+        assert_eq!(log.records().unwrap().len(), 4);
+
+        let before = fs::metadata(&path).unwrap().len();
+        log.append(end(100), true).unwrap();
+        let full = fs::metadata(&path).unwrap().len();
+        drop(log);
+
+        for j in 1..(full - before) as usize {
+            let torn_path = dir.path().join(format!("wal-j{j}"));
+            let torn = fs::read(&path).unwrap();
+            fs::write(&torn_path, &torn[..torn.len() - j]).unwrap();
+
+            let log = FileLog::open(&torn_path).unwrap();
+            assert_eq!(log.low_water_mark(), Lsn(6), "j={j}");
+            let recs = log.records().unwrap();
+            assert_eq!(recs.len(), 4, "j={j}: torn recovery record dropped");
+            assert!(recs.iter().all(|r| r.lsn >= Lsn(6)), "j={j}");
+            assert_eq!(log.next_lsn(), Lsn(10), "j={j}");
+        }
+    }
+}
+
 /// Double crashes under 20% message loss: the recovery inquiries and
 /// decision re-sends themselves ride lossy links, so the bounded
 /// exponential backoff is what drives convergence.
