@@ -1,0 +1,424 @@
+//! E13 — runtime backends: threaded actors vs. the reactor event loop.
+//!
+//! Both backends run the *same* sans-IO protocol engines over file
+//! WALs with group commit enabled; what differs is who drives them.
+//! The threaded runtime dedicates an OS thread per site and an OS
+//! thread per concurrent client, so its concurrency is bounded by the
+//! thread budget. The reactor multiplexes every site on one thread and
+//! represents an in-flight transaction as a table entry plus a timer
+//! wheel slot, so thousands of transactions can be open at once.
+//!
+//! The sweep drives both backends closed-loop at 1..4096 requested
+//! concurrency over a fixed PrAny site set (PrN + PrA + PrC) and
+//! records committed-transaction throughput, peak in-flight
+//! transactions and fsync amortization per cell into
+//! `BENCH_runtime.json`.
+//!
+//! Acceptance (exits non-zero when violated): every transaction
+//! commits, the reactor sustains >= 4096 concurrent in-flight
+//! transactions, and at 512+ concurrency the reactor's throughput is
+//! >= 5x the threaded backend's. The threaded backend cannot spawn
+//! 4096 client threads; its 4096 cell runs capped at the thread
+//! budget, recorded per cell as `"capped": true`.
+//!
+//! `ACP_RUNTIME_SMOKE=1` runs a small correctness-only slice (used by
+//! `scripts/verify.sh`); the full campaign is machine-timed and
+//! regenerated manually like the other BENCH_*.json files.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_runtime
+//! ```
+
+use acp_bench::{row, sep};
+use acp_net::{Cluster, ClusterConfig, NetDelays, ReactorCluster, ReactorConfig};
+use acp_obs::{Counter, CountingSink, MetricsRegistry, MetricsTimeline, TraceSink};
+use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SelectionPolicy, TxnId};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requested-concurrency sweep.
+const CONCURRENCY: [usize; 5] = [1, 8, 64, 512, 4096];
+
+/// Most client threads the threaded driver will spawn. Cells that
+/// request more run capped and are marked `"capped": true`.
+const THREAD_BUDGET: usize = 1024;
+
+fn kind() -> CoordinatorKind {
+    CoordinatorKind::PrAny(SelectionPolicy::PaperStrict)
+}
+
+const PROTOS: [ProtocolKind; 3] = [ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC];
+
+/// Long protocol timeouts: the sweep measures runtime throughput, not
+/// timeout handling, so no timer may fire during a clean run even when
+/// thousands of prepares queue behind one another.
+fn bench_delays() -> NetDelays {
+    NetDelays {
+        vote_timeout: Duration::from_secs(30),
+        ack_resend: Duration::from_secs(10),
+        inquiry_retry: Duration::from_secs(10),
+        apply_retry: Duration::from_secs(10),
+    }
+}
+
+/// Transactions per cell: enough work that every requested level
+/// actually saturates (4x the window, floor 256).
+fn total_for(c: usize) -> u64 {
+    (4 * c as u64).max(256)
+}
+
+struct Cell {
+    mode: &'static str,
+    requested: usize,
+    effective: usize,
+    capped: bool,
+    txns: u64,
+    committed: u64,
+    elapsed_ms: u64,
+    commits_per_sec: f64,
+    /// Peak simultaneously-open transactions (reactor only; the
+    /// threaded backend's concurrency is its client thread count).
+    max_inflight: usize,
+    logical_forces: u64,
+    physical_syncs: u64,
+    /// Live metrics snapshots streamed by the reactor while the cell
+    /// ran: (host µs since spawn, decisions reached, forced writes).
+    /// Empty for the threaded backend, which has no snapshot surface.
+    timeline: Vec<(u64, u64, u64)>,
+}
+
+impl Cell {
+    fn syncs_per_txn(&self) -> f64 {
+        self.physical_syncs as f64 / self.txns.max(1) as f64
+    }
+}
+
+fn key(n: u64) -> Vec<u8> {
+    format!("k{n:06}").into_bytes()
+}
+
+/// Reactor driver: closed-loop in windows of `requested`. Each window
+/// stages its writes, then bursts the commit requests and awaits every
+/// decision — so a window genuinely has `requested` transactions open
+/// in the coordinator at once before the first decision can land
+/// (prepares are deferred until the batch forces at tick end).
+fn reactor_cell(requested: usize, total: u64) -> Cell {
+    let mut config = ReactorConfig::new(kind(), &PROTOS);
+    config.cluster.delays = bench_delays();
+    config.cluster.group_commit = true;
+    // Live metrics surface: the reactor snapshots the counting
+    // registry into the timeline every eighth of the workload, giving
+    // each cell a forces-per-txn curve over host time.
+    config.snapshot_every_commits = (total / 8).max(1);
+    let registry = Arc::new(MetricsRegistry::new());
+    let timeline = Arc::new(MetricsTimeline::new());
+    let sink: Arc<dyn TraceSink> = Arc::new(CountingSink::new(Arc::clone(&registry)));
+    let cluster =
+        ReactorCluster::spawn_observed(&config, sink, Arc::clone(&registry), Arc::clone(&timeline));
+    let parts = cluster.participants();
+
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let mut next = 1u64;
+    while next <= total {
+        let batch = (requested as u64).min(total - next + 1);
+        for i in 0..batch {
+            let txn = TxnId::new(next + i);
+            for site in &parts {
+                cluster.apply(*site, txn, &key(next + i), b"v");
+            }
+        }
+        let pending: Vec<_> = (0..batch)
+            .map(|i| cluster.commit_async(TxnId::new(next + i), &parts))
+            .collect();
+        for rx in pending {
+            if rx.recv_timeout(Duration::from_secs(60)) == Ok(Outcome::Commit) {
+                committed += 1;
+            }
+        }
+        next += batch;
+    }
+    let elapsed = start.elapsed();
+
+    let report = cluster.shutdown();
+    Cell {
+        mode: "reactor",
+        requested,
+        effective: requested,
+        capped: false,
+        txns: total,
+        committed,
+        elapsed_ms: elapsed.as_millis() as u64,
+        commits_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+        max_inflight: report.stats.max_inflight,
+        logical_forces: report.cluster.logical_forces,
+        physical_syncs: report.cluster.physical_syncs,
+        timeline: timeline
+            .snapshots()
+            .iter()
+            .map(|s| {
+                (
+                    s.at_us,
+                    s.total(Counter::DecisionsReached),
+                    s.total(Counter::ForcedWrites),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Threaded driver: one client OS thread per requested unit of
+/// concurrency (capped at [`THREAD_BUDGET`]), each looping over a
+/// shared transaction counter with blocking commits.
+fn threaded_cell(requested: usize, total: u64) -> Cell {
+    let mut config = ClusterConfig::new(kind(), &PROTOS);
+    config.delays = bench_delays();
+    config.group_commit = true;
+    let cluster = Arc::new(Cluster::spawn(&config));
+    let parts = cluster.participants();
+    let effective = requested.min(THREAD_BUDGET);
+    let next = Arc::new(AtomicU64::new(1));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..effective)
+        .map(|_| {
+            let cluster = Arc::clone(&cluster);
+            let parts = parts.clone();
+            let next = Arc::clone(&next);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || loop {
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                if n > total {
+                    break;
+                }
+                let txn = TxnId::new(n);
+                for site in &parts {
+                    cluster.apply(*site, txn, &key(n), b"v");
+                }
+                if cluster.commit(txn, &parts) == Some(Outcome::Commit) {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client worker");
+    }
+    let elapsed = start.elapsed();
+
+    let cluster = Arc::try_unwrap(cluster).ok().expect("clients joined");
+    let report = cluster.shutdown();
+    Cell {
+        mode: "threaded",
+        requested,
+        effective,
+        capped: effective < requested,
+        txns: total,
+        committed: committed.load(Ordering::Relaxed),
+        elapsed_ms: elapsed.as_millis() as u64,
+        commits_per_sec: committed.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64().max(1e-9),
+        max_inflight: 0,
+        logical_forces: report.logical_forces,
+        physical_syncs: report.physical_syncs,
+        timeline: Vec::new(),
+    }
+}
+
+fn print_cell(c: &Cell, widths: &[usize]) {
+    println!(
+        "{}",
+        row(
+            &[
+                c.mode.into(),
+                c.requested.to_string(),
+                if c.capped {
+                    format!("{} (cap)", c.effective)
+                } else {
+                    c.effective.to_string()
+                },
+                format!("{}/{}", c.committed, c.txns),
+                format!("{:.0}", c.commits_per_sec),
+                if c.mode == "reactor" {
+                    c.max_inflight.to_string()
+                } else {
+                    "-".into()
+                },
+                format!("{:.3}", c.syncs_per_txn()),
+                format!("{}ms", c.elapsed_ms),
+            ],
+            widths
+        )
+    );
+}
+
+fn bench_json(cells: &[Cell], sustained: usize, speedups: &[(usize, f64)], pass: bool) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"runtime\",");
+    let _ = writeln!(
+        j,
+        "  \"site_set\": \"PrAny(PaperStrict) over PrN+PrA+PrC, group commit on\","
+    );
+    let _ = writeln!(j, "  \"thread_budget\": {THREAD_BUDGET},");
+    let _ = writeln!(j, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let mut curve = String::new();
+        for (k, &(at_us, decided, forces)) in c.timeline.iter().enumerate() {
+            let _ = write!(
+                curve,
+                "{{\"at_us\": {at_us}, \"decided\": {decided}, \"forced_writes\": {forces}, \
+                 \"forces_per_txn\": {:.3}}}",
+                forces as f64 / decided.max(1) as f64,
+            );
+            if k + 1 < c.timeline.len() {
+                curve.push_str(", ");
+            }
+        }
+        let _ = writeln!(
+            j,
+            "    {{\"mode\": \"{}\", \"requested_concurrency\": {}, \"effective_concurrency\": {}, \
+             \"capped\": {}, \"txns\": {}, \"committed\": {}, \"elapsed_ms\": {}, \
+             \"commits_per_sec\": {:.1}, \"max_inflight\": {}, \"logical_forces\": {}, \
+             \"physical_syncs\": {}, \"syncs_per_txn\": {:.3}, \"timeline\": [{curve}]}}{comma}",
+            c.mode,
+            c.requested,
+            c.effective,
+            c.capped,
+            c.txns,
+            c.committed,
+            c.elapsed_ms,
+            c.commits_per_sec,
+            c.max_inflight,
+            c.logical_forces,
+            c.physical_syncs,
+            c.syncs_per_txn(),
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(
+        j,
+        "    \"criterion\": \"all txns commit; reactor sustains >= 4096 concurrent in-flight \
+         txns; reactor throughput >= 5x threaded at 512+ concurrency\","
+    );
+    let _ = writeln!(j, "    \"sustained_inflight\": {sustained},");
+    for (conc, s) in speedups {
+        let _ = writeln!(j, "    \"speedup_at_{conc}\": {s:.2},");
+    }
+    let _ = writeln!(j, "    \"pass\": {pass}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let smoke = std::env::var_os("ACP_RUNTIME_SMOKE").is_some();
+    let sweep: Vec<usize> = if smoke {
+        vec![1, 8]
+    } else {
+        CONCURRENCY.to_vec()
+    };
+
+    println!("E13 — runtime backends: threaded actors vs. reactor event loop");
+    println!("site set: PrAny(PaperStrict) over PrN+PrA+PrC, group commit on\n");
+    let widths = [10, 10, 10, 14, 12, 10, 11, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "mode".into(),
+                "requested".into(),
+                "effective".into(),
+                "committed".into(),
+                "txns/sec".into(),
+                "inflight".into(),
+                "syncs/txn".into(),
+                "elapsed".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &c in &sweep {
+        let total = if smoke { 48 } else { total_for(c) };
+        let r = reactor_cell(c, total);
+        print_cell(&r, &widths);
+        cells.push(r);
+        let t = threaded_cell(c, total);
+        print_cell(&t, &widths);
+        cells.push(t);
+    }
+
+    let all_committed = cells.iter().all(|c| c.committed == c.txns);
+
+    if smoke {
+        let inflight_ok = cells
+            .iter()
+            .any(|c| c.mode == "reactor" && c.requested == 8 && c.max_inflight >= 2);
+        let snapshots_ok = cells
+            .iter()
+            .filter(|c| c.mode == "reactor")
+            .all(|c| !c.timeline.is_empty());
+        println!(
+            "\nsmoke acceptance (all commit, reactor multiplexes, metrics stream): {}",
+            if all_committed && inflight_ok && snapshots_ok {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        eprintln!("smoke mode: skipping the full campaign and BENCH_runtime.json");
+        if !(all_committed && inflight_ok && snapshots_ok) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sustained = cells
+        .iter()
+        .filter(|c| c.mode == "reactor")
+        .map(|c| c.max_inflight)
+        .max()
+        .unwrap_or(0);
+    let speedup_at = |conc: usize| -> f64 {
+        let r = cells
+            .iter()
+            .find(|c| c.mode == "reactor" && c.requested == conc)
+            .map_or(0.0, |c| c.commits_per_sec);
+        let t = cells
+            .iter()
+            .find(|c| c.mode == "threaded" && c.requested == conc)
+            .map_or(f64::INFINITY, |c| c.commits_per_sec);
+        r / t
+    };
+    let speedups: Vec<(usize, f64)> = [512usize, 4096]
+        .iter()
+        .map(|&c| (c, speedup_at(c)))
+        .collect();
+    let pass =
+        all_committed && sustained >= 4096 && speedups.iter().all(|&(_, s)| s >= 5.0);
+
+    let json = bench_json(&cells, sustained, &speedups, pass);
+    let bench_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    std::fs::write(&bench_path, &json).expect("write BENCH_runtime.json");
+    eprintln!("wrote BENCH_runtime.json");
+
+    println!("\nsustained in-flight (reactor): {sustained}");
+    for (conc, s) in &speedups {
+        println!("reactor/threaded speedup at {conc}: {s:.2}x");
+    }
+    println!(
+        "acceptance (all commit, >= 4096 in-flight, >= 5x at 512+): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -11,9 +11,11 @@
 pub mod plan;
 pub mod recovery;
 pub mod select;
+pub mod table;
 
 use crate::action::{Action, TimerPurpose};
 use plan::{CommitPlan, InquiryRule};
+use table::ShardedTable;
 
 use acp_acta::ActaEvent;
 use acp_types::{
@@ -105,11 +107,23 @@ pub struct Coordinator<L: StableLog> {
     /// crashes.
     pub(crate) pcp: BTreeMap<SiteId, ProtocolKind>,
     /// The volatile protocol table (cleared on crash, rebuilt by §4.2
-    /// log analysis).
-    pub(crate) table: BTreeMap<TxnId, TxnState>,
+    /// log analysis), sharded by transaction id so one coordinator can
+    /// drive thousands of concurrent transactions without a single-map
+    /// contention point.
+    pub(crate) table: ShardedTable<TxnState>,
     pub(crate) gc: GcTracker,
     pub(crate) timers: BTreeMap<u64, (TxnId, TimerPurpose)>,
     pub(crate) next_token: u64,
+    /// When set, timers made obsolete by protocol progress (a vote
+    /// timeout once the decision is fixed, ack re-sends once the
+    /// transaction finishes) are retired eagerly and their tokens
+    /// buffered for [`Coordinator::take_cancelled_timers`]. Off by
+    /// default: the simulator and model checker keep the historical
+    /// lazy-expiry behaviour (stale tokens are ignored when they fire),
+    /// so their state spaces and traces are untouched.
+    track_cancellations: bool,
+    /// Retired timer tokens not yet drained by the host.
+    cancelled: Vec<u64>,
     /// Observational: decisions ever made (survives crash; used by tests
     /// and checkers, never consulted by the protocol itself).
     pub(crate) decisions: BTreeMap<TxnId, Outcome>,
@@ -128,10 +142,12 @@ impl<L: StableLog> Coordinator<L> {
             kind,
             log,
             pcp: BTreeMap::new(),
-            table: BTreeMap::new(),
+            table: ShardedTable::new(),
             gc: GcTracker::new(),
             timers: BTreeMap::new(),
             next_token: 0,
+            track_cancellations: false,
+            cancelled: Vec::new(),
             decisions: BTreeMap::new(),
             costs: BTreeMap::new(),
             auto_gc: true,
@@ -152,14 +168,15 @@ impl<L: StableLog> Coordinator<L> {
     /// participates in an in-flight transaction — the paper's model has
     /// sites leave the *environment*, not abscond mid-protocol.
     pub fn unregister_site(&mut self, site: SiteId) -> Result<(), acp_types::ProtocolViolation> {
-        for (txn, state) in &self.table {
-            if state.participants.iter().any(|p| p.site == site) {
-                return Err(acp_types::ProtocolViolation::new(
-                    self.site,
-                    Some(*txn),
-                    format!("{site} still participates in an in-flight transaction"),
-                ));
-            }
+        if let Some(txn) = self
+            .table
+            .find(|_, state| state.participants.iter().any(|p| p.site == site))
+        {
+            return Err(acp_types::ProtocolViolation::new(
+                self.site,
+                Some(txn),
+                format!("{site} still participates in an in-flight transaction"),
+            ));
         }
         self.pcp.remove(&site);
         Ok(())
@@ -192,7 +209,50 @@ impl<L: StableLog> Coordinator<L> {
     /// Transactions currently in the protocol table.
     #[must_use]
     pub fn protocol_table_txns(&self) -> Vec<TxnId> {
-        self.table.keys().copied().collect()
+        self.table.keys_sorted()
+    }
+
+    /// Is `txn` currently in the protocol table? O(shard) — use this
+    /// instead of `protocol_table_txns().contains(..)`, which clones
+    /// every key.
+    #[must_use]
+    pub fn in_flight(&self, txn: TxnId) -> bool {
+        self.table.contains(txn)
+    }
+
+    /// Enable (or disable) eager timer retirement: with tracking on,
+    /// timers that protocol progress makes obsolete are removed from
+    /// the engine's live set immediately and surfaced through
+    /// [`Coordinator::take_cancelled_timers`], so hosts with a real
+    /// timer wheel (the reactor) can cancel the wheel entries instead
+    /// of letting them fire into a no-op. Default off — see the field
+    /// docs for why the simulator and checker stay on lazy expiry.
+    pub fn set_track_cancellations(&mut self, on: bool) {
+        self.track_cancellations = on;
+    }
+
+    /// Drain the timer tokens retired since the last call (empty unless
+    /// [`Coordinator::set_track_cancellations`] enabled tracking).
+    pub fn take_cancelled_timers(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.cancelled)
+    }
+
+    /// Retire live timers of `txn` matching `pred`, recording their
+    /// tokens for the host. No-op unless tracking is enabled.
+    fn retire_timers(&mut self, txn: TxnId, pred: impl Fn(TimerPurpose) -> bool) {
+        if !self.track_cancellations {
+            return;
+        }
+        let tokens: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|(_, (t, p))| *t == txn && pred(*p))
+            .map(|(tok, _)| *tok)
+            .collect();
+        for tok in tokens {
+            self.timers.remove(&tok);
+            self.cancelled.push(tok);
+        }
     }
 
     /// Transactions still pinning the log (no end record).
@@ -236,9 +296,9 @@ impl<L: StableLog> Coordinator<L> {
     #[must_use]
     pub fn fingerprint(&self) -> String {
         let mut s = format!("coord:{:?};", self.kind);
-        for (txn, st) in &self.table {
+        self.table.for_each(|txn, st| {
             s.push_str(&format!("{txn}={:?}/{:?};", st.phase, st.plan.mode));
-        }
+        });
         s.push('|');
         for rec in self.log.records().expect("records") {
             s.push_str(&format!("{};", rec.payload));
@@ -257,11 +317,11 @@ impl<L: StableLog> Coordinator<L> {
     pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
         use std::hash::Hash;
         self.kind.hash(h);
-        for (txn, st) in &self.table {
+        self.table.for_each(|txn, st| {
             txn.hash(h);
             st.phase.hash(h);
             st.plan.mode.hash(h);
-        }
+        });
         0xA1u8.hash(h); // section separator, mirrors the '|' in fingerprint()
         self.log
             .for_each_record(&mut |rec| rec.payload.hash(h))
@@ -349,7 +409,7 @@ impl<L: StableLog> Coordinator<L> {
     /// phase of Figure 1).
     pub fn begin_commit(&mut self, txn: TxnId, sites: &[SiteId]) -> Vec<Action> {
         assert!(
-            !self.table.contains_key(&txn),
+            !self.table.contains(txn),
             "transaction {txn} already in the protocol table"
         );
         let participants = self.entries(sites);
@@ -393,23 +453,31 @@ impl<L: StableLog> Coordinator<L> {
     /// Fix the outcome and run the decision phase. Called when all votes
     /// are in, when a "No" vote arrives, or on vote timeout.
     fn decide(&mut self, txn: TxnId, outcome: Outcome, out: &mut Vec<Action>) {
-        let state = self.table.get(&txn).expect("decide on tabled txn");
-        let plan = state.plan.clone();
-        let participants = state.participants.clone();
-
-        // Recipients: everyone except unilateral aborters (voted "No")
-        // and read-only voters, both of which dropped out of phase two.
-        // Participants whose vote has not arrived are *included*: they
-        // may be prepared, so the decision (and its acknowledgment
-        // bookkeeping) must reach them.
-        let excluded: BTreeSet<SiteId> = match &state.phase {
-            Phase::Voting { votes } => votes
-                .iter()
-                .filter(|(_, v)| matches!(v, Vote::No | Vote::ReadOnly))
-                .map(|(s, _)| *s)
-                .collect(),
-            Phase::Deciding { .. } => unreachable!("decide called twice"),
-        };
+        // Copy what the decision needs out of the shard and release its
+        // lock before appending/sending — nothing below may re-enter the
+        // table while a shard is held.
+        let (plan, participants, excluded, mut logged_any) = self.table.with(txn, |state| {
+            let state = state.expect("decide on tabled txn");
+            // Recipients: everyone except unilateral aborters (voted
+            // "No") and read-only voters, both of which dropped out of
+            // phase two. Participants whose vote has not arrived are
+            // *included*: they may be prepared, so the decision (and its
+            // acknowledgment bookkeeping) must reach them.
+            let excluded: BTreeSet<SiteId> = match &state.phase {
+                Phase::Voting { votes } => votes
+                    .iter()
+                    .filter(|(_, v)| matches!(v, Vote::No | Vote::ReadOnly))
+                    .map(|(s, _)| *s)
+                    .collect(),
+                Phase::Deciding { .. } => unreachable!("decide called twice"),
+            };
+            (
+                state.plan.clone(),
+                state.participants.clone(),
+                excluded,
+                state.logged_any,
+            )
+        });
         let recipients: Vec<ParticipantEntry> = participants
             .iter()
             .filter(|p| !excluded.contains(&p.site))
@@ -422,12 +490,13 @@ impl<L: StableLog> Coordinator<L> {
             txn,
             outcome,
         }));
+        // The decision supersedes the vote-collection timeout.
+        self.retire_timers(txn, |p| p == TimerPurpose::VoteTimeout);
 
         // Decision record — skipped entirely when there is nobody left in
         // phase two (the read-only optimization: an all-read-only
         // transaction commits with no decision record and no decision
         // messages).
-        let mut logged_any = self.table[&txn].logged_any;
         if !recipients.is_empty() {
             if let Some(forced) = plan.decision_record(outcome) {
                 let rec_participants = if plan.write_initiation {
@@ -458,17 +527,21 @@ impl<L: StableLog> Coordinator<L> {
             .into_iter()
             .collect();
 
-        let state = self.table.get_mut(&txn).expect("tabled");
-        state.logged_any = logged_any;
-        if pending.is_empty() {
+        let finished = pending.is_empty();
+        self.table.with_mut(txn, |state| {
+            let state = state.expect("tabled");
+            state.logged_any = logged_any;
+            if !finished {
+                state.phase = Phase::Deciding {
+                    outcome,
+                    pending,
+                    resends: 0,
+                };
+            }
+        });
+        if finished {
             self.finish(txn, out);
         } else {
-            let state = self.table.get_mut(&txn).expect("tabled");
-            state.phase = Phase::Deciding {
-                outcome,
-                pending,
-                resends: 0,
-            };
             self.arm_timer(txn, TimerPurpose::AckResend, 0, out);
         }
     }
@@ -477,7 +550,10 @@ impl<L: StableLog> Coordinator<L> {
     /// write the end record, delete the transaction from the protocol
     /// table (the `DeletePT` event of Definition 2) and garbage collect.
     pub(crate) fn finish(&mut self, txn: TxnId, out: &mut Vec<Action>) {
-        let state = self.table.remove(&txn).expect("finish on tabled txn");
+        let state = self.table.remove(txn).expect("finish on tabled txn");
+        // Any still-armed timer for a finished transaction (the ack
+        // re-send, typically) is dead weight from here on.
+        self.retire_timers(txn, |_| true);
         if state.logged_any {
             self.append(txn, LogPayload::End { txn }, false, out);
         }
@@ -502,13 +578,16 @@ impl<L: StableLog> Coordinator<L> {
     /// once a decision exists and for unknown transactions.
     pub fn abort_request(&mut self, txn: TxnId) -> Vec<Action> {
         let mut out = Vec::new();
-        if matches!(
-            self.table.get(&txn),
-            Some(TxnState {
-                phase: Phase::Voting { .. },
-                ..
-            })
-        ) {
+        let voting = self.table.with(txn, |s| {
+            matches!(
+                s,
+                Some(TxnState {
+                    phase: Phase::Voting { .. },
+                    ..
+                })
+            )
+        });
+        if voting {
             self.decide(txn, Outcome::Abort, &mut out);
         }
         out
@@ -532,51 +611,63 @@ impl<L: StableLog> Coordinator<L> {
     }
 
     fn on_vote(&mut self, from: SiteId, txn: TxnId, vote: Vote, out: &mut Vec<Action>) {
-        let Some(state) = self.table.get_mut(&txn) else {
+        // Record the vote under the shard lock; any decision it triggers
+        // runs after the lock is released (`decide` re-enters the table).
+        let verdict = self.table.with_mut(txn, |state| {
             // A vote for a transaction no longer in the table (the
             // coordinator decided and forgot while this vote was in
             // flight). A "Yes" voter is prepared and blocked, but its
             // own inquiry timer resolves that through the normal inquiry
             // path — which, unlike answering here, uses the inquirer's
             // protocol from the message itself. Ignore the vote.
-            let _ = vote;
-            return;
-        };
-        if !state.participants.iter().any(|p| p.site == from) {
-            return; // not a participant of this transaction; ignore
-        }
-        match &mut state.phase {
-            Phase::Voting { votes } => {
-                votes.insert(from, vote);
-                if vote == Vote::No {
-                    self.decide(txn, Outcome::Abort, out);
-                } else if votes.len() == state.participants.len() {
-                    self.decide(txn, Outcome::Commit, out);
+            let state = state?;
+            if !state.participants.iter().any(|p| p.site == from) {
+                return None; // not a participant of this transaction; ignore
+            }
+            match &mut state.phase {
+                Phase::Voting { votes } => {
+                    votes.insert(from, vote);
+                    if vote == Vote::No {
+                        Some(Outcome::Abort)
+                    } else if votes.len() == state.participants.len() {
+                        Some(Outcome::Commit)
+                    } else {
+                        None
+                    }
+                }
+                Phase::Deciding { .. } => {
+                    // Late vote after the decision (it raced the timeout
+                    // or a client abort). Nothing to do: the decision was
+                    // already sent to every phase-two recipient —
+                    // including participants whose vote had not arrived —
+                    // and the links are FIFO, so it is ordered behind
+                    // this vote's prepare. Loss is covered by the
+                    // ack-resend timer and by the participant's recovery
+                    // inquiry.
+                    None
                 }
             }
-            Phase::Deciding { .. } => {
-                // Late vote after the decision (it raced the timeout or a
-                // client abort). Nothing to do: the decision was already
-                // sent to every phase-two recipient — including
-                // participants whose vote had not arrived — and the links
-                // are FIFO, so it is ordered behind this vote's prepare.
-                // Loss is covered by the ack-resend timer and by the
-                // participant's recovery inquiry.
-            }
+        });
+        if let Some(outcome) = verdict {
+            self.decide(txn, outcome, out);
         }
     }
 
     fn on_ack(&mut self, from: SiteId, txn: TxnId, out: &mut Vec<Action>) {
-        let Some(state) = self.table.get_mut(&txn) else {
-            return; // duplicate or protocol-violating ack: ignored (§2)
-        };
-        if let Phase::Deciding { pending, .. } = &mut state.phase {
-            pending.remove(&from);
-            if pending.is_empty() {
-                self.finish(txn, out);
+        let finished = self.table.with_mut(txn, |state| {
+            // Duplicate or protocol-violating acks are ignored (§2), as
+            // are acks during the voting phase.
+            let Some(state) = state else { return false };
+            if let Phase::Deciding { pending, .. } = &mut state.phase {
+                pending.remove(&from);
+                pending.is_empty()
+            } else {
+                false
             }
+        });
+        if finished {
+            self.finish(txn, out);
         }
-        // Acks during the voting phase are protocol violations: ignored.
     }
 
     fn on_inquiry(
@@ -586,25 +677,30 @@ impl<L: StableLog> Coordinator<L> {
         protocol: ProtocolKind,
         out: &mut Vec<Action>,
     ) {
-        if let Some(state) = self.table.get(&txn) {
-            match &state.phase {
-                Phase::Voting { .. } => {
-                    // No decision yet; the participant stays blocked and
-                    // will retry. (The vote timeout will resolve it.)
-                }
-                Phase::Deciding { outcome, .. } => {
-                    let outcome = *outcome;
-                    out.push(Action::Acta(ActaEvent::Respond {
-                        coordinator: self.site,
-                        txn,
-                        participant: from,
-                        outcome,
-                        by_presumption: false,
-                    }));
-                    self.send(txn, from, Payload::InquiryResponse { txn, outcome }, out);
-                }
+        let tabled = self.table.with(txn, |state| {
+            state.map(|state| match &state.phase {
+                Phase::Voting { .. } => None,
+                Phase::Deciding { outcome, .. } => Some(*outcome),
+            })
+        });
+        match tabled {
+            Some(None) => {
+                // No decision yet; the participant stays blocked and
+                // will retry. (The vote timeout will resolve it.)
+                return;
             }
-            return;
+            Some(Some(outcome)) => {
+                out.push(Action::Acta(ActaEvent::Respond {
+                    coordinator: self.site,
+                    txn,
+                    participant: from,
+                    outcome,
+                    by_presumption: false,
+                }));
+                self.send(txn, from, Payload::InquiryResponse { txn, outcome }, out);
+                return;
+            }
+            None => {}
         }
         let (outcome, by_presumption) = self.answer_unknown(txn, Some(protocol));
         out.push(Action::Acta(ActaEvent::Respond {
@@ -671,32 +767,37 @@ impl<L: StableLog> Coordinator<L> {
         };
         match purpose {
             TimerPurpose::VoteTimeout => {
-                if matches!(
-                    self.table.get(&txn),
-                    Some(TxnState {
-                        phase: Phase::Voting { .. },
-                        ..
-                    })
-                ) {
+                let voting = self.table.with(txn, |s| {
+                    matches!(
+                        s,
+                        Some(TxnState {
+                            phase: Phase::Voting { .. },
+                            ..
+                        })
+                    )
+                });
+                if voting {
                     // §4.2: failures are detected by timeouts — missing
                     // votes abort the transaction.
                     self.decide(txn, Outcome::Abort, &mut out);
                 }
             }
             TimerPurpose::AckResend => {
-                let Some(state) = self.table.get_mut(&txn) else {
-                    return out;
-                };
-                if let Phase::Deciding {
-                    outcome,
-                    pending,
-                    resends,
-                } = &mut state.phase
-                {
-                    *resends += 1;
-                    let attempts = *resends;
-                    let outcome = *outcome;
-                    let targets: Vec<SiteId> = pending.iter().copied().collect();
+                let resend = self.table.with_mut(txn, |state| {
+                    let state = state?;
+                    if let Phase::Deciding {
+                        outcome,
+                        pending,
+                        resends,
+                    } = &mut state.phase
+                    {
+                        *resends += 1;
+                        Some((*resends, *outcome, pending.iter().copied().collect::<Vec<_>>()))
+                    } else {
+                        None
+                    }
+                });
+                if let Some((attempts, outcome, targets)) = resend {
                     for to in targets {
                         self.send(txn, to, Payload::Decision { txn, outcome }, &mut out);
                     }
@@ -717,6 +818,7 @@ impl<L: StableLog> Coordinator<L> {
     pub fn crash(&mut self) {
         self.table.clear();
         self.timers.clear();
+        self.cancelled.clear();
         self.log.lose_unflushed().expect("log crash");
         self.gc = GcTracker::from_records(&self.log.records().expect("records"));
     }

@@ -80,6 +80,12 @@ pub struct Participant<L: StableLog> {
     /// Volatile timer-token bookkeeping.
     timers: BTreeMap<u64, TxnId>,
     next_token: u64,
+    /// Eager timer retirement for hosts with a real timer wheel; off by
+    /// default so the simulator/checker keep lazy expiry (see
+    /// `Coordinator` for the rationale).
+    track_cancellations: bool,
+    /// Retired timer tokens not yet drained by the host.
+    cancelled: Vec<u64>,
     /// Per-transaction cost accounting (observational).
     costs: BTreeMap<TxnId, CostCounters>,
 }
@@ -98,7 +104,38 @@ impl<L: StableLog> Participant<L> {
             gc: GcTracker::new(),
             timers: BTreeMap::new(),
             next_token: 0,
+            track_cancellations: false,
+            cancelled: Vec::new(),
             costs: BTreeMap::new(),
+        }
+    }
+
+    /// Enable (or disable) eager retirement of inquiry timers once the
+    /// decision is learned; retired tokens surface through
+    /// [`Participant::take_cancelled_timers`]. Default off.
+    pub fn set_track_cancellations(&mut self, on: bool) {
+        self.track_cancellations = on;
+    }
+
+    /// Drain the timer tokens retired since the last call (empty unless
+    /// [`Participant::set_track_cancellations`] enabled tracking).
+    pub fn take_cancelled_timers(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.cancelled)
+    }
+
+    fn retire_timers(&mut self, txn: TxnId) {
+        if !self.track_cancellations {
+            return;
+        }
+        let tokens: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|(_, t)| **t == txn)
+            .map(|(tok, _)| *tok)
+            .collect();
+        for tok in tokens {
+            self.timers.remove(&tok);
+            self.cancelled.push(tok);
         }
     }
 
@@ -355,6 +392,9 @@ impl<L: StableLog> Participant<L> {
         let mut out = Vec::new();
         match self.active.remove(&txn) {
             Some(PartState::Prepared { coordinator, .. }) => {
+                // The decision resolves the in-doubt state; any pending
+                // inquiry retry for this transaction is obsolete.
+                self.retire_timers(txn);
                 let force = self.protocol.forces_decision(outcome);
                 self.append(
                     txn,
@@ -451,6 +491,7 @@ impl<L: StableLog> Participant<L> {
     pub fn crash(&mut self) {
         self.active.clear();
         self.timers.clear();
+        self.cancelled.clear();
         self.log.lose_unflushed().expect("log crash");
         // Rebuild GC view from what actually survived.
         self.gc = GcTracker::from_records(&self.log.records().expect("records"));

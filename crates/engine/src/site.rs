@@ -100,6 +100,25 @@ impl<L: StableLog> SiteEngine<L> {
     /// the transaction can no longer be unilaterally aborted by the
     /// engine.
     pub fn prepare(&mut self, txn: TxnId) -> Result<(), EngineError> {
+        self.stage_prepare(txn)?;
+        self.log.flush()?; // one force for the whole write set
+        self.txns.get_mut(&txn).expect("checked").phase = TxnPhase::Prepared;
+        Ok(())
+    }
+
+    /// Like [`SiteEngine::prepare`], but leaves the write-set records
+    /// in the log's volatile buffer instead of forcing them — for hosts
+    /// that batch data-log durability across transactions (the reactor
+    /// flushes once per tick). The caller must call
+    /// [`SiteEngine::flush_log`] before externalizing a Yes vote whose
+    /// write set was staged this way, or the force rule is violated.
+    pub fn prepare_lazy(&mut self, txn: TxnId) -> Result<(), EngineError> {
+        self.stage_prepare(txn)?;
+        self.txns.get_mut(&txn).expect("checked").phase = TxnPhase::Prepared;
+        Ok(())
+    }
+
+    fn stage_prepare(&mut self, txn: TxnId) -> Result<(), EngineError> {
         let ctx = self.txns.get(&txn).ok_or(EngineError::UnknownTxn(txn))?;
         if ctx.phase != TxnPhase::Active {
             return Err(EngineError::WrongPhase { txn, op: "prepare" });
@@ -125,8 +144,13 @@ impl<L: StableLog> SiteEngine<L> {
                 false,
             )?;
         }
-        self.log.flush()?; // one force for the whole write set
-        self.txns.get_mut(&txn).expect("checked").phase = TxnPhase::Prepared;
+        Ok(())
+    }
+
+    /// Flush the data log's volatile buffer (no-op when it is empty).
+    /// Pairs with [`SiteEngine::prepare_lazy`].
+    pub fn flush_log(&mut self) -> Result<(), EngineError> {
+        self.log.flush()?;
         Ok(())
     }
 

@@ -48,7 +48,13 @@ const BACKOFF_SHIFT_CAP: u32 = 16;
 const MAX_BACKOFF: Duration = Duration::from_secs(5);
 
 impl NetDelays {
-    fn delay(&self, p: TimerPurpose, attempt: u32) -> Duration {
+    /// The real-time delay for a timer purpose at a given retry
+    /// attempt: bounded exponential backoff,
+    /// `min(base << attempt, 5 s)`, never below the base interval.
+    /// Both the threaded actors and the reactor arm timers through
+    /// this, so backoff behaviour is backend-independent.
+    #[must_use]
+    pub fn delay(&self, p: TimerPurpose, attempt: u32) -> Duration {
         let base = match p {
             TimerPurpose::VoteTimeout => self.vote_timeout,
             TimerPurpose::AckResend => self.ack_resend,
@@ -88,7 +94,7 @@ pub struct NetObs {
 }
 
 impl NetObs {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 }
@@ -270,17 +276,8 @@ impl ActorCtx {
                     purpose,
                     attempt,
                 } => {
-                    if attempt > 0 {
-                        if let Some(obs) = &self.obs {
-                            obs.sink.record(&ProtocolEvent::RetryScheduled {
-                                at_us: obs.now_us(),
-                                site: self.site.raw(),
-                                proto: obs.proto,
-                                purpose: purpose.name(),
-                                attempt,
-                                txn: None,
-                            });
-                        }
+                    if let Some(obs) = &self.obs {
+                        observe_retry(obs, self.site, purpose, attempt);
                     }
                     let harness = self.next_token;
                     self.next_token += 1;
@@ -300,17 +297,13 @@ impl ActorCtx {
                     records_released,
                 } => {
                     if let Some(obs) = &self.obs {
-                        let at_us = obs.now_us();
-                        obs.sink.record(&ProtocolEvent::LogGc {
-                            at_us,
-                            site: self.site.raw(),
-                            proto: obs.proto,
+                        observe_gc(
+                            obs,
+                            self.site,
                             released_up_to,
                             records_released,
-                            since_decision_us: self
-                                .last_decision_us
-                                .map(|d| at_us.saturating_sub(d)),
-                        });
+                            self.last_decision_us,
+                        );
                     }
                 }
             }
@@ -321,25 +314,9 @@ impl ActorCtx {
     /// Note a protocol send in the event stream (vote casts get their
     /// own event ahead of the generic send).
     fn observe_send(&self, msg: &Message) {
-        let Some(obs) = &self.obs else { return };
-        let at_us = obs.now_us();
-        if let Payload::Vote { txn, vote } = &msg.payload {
-            obs.sink.record(&ProtocolEvent::VoteCast {
-                at_us,
-                site: self.site.raw(),
-                proto: obs.proto,
-                vote: vote_name(*vote),
-                txn: Some(txn.raw()),
-            });
+        if let Some(obs) = &self.obs {
+            observe_send(obs, self.site, msg);
         }
-        obs.sink.record(&ProtocolEvent::MsgSend {
-            at_us,
-            site: self.site.raw(),
-            proto: obs.proto,
-            to: msg.to.raw(),
-            kind: msg.payload.kind_name(),
-            txn: Some(msg.payload.txn().raw()),
-        });
     }
 
     /// Externalize the turn's withheld sends: emit their events, then
@@ -371,106 +348,29 @@ impl ActorCtx {
 
     /// Mirror an ACTA event into the typed protocol-event stream.
     fn observe_acta(&mut self, event: &ActaEvent) {
-        let Some(obs) = &self.obs else { return };
-        let at_us = obs.now_us();
-        let site = self.site.raw();
-        let proto = obs.proto;
-        match event {
-            ActaEvent::LogWrite {
-                txn, kind, forced, ..
-            } => {
-                let ev = if *forced {
-                    ProtocolEvent::ForceWrite {
-                        at_us,
-                        site,
-                        proto,
-                        record: kind,
-                        txn: Some(txn.raw()),
-                    }
-                } else {
-                    ProtocolEvent::NonForcedWrite {
-                        at_us,
-                        site,
-                        proto,
-                        record: kind,
-                        txn: Some(txn.raw()),
-                    }
-                };
-                obs.sink.record(&ev);
-            }
-            ActaEvent::Decide { txn, outcome, .. } => {
-                obs.sink.record(&ProtocolEvent::DecisionReached {
-                    at_us,
-                    site,
-                    proto,
-                    outcome: match outcome {
-                        Outcome::Commit => "commit",
-                        Outcome::Abort => "abort",
-                    },
-                    txn: Some(txn.raw()),
-                });
-                self.last_decision_us = Some(at_us);
-            }
-            ActaEvent::Inquire { txn, protocol, .. } => {
-                obs.sink.record(&ProtocolEvent::RecoveryStep {
-                    at_us,
-                    site,
-                    proto,
-                    detail: format!("inquire about {txn} ({protocol})"),
-                });
-            }
-            ActaEvent::Respond {
-                txn,
-                outcome,
-                by_presumption,
-                ..
-            } => {
-                let how = if *by_presumption { " by presumption" } else { "" };
-                obs.sink.record(&ProtocolEvent::RecoveryStep {
-                    at_us,
-                    site,
-                    proto,
-                    detail: format!("answer inquiry {txn}: {outcome}{how}"),
-                });
-            }
-            _ => {}
+        if let Some(obs) = &self.obs {
+            observe_acta(obs, self.site, event, &mut self.last_decision_us);
         }
     }
 
     /// Note receipt of a protocol message in the event stream.
     fn observe_recv(&self, msg: &Message) {
         if let Some(obs) = &self.obs {
-            obs.sink.record(&ProtocolEvent::MsgRecv {
-                at_us: obs.now_us(),
-                site: self.site.raw(),
-                proto: obs.proto,
-                from: msg.from.raw(),
-                kind: msg.payload.kind_name(),
-                txn: Some(msg.payload.txn().raw()),
-            });
+            observe_recv(obs, self.site, msg);
         }
     }
 
     /// Note a crash in the event stream.
     fn observe_crash(&self) {
         if let Some(obs) = &self.obs {
-            obs.sink.record(&ProtocolEvent::CrashObserved {
-                at_us: obs.now_us(),
-                site: self.site.raw(),
-                proto: obs.proto,
-            });
+            observe_crash(obs, self.site);
         }
     }
 
     /// Note the start of recovery in the event stream.
     fn observe_recover(&self) {
         if let Some(obs) = &self.obs {
-            obs.sink.record(&ProtocolEvent::RecoveryStep {
-                at_us: obs.now_us(),
-                site: self.site.raw(),
-                proto: obs.proto,
-                detail: "site back up; restart procedure begins".to_string(),
-            });
+            observe_recover(obs, self.site);
         }
     }
 
@@ -510,6 +410,174 @@ impl ActorCtx {
         // were never forced, so externalizing them now would be unsound.
         // Dropping them is an omission failure the protocols tolerate.
         self.deferred_sends.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared emission points. Both hosts in this crate — the threaded
+// actors above and the reactor — fund the event stream through these
+// functions, so a trace line is formatted identically regardless of
+// which backend produced it (the cross-backend byte-stability tests
+// rely on this).
+
+/// Note a protocol send (vote casts get their own event ahead of the
+/// generic send).
+pub(crate) fn observe_send(obs: &NetObs, site: SiteId, msg: &Message) {
+    let at_us = obs.now_us();
+    if let Payload::Vote { txn, vote } = &msg.payload {
+        obs.sink.record(&ProtocolEvent::VoteCast {
+            at_us,
+            site: site.raw(),
+            proto: obs.proto,
+            vote: vote_name(*vote),
+            txn: Some(txn.raw()),
+        });
+    }
+    obs.sink.record(&ProtocolEvent::MsgSend {
+        at_us,
+        site: site.raw(),
+        proto: obs.proto,
+        to: msg.to.raw(),
+        kind: msg.payload.kind_name(),
+        txn: Some(msg.payload.txn().raw()),
+    });
+}
+
+/// Note receipt of a protocol message.
+pub(crate) fn observe_recv(obs: &NetObs, site: SiteId, msg: &Message) {
+    obs.sink.record(&ProtocolEvent::MsgRecv {
+        at_us: obs.now_us(),
+        site: site.raw(),
+        proto: obs.proto,
+        from: msg.from.raw(),
+        kind: msg.payload.kind_name(),
+        txn: Some(msg.payload.txn().raw()),
+    });
+}
+
+/// Note a crash.
+pub(crate) fn observe_crash(obs: &NetObs, site: SiteId) {
+    obs.sink.record(&ProtocolEvent::CrashObserved {
+        at_us: obs.now_us(),
+        site: site.raw(),
+        proto: obs.proto,
+    });
+}
+
+/// Note the start of recovery.
+pub(crate) fn observe_recover(obs: &NetObs, site: SiteId) {
+    obs.sink.record(&ProtocolEvent::RecoveryStep {
+        at_us: obs.now_us(),
+        site: site.raw(),
+        proto: obs.proto,
+        detail: "site back up; restart procedure begins".to_string(),
+    });
+}
+
+/// Note a scheduled retry (attempt 0 is the initial arm, not a retry —
+/// no event).
+pub(crate) fn observe_retry(obs: &NetObs, site: SiteId, purpose: TimerPurpose, attempt: u32) {
+    if attempt > 0 {
+        obs.sink.record(&ProtocolEvent::RetryScheduled {
+            at_us: obs.now_us(),
+            site: site.raw(),
+            proto: obs.proto,
+            purpose: purpose.name(),
+            attempt,
+            txn: None,
+        });
+    }
+}
+
+/// Note a log GC step, with decision-to-GC latency when known.
+pub(crate) fn observe_gc(
+    obs: &NetObs,
+    site: SiteId,
+    released_up_to: u64,
+    records_released: u64,
+    last_decision_us: Option<u64>,
+) {
+    let at_us = obs.now_us();
+    obs.sink.record(&ProtocolEvent::LogGc {
+        at_us,
+        site: site.raw(),
+        proto: obs.proto,
+        released_up_to,
+        records_released,
+        since_decision_us: last_decision_us.map(|d| at_us.saturating_sub(d)),
+    });
+}
+
+/// Mirror an ACTA event into the typed protocol-event stream, updating
+/// the caller's last-decision timestamp for GC latency attribution.
+pub(crate) fn observe_acta(
+    obs: &NetObs,
+    site: SiteId,
+    event: &ActaEvent,
+    last_decision_us: &mut Option<u64>,
+) {
+    let at_us = obs.now_us();
+    let site = site.raw();
+    let proto = obs.proto;
+    match event {
+        ActaEvent::LogWrite {
+            txn, kind, forced, ..
+        } => {
+            let ev = if *forced {
+                ProtocolEvent::ForceWrite {
+                    at_us,
+                    site,
+                    proto,
+                    record: kind,
+                    txn: Some(txn.raw()),
+                }
+            } else {
+                ProtocolEvent::NonForcedWrite {
+                    at_us,
+                    site,
+                    proto,
+                    record: kind,
+                    txn: Some(txn.raw()),
+                }
+            };
+            obs.sink.record(&ev);
+        }
+        ActaEvent::Decide { txn, outcome, .. } => {
+            obs.sink.record(&ProtocolEvent::DecisionReached {
+                at_us,
+                site,
+                proto,
+                outcome: match outcome {
+                    Outcome::Commit => "commit",
+                    Outcome::Abort => "abort",
+                },
+                txn: Some(txn.raw()),
+            });
+            *last_decision_us = Some(at_us);
+        }
+        ActaEvent::Inquire { txn, protocol, .. } => {
+            obs.sink.record(&ProtocolEvent::RecoveryStep {
+                at_us,
+                site,
+                proto,
+                detail: format!("inquire about {txn} ({protocol})"),
+            });
+        }
+        ActaEvent::Respond {
+            txn,
+            outcome,
+            by_presumption,
+            ..
+        } => {
+            let how = if *by_presumption { " by presumption" } else { "" };
+            obs.sink.record(&ProtocolEvent::RecoveryStep {
+                at_us,
+                site,
+                proto,
+                detail: format!("answer inquiry {txn}: {outcome}{how}"),
+            });
+        }
+        _ => {}
     }
 }
 
@@ -660,6 +728,7 @@ pub fn run_participant(
                                     txn,
                                     forced_intents.get(&txn).copied(),
                                     poisoned.get(&txn).copied().unwrap_or(false),
+                                    false,
                                 );
                                 engine.set_intent(txn, vote);
                             }
@@ -684,18 +753,30 @@ pub fn run_participant(
 /// (lock-conflicted) transaction votes No; a read-only one votes
 /// ReadOnly after releasing its locks; otherwise prepare (force the
 /// write set) and vote Yes — falling back to No if the force fails.
-fn decide_vote(
+/// `lazy` stages the write set without forcing the data log
+/// ([`SiteEngine::prepare_lazy`]) — only sound when the host also
+/// defers the vote send and flushes the data log first (the reactor's
+/// group-commit tick). The threaded runtime always passes `false`.
+pub(crate) fn decide_vote(
     storage: &mut SiteEngine<FileLog>,
     txn: TxnId,
     forced: Option<Vote>,
     poisoned: bool,
+    lazy: bool,
 ) -> Vote {
+    let prepare = |storage: &mut SiteEngine<FileLog>, txn| {
+        if lazy {
+            storage.prepare_lazy(txn)
+        } else {
+            storage.prepare(txn)
+        }
+    };
     if let Some(v) = forced {
         // Test hook: make the engine state consistent with the vote.
         match v {
             Vote::Yes => {
                 storage.begin(txn);
-                let _ = storage.prepare(txn);
+                let _ = prepare(storage, txn);
             }
             Vote::No => {
                 let _ = storage.abort_active(txn);
@@ -713,7 +794,7 @@ fn decide_vote(
         let _ = storage.abort_active(txn); // releases (shared) locks
         return Vote::ReadOnly;
     }
-    match storage.prepare(txn) {
+    match prepare(storage, txn) {
         Ok(()) => Vote::Yes,
         Err(_) => {
             let _ = storage.abort_active(txn);
@@ -723,7 +804,7 @@ fn decide_vote(
 }
 
 /// Stable lowercase name for a vote (event-stream vocabulary).
-fn vote_name(vote: Vote) -> &'static str {
+pub(crate) fn vote_name(vote: Vote) -> &'static str {
     match vote {
         Vote::Yes => "yes",
         Vote::No => "no",
@@ -731,7 +812,7 @@ fn vote_name(vote: Vote) -> &'static str {
     }
 }
 
-fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcome)>) {
+pub(crate) fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcome)>) {
     for (txn, outcome) in enf {
         storage.resolve(txn, outcome).expect("resolve");
     }
@@ -739,7 +820,7 @@ fn apply_enforcements(storage: &mut SiteEngine<FileLog>, enf: Vec<(TxnId, Outcom
 
 /// Derive the storage-recovery outcome map from the participant's
 /// protocol log.
-fn protocol_outcomes(engine: &Participant<NetLog>) -> BTreeMap<TxnId, RecoveredOutcome> {
+pub(crate) fn protocol_outcomes(engine: &Participant<NetLog>) -> BTreeMap<TxnId, RecoveredOutcome> {
     let mut outcomes = BTreeMap::new();
     let records = engine.log().records().expect("records");
     for (txn, s) in analyze(&records) {
@@ -832,9 +913,7 @@ pub fn run_coordinator(
                             // asserts and killing the coordinator thread.
                             if let Some(outcome) = engine.decided(txn) {
                                 let _ = reply.send(outcome);
-                            } else if participants.is_empty()
-                                || engine.protocol_table_txns().contains(&txn)
-                            {
+                            } else if participants.is_empty() || engine.in_flight(txn) {
                                 drop(reply);
                             } else {
                                 replies.insert(txn, reply);
@@ -866,7 +945,10 @@ pub fn run_coordinator(
 
 /// Send the decision to any waiting client whose transaction has been
 /// decided.
-fn deliver_decisions(engine: &Coordinator<NetLog>, replies: &mut BTreeMap<TxnId, Sender<Outcome>>) {
+pub(crate) fn deliver_decisions(
+    engine: &Coordinator<NetLog>,
+    replies: &mut BTreeMap<TxnId, Sender<Outcome>>,
+) {
     let decided: Vec<(TxnId, Outcome)> = replies
         .keys()
         .filter_map(|&txn| engine.decided(txn).map(|o| (txn, o)))

@@ -11,6 +11,19 @@
 //! the end-to-end throughput benchmarks (experiment E10), and to give
 //! the examples a "real system" feel: crash a site and its volatile
 //! state is really gone; only the files survive.
+//!
+//! Two backends share this crate:
+//!
+//! * the **threaded** backend ([`Cluster`]) — one OS thread and one
+//!   crossbeam mailbox per site, and
+//! * the **reactor** backend ([`ReactorCluster`]) — a single-threaded
+//!   event loop ([`reactor`]) that owns every site, fires timers off a
+//!   hashed [`timer::TimerWheel`], batches each site's forced writes
+//!   into one fsync per tick, and sustains thousands of concurrent
+//!   in-flight transactions (experiment E13).
+//!
+//! Both drive the identical engines and emit byte-identical trace
+//! lines through the shared emission points in [`actor`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,7 +31,11 @@
 pub mod actor;
 pub mod cluster;
 pub mod envelope;
+pub mod reactor;
+pub mod timer;
 
-pub use actor::NetObs;
+pub use actor::{NetDelays, NetObs};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
 pub use envelope::Envelope;
+pub use reactor::{ReactorCluster, ReactorConfig, ReactorReport, ReactorStats};
+pub use timer::{TimerId, TimerWheel};

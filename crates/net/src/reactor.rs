@@ -1,0 +1,1025 @@
+//! The reactor runtime: a single-threaded event loop driving every
+//! site of a cluster over the same sans-IO engines as the threaded
+//! actors.
+//!
+//! The threaded backend ([`crate::cluster::Cluster`]) spends one OS
+//! thread per site and one mailbox hop per message; fine for a handful
+//! of concurrent transactions, but thousands of in-flight commits turn
+//! into context-switch churn and per-turn fsyncs. The reactor instead
+//! owns *all* sites on one thread and runs a readiness loop:
+//!
+//! 1. advance a hashed [`TimerWheel`] and fire due engine timers,
+//! 2. drain the injector (client envelopes) and the local ready queue
+//!    (site-to-site messages — same-process, so a "send" is a
+//!    `VecDeque::push_back`),
+//! 3. per dirty site, force the open group-commit batch — **one fsync
+//!    per site per tick** no matter how many transactions progressed —
+//!    emit its trace event, then externalize the withheld sends,
+//! 4. deliver decisions to waiting clients and snapshot live metrics.
+//!
+//! Everything protocol-visible is shared with the threaded backend:
+//! the engines, the [`NetDelays`] backoff schedule, and the
+//! observability emission points in [`crate::actor`], so a trace line
+//! is formatted identically whichever backend produced it.
+//!
+//! Because the engines cannot see which host drives them, the engine
+//! state spaces — and with them the model checker's fingerprints and
+//! the committed golden traces — are untouched. The reactor is the only
+//! host that switches the engines' opt-in timer-cancellation tracking
+//! on, draining retired tokens into wheel cancels instead of letting
+//! dead timers fire.
+
+use crate::actor::{
+    apply_enforcements, decide_vote, deliver_decisions, observe_acta, observe_crash, observe_gc,
+    observe_recover, observe_recv, observe_retry, observe_send, protocol_outcomes, NetDelays,
+    NetLog, NetObs, SharedHistory,
+};
+use crate::cluster::{ClusterConfig, ClusterReport, SiteSummary};
+use crate::envelope::Envelope;
+use crate::timer::{TimerId, TimerWheel};
+use acp_acta::{ActaEvent, History};
+use acp_core::{Action, Coordinator, GatewayParticipant, LegacyStore, Participant, TimerPurpose};
+use acp_engine::SiteEngine;
+use acp_obs::{MetricsRegistry, MetricsTimeline, ProtoLabel, ProtocolEvent, TraceSink};
+use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
+use acp_wal::tempdir::TempDir;
+use acp_wal::{FileLog, GroupCommitLog, GroupCommitStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reactor parameters: the shared cluster shape plus the knobs that
+/// only make sense for a tick loop.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Cluster shape (coordinator kind, participant protocols,
+    /// gateways, delays, group commit) — identical meaning to the
+    /// threaded backend.
+    pub cluster: ClusterConfig,
+    /// How long a group-commit batch may stay open across ticks waiting
+    /// for more records (`ZERO` = force at the end of every tick).
+    /// Only meaningful with `cluster.group_commit` on.
+    pub commit_window: Duration,
+    /// Adaptive window: a batch holding a *single* forced record with
+    /// no other work pending forces immediately instead of waiting out
+    /// `commit_window` — single-transaction latency stays flat and the
+    /// trace stays byte-identical to the unwindowed run.
+    pub adaptive_window: bool,
+    /// Snapshot the metrics registry into the timeline every this many
+    /// working ticks (0 = off). Needs [`ReactorCluster::spawn_observed`].
+    pub snapshot_every_ticks: u64,
+    /// Also snapshot after this many delivered decisions (0 = off).
+    pub snapshot_every_commits: u64,
+}
+
+impl ReactorConfig {
+    /// Defaults mirroring [`ClusterConfig::new`]: no batching window,
+    /// adaptive on, snapshots off.
+    #[must_use]
+    pub fn new(
+        kind: acp_types::CoordinatorKind,
+        participant_protocols: &[acp_types::ProtocolKind],
+    ) -> Self {
+        ReactorConfig {
+            cluster: ClusterConfig::new(kind, participant_protocols),
+            commit_window: Duration::ZERO,
+            adaptive_window: true,
+            snapshot_every_ticks: 0,
+            snapshot_every_commits: 0,
+        }
+    }
+}
+
+/// Counters the reactor keeps about its own loop (not protocol costs —
+/// those flow through the shared metrics registry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReactorStats {
+    /// Loop iterations that did any work.
+    pub ticks: u64,
+    /// Envelopes dispatched (client + site-to-site).
+    pub envelopes: u64,
+    /// Wheel timers fired into engines.
+    pub timers_fired: u64,
+    /// Wheel timers cancelled before firing (engine retirements plus
+    /// crash sweeps).
+    pub timers_cancelled: u64,
+    /// Batches forced by the adaptive single-record fast path.
+    pub adaptive_forces: u64,
+    /// Batches forced because their window expired or the tick ended.
+    pub window_forces: u64,
+    /// Most client commits simultaneously awaiting a decision.
+    pub max_inflight: usize,
+    /// Decisions delivered to waiting clients.
+    pub decisions_delivered: u64,
+}
+
+/// What [`ReactorCluster::shutdown`] hands back: the same report shape
+/// as the threaded backend plus the reactor's own loop counters.
+pub struct ReactorReport {
+    /// The backend-independent cluster report.
+    pub cluster: ClusterReport,
+    /// Reactor loop counters.
+    pub stats: ReactorStats,
+}
+
+// ---------------------------------------------------------------------------
+// Site state
+
+/// Per-site engine(s); mirrors the three thread bodies in `actor.rs`.
+enum SiteTask {
+    Coord {
+        engine: Coordinator<NetLog>,
+    },
+    Part {
+        engine: Participant<NetLog>,
+        storage: SiteEngine<FileLog>,
+        forced_intents: BTreeMap<TxnId, Vote>,
+        poisoned: BTreeMap<TxnId, bool>,
+    },
+    Gateway {
+        engine: GatewayParticipant<FileLog>,
+    },
+}
+
+/// Host-side per-site bookkeeping (everything that is not the engine).
+struct SiteHost {
+    site: SiteId,
+    obs: Option<NetObs>,
+    down_until: Option<Instant>,
+    last_decision_us: Option<u64>,
+    /// Withhold sends until the batch forces (group commit on).
+    defer_sends: bool,
+    deferred_sends: Vec<Message>,
+    /// Engine timer token → wheel entry, for cancellation.
+    timer_ids: BTreeMap<u64, TimerId>,
+    /// When the currently-open batch was first observed non-empty.
+    batch_opened: Option<Instant>,
+}
+
+impl SiteHost {
+    fn is_down(&self, now: Instant) -> bool {
+        self.down_until.is_some_and(|t| now < t)
+    }
+}
+
+struct SiteState {
+    host: SiteHost,
+    task: SiteTask,
+}
+
+/// Loop-wide mutable context threaded through dispatch.
+struct Ctx {
+    wheel: TimerWheel<(SiteId, u64, TimerPurpose)>,
+    /// Site-to-site messages ready for delivery this tick.
+    local: VecDeque<(SiteId, Envelope)>,
+    history: SharedHistory,
+    delays: NetDelays,
+    replies: BTreeMap<TxnId, Sender<Outcome>>,
+    stats: ReactorStats,
+    now: Instant,
+}
+
+/// Execute engine actions for one site; returns storage enforcements.
+fn run_site_actions(host: &mut SiteHost, ctx: &mut Ctx, actions: Vec<Action>) -> Vec<(TxnId, Outcome)> {
+    let mut enforcements = Vec::new();
+    for a in actions {
+        match a {
+            Action::Send { to, payload } => {
+                let msg = Message::new(host.site, to, payload);
+                if host.defer_sends {
+                    host.deferred_sends.push(msg);
+                } else {
+                    if let Some(obs) = &host.obs {
+                        observe_send(obs, host.site, &msg);
+                    }
+                    ctx.local.push_back((to, Envelope::Protocol(msg)));
+                }
+            }
+            Action::SetTimer {
+                token,
+                purpose,
+                attempt,
+            } => {
+                if let Some(obs) = &host.obs {
+                    observe_retry(obs, host.site, purpose, attempt);
+                }
+                let fire_at = ctx.now + ctx.delays.delay(purpose, attempt);
+                let id = ctx.wheel.arm(fire_at, (host.site, token, purpose));
+                host.timer_ids.insert(token, id);
+            }
+            Action::Acta(e) => {
+                if let Some(obs) = &host.obs {
+                    observe_acta(obs, host.site, &e, &mut host.last_decision_us);
+                }
+                ctx.history.lock().push(e);
+            }
+            Action::Enforce { txn, outcome } => enforcements.push((txn, outcome)),
+            Action::Gc {
+                released_up_to,
+                records_released,
+            } => {
+                if let Some(obs) = &host.obs {
+                    observe_gc(
+                        obs,
+                        host.site,
+                        released_up_to,
+                        records_released,
+                        host.last_decision_us,
+                    );
+                }
+            }
+        }
+    }
+    enforcements
+}
+
+/// Cancel wheel entries for engine timers retired since the last call.
+fn drain_cancellations(host: &mut SiteHost, ctx: &mut Ctx, retired: Vec<u64>) {
+    for token in retired {
+        if let Some(id) = host.timer_ids.remove(&token) {
+            if ctx.wheel.cancel(id) {
+                ctx.stats.timers_cancelled += 1;
+            }
+        }
+    }
+}
+
+/// Externalize a site's withheld sends (after its batch forced): emit
+/// their events, coalescing same-destination messages into one
+/// [`Envelope::ProtocolBatch`] exactly like the threaded backend.
+fn flush_sends(host: &mut SiteHost, ctx: &mut Ctx) {
+    if host.deferred_sends.is_empty() {
+        return;
+    }
+    let msgs = std::mem::take(&mut host.deferred_sends);
+    let mut by_dest: BTreeMap<SiteId, Vec<Message>> = BTreeMap::new();
+    for msg in msgs {
+        if let Some(obs) = &host.obs {
+            observe_send(obs, host.site, &msg);
+        }
+        by_dest.entry(msg.to).or_default().push(msg);
+    }
+    for (to, mut msgs) in by_dest {
+        let envelope = if msgs.len() == 1 {
+            Envelope::Protocol(msgs.pop().expect("one message"))
+        } else {
+            Envelope::ProtocolBatch(msgs)
+        };
+        ctx.local.push_back((to, envelope));
+    }
+}
+
+/// Force a site's open batch and externalize its sends. `adaptive`
+/// marks the fast path for the stats split.
+fn force_site_batch(host: &mut SiteHost, log: &mut NetLog, ctx: &mut Ctx, adaptive: bool) {
+    match log.commit_batch() {
+        Ok(_) => {
+            for b in log.take_closed() {
+                if b.occupancy >= 2 {
+                    if let Some(obs) = &host.obs {
+                        obs.sink.record(&ProtocolEvent::BatchCommit {
+                            at_us: obs.now_us(),
+                            site: host.site.raw(),
+                            proto: obs.proto,
+                            occupancy: b.occupancy,
+                        });
+                    }
+                }
+            }
+            host.batch_opened = None;
+            if adaptive {
+                ctx.stats.adaptive_forces += 1;
+            } else {
+                ctx.stats.window_forces += 1;
+            }
+            flush_sends(host, ctx);
+        }
+        // Force failed: the sends' records never became durable, so
+        // externalizing them would be unsound. Omission failure.
+        Err(_) => host.deferred_sends.clear(),
+    }
+}
+
+fn crash_volatile(host: &mut SiteHost, ctx: &mut Ctx) {
+    ctx.stats.timers_cancelled += ctx.wheel.cancel_where(|(s, _, _)| *s == host.site) as u64;
+    host.timer_ids.clear();
+    host.deferred_sends.clear();
+    host.batch_opened = None;
+}
+
+// ---------------------------------------------------------------------------
+// The reactor loop
+
+struct Reactor {
+    sites: Vec<SiteState>,
+    ctx: Ctx,
+    config: ReactorConfig,
+    rx: Receiver<(SiteId, Envelope)>,
+    t0: Instant,
+    registry: Option<Arc<MetricsRegistry>>,
+    timeline: Option<Arc<MetricsTimeline>>,
+    commits_since_snapshot: u64,
+    running: bool,
+}
+
+impl Reactor {
+    fn site_index(&self, site: SiteId) -> Option<usize> {
+        let i = site.raw() as usize;
+        (i < self.sites.len()).then_some(i)
+    }
+
+    fn run(mut self) -> ReactorReport {
+        while self.running {
+            self.ctx.now = Instant::now();
+            let mut worked = false;
+            worked |= self.process_recoveries();
+            worked |= self.fire_timers();
+            worked |= self.drain_envelopes();
+            self.finish_turns();
+            self.gc_turns();
+            self.deliver();
+            if worked {
+                self.ctx.stats.ticks += 1;
+                self.maybe_snapshot();
+            }
+            if !self.ctx.local.is_empty() {
+                continue; // flushed sends are ready: next tick immediately
+            }
+            match self.rx.recv_timeout(self.next_timeout()) {
+                Ok((site, env)) => self.ctx.local.push_back((site, env)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.finish_turns();
+        self.gc_turns();
+        self.deliver();
+        self.report()
+    }
+
+    /// Sites whose outage ended come back up and run recovery.
+    fn process_recoveries(&mut self) -> bool {
+        let now = self.ctx.now;
+        let mut worked = false;
+        for st in &mut self.sites {
+            let SiteState { host, task } = st;
+            let Some(t) = host.down_until else { continue };
+            if now < t {
+                continue;
+            }
+            host.down_until = None;
+            worked = true;
+            self.ctx.history.lock().push(ActaEvent::Recover { site: host.site });
+            if let Some(obs) = &host.obs {
+                observe_recover(obs, host.site);
+            }
+            match task {
+                SiteTask::Coord { engine } => {
+                    let actions = engine.recover();
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+                SiteTask::Part {
+                    engine, storage, ..
+                } => {
+                    let actions = engine.recover();
+                    let outcomes = protocol_outcomes(engine);
+                    storage.recover(&outcomes).expect("storage recovery");
+                    let enf = run_site_actions(host, &mut self.ctx, actions);
+                    apply_enforcements(storage, enf);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+                SiteTask::Gateway { engine } => {
+                    let actions = engine.recover();
+                    run_site_actions(host, &mut self.ctx, actions);
+                }
+            }
+        }
+        worked
+    }
+
+    /// Advance the wheel; feed due tokens to their engines.
+    fn fire_timers(&mut self) -> bool {
+        let due = self.ctx.wheel.advance(self.ctx.now);
+        if due.is_empty() {
+            return false;
+        }
+        for (id, (site, token, _purpose)) in due {
+            let Some(i) = self.site_index(site) else { continue };
+            let SiteState { host, task } = &mut self.sites[i];
+            host.timer_ids.retain(|_, v| *v != id);
+            if host.is_down(self.ctx.now) {
+                continue; // crash swept its timers; belt and braces
+            }
+            self.ctx.stats.timers_fired += 1;
+            match task {
+                SiteTask::Coord { engine } => {
+                    let actions = engine.on_timer(token);
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+                SiteTask::Part {
+                    engine, storage, ..
+                } => {
+                    let actions = engine.on_timer(token);
+                    let enf = run_site_actions(host, &mut self.ctx, actions);
+                    apply_enforcements(storage, enf);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+                SiteTask::Gateway { engine } => {
+                    let actions = engine.on_timer(token);
+                    run_site_actions(host, &mut self.ctx, actions);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drain the local ready queue and the client injector until both
+    /// are (momentarily) empty.
+    fn drain_envelopes(&mut self) -> bool {
+        let mut worked = false;
+        loop {
+            let next = match self.ctx.local.pop_front() {
+                Some(x) => Some(x),
+                None => self.rx.try_recv().ok(),
+            };
+            let Some((site, env)) = next else { break };
+            worked = true;
+            self.dispatch(site, env);
+            if !self.running {
+                break;
+            }
+        }
+        worked
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(&mut self, site: SiteId, envelope: Envelope) {
+        let now = self.ctx.now;
+        self.ctx.stats.envelopes += 1;
+        let Some(i) = self.site_index(site) else { return };
+        let SiteState { host, task } = &mut self.sites[i];
+        match envelope {
+            Envelope::Shutdown => self.running = false,
+            Envelope::Crash { down_for } => {
+                if host.down_until.is_none() {
+                    self.ctx.history.lock().push(ActaEvent::Crash { site });
+                    if let Some(obs) = &host.obs {
+                        observe_crash(obs, host.site);
+                    }
+                    match task {
+                        SiteTask::Coord { engine } => engine.crash(),
+                        SiteTask::Part {
+                            engine, storage, ..
+                        } => {
+                            engine.crash();
+                            storage.crash();
+                        }
+                        SiteTask::Gateway { engine } => engine.crash(),
+                    }
+                    crash_volatile(host, &mut self.ctx);
+                    host.down_until = Some(now + down_for);
+                }
+            }
+            _ if host.is_down(now) => {} // omission: dropped
+            Envelope::Apply { txn, key, value } => match task {
+                SiteTask::Part {
+                    storage, poisoned, ..
+                } => {
+                    storage.begin(txn);
+                    if storage.put(txn, &key, &value).is_err() {
+                        poisoned.insert(txn, true);
+                    }
+                }
+                SiteTask::Gateway { engine } => engine.stage_write(txn, &key, &value),
+                SiteTask::Coord { .. } => {}
+            },
+            Envelope::SetIntent { txn, vote } => {
+                if let SiteTask::Part { forced_intents, .. } = task {
+                    forced_intents.insert(txn, vote);
+                }
+            }
+            Envelope::Commit {
+                txn,
+                participants,
+                reply,
+            } => {
+                let SiteTask::Coord { engine } = task else {
+                    return;
+                };
+                // Same misuse guards as the threaded coordinator: decided
+                // duplicates answer from the memo; in-flight duplicates and
+                // empty participant lists drop the reply channel.
+                if let Some(outcome) = engine.decided(txn) {
+                    let _ = reply.send(outcome);
+                } else if participants.is_empty() || engine.in_flight(txn) {
+                    drop(reply);
+                } else {
+                    self.ctx.replies.insert(txn, reply);
+                    self.ctx.stats.max_inflight =
+                        self.ctx.stats.max_inflight.max(self.ctx.replies.len());
+                    let actions = engine.begin_commit(txn, &participants);
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+            }
+            Envelope::Protocol(msg) => {
+                Self::protocol_message(host, task, &mut self.ctx, msg);
+            }
+            Envelope::ProtocolBatch(msgs) => {
+                for msg in msgs {
+                    Self::protocol_message(host, task, &mut self.ctx, msg);
+                }
+            }
+        }
+    }
+
+    fn protocol_message(host: &mut SiteHost, task: &mut SiteTask, ctx: &mut Ctx, msg: Message) {
+        if let Some(obs) = &host.obs {
+            observe_recv(obs, host.site, &msg);
+        }
+        match task {
+            SiteTask::Coord { engine } => {
+                let actions = engine.on_message(msg.from, &msg.payload);
+                run_site_actions(host, ctx, actions);
+                drain_cancellations(host, ctx, engine.take_cancelled_timers());
+            }
+            SiteTask::Part {
+                engine,
+                storage,
+                forced_intents,
+                poisoned,
+            } => {
+                if let Payload::Prepare { txn } = msg.payload {
+                    // With deferred sends the data-log force rides the
+                    // tick's flush (`finish_turns`), which runs before
+                    // the Yes vote can leave this site.
+                    let vote = decide_vote(
+                        storage,
+                        txn,
+                        forced_intents.get(&txn).copied(),
+                        poisoned.get(&txn).copied().unwrap_or(false),
+                        host.defer_sends,
+                    );
+                    engine.set_intent(txn, vote);
+                }
+                let actions = engine.on_message(msg.from, &msg.payload);
+                let enf = run_site_actions(host, ctx, actions);
+                apply_enforcements(storage, enf);
+                drain_cancellations(host, ctx, engine.take_cancelled_timers());
+            }
+            SiteTask::Gateway { engine } => {
+                let actions = engine.on_message(msg.from, &msg.payload);
+                run_site_actions(host, ctx, actions);
+            }
+        }
+    }
+
+    /// End-of-tick group-commit step: decide, per site with an open
+    /// batch (or withheld sends), whether to force now or hold the
+    /// window open for more records.
+    fn finish_turns(&mut self) {
+        let now = self.ctx.now;
+        let window = self.config.commit_window;
+        let shutting_down = !self.running;
+        let idle = self.ctx.local.is_empty() && self.rx.is_empty();
+        for st in &mut self.sites {
+            let SiteState { host, task } = st;
+            // Lazily-staged write sets (`prepare_lazy`) become durable
+            // here, before any Yes vote can leave with the tick's send
+            // flush below — one data-log fsync per site per tick
+            // instead of one per prepared transaction.
+            if host.defer_sends {
+                if let SiteTask::Part { storage, .. } = task {
+                    storage.flush_log().expect("data log flush");
+                }
+            }
+            let log = match task {
+                SiteTask::Coord { engine } => engine.log_mut(),
+                SiteTask::Part { engine, .. } => engine.log_mut(),
+                SiteTask::Gateway { .. } => continue, // no group layer
+            };
+            if !log.batching() {
+                continue;
+            }
+            let occupancy = log.open_occupancy();
+            if occupancy == 0 {
+                // Nothing staged: any withheld sends have no durability
+                // dependency left — externalize them now.
+                host.batch_opened = None;
+                flush_sends(host, &mut self.ctx);
+                continue;
+            }
+            let opened = *host.batch_opened.get_or_insert(now);
+            let window_over = window.is_zero() || now >= opened + window || shutting_down;
+            let adaptive = !window_over && self.config.adaptive_window && occupancy == 1 && idle;
+            if window_over || adaptive {
+                force_site_batch(host, log, &mut self.ctx, adaptive);
+            }
+        }
+    }
+
+    /// End-of-tick log GC. The threaded host lets the coordinator
+    /// engine truncate after every finished transaction (`auto_gc`),
+    /// which is fine when each site owns a thread — but a truncation
+    /// rewrites the whole retained suffix, so a per-decision cadence is
+    /// O(n²) I/O once thousands of transactions share this one thread.
+    /// The reactor runs one collection per tick, after the batch
+    /// forced, covering every transaction the tick finished.
+    fn gc_turns(&mut self) {
+        let SiteState { host, task } = &mut self.sites[0];
+        let SiteTask::Coord { engine } = task else {
+            return;
+        };
+        let released = engine.collect_garbage();
+        if released > 0 {
+            if let Some(obs) = &host.obs {
+                observe_gc(
+                    obs,
+                    host.site,
+                    acp_wal::StableLog::low_water_mark(engine.log()).0,
+                    released as u64,
+                    host.last_decision_us,
+                );
+            }
+        }
+    }
+
+    /// Send decisions to waiting clients (only after the coordinator's
+    /// batch forced — `finish_turns` runs first).
+    fn deliver(&mut self) {
+        let SiteState { host, task } = &mut self.sites[0];
+        let SiteTask::Coord { engine } = task else {
+            return;
+        };
+        // Decisions may not be externalized while their commit record is
+        // still in an open batch.
+        if host.defer_sends && engine.log().open_occupancy() > 0 {
+            return;
+        }
+        let before = self.ctx.replies.len();
+        deliver_decisions(engine, &mut self.ctx.replies);
+        let delivered = (before - self.ctx.replies.len()) as u64;
+        self.ctx.stats.decisions_delivered += delivered;
+        self.commits_since_snapshot += delivered;
+    }
+
+    fn maybe_snapshot(&mut self) {
+        let (Some(registry), Some(timeline)) = (&self.registry, &self.timeline) else {
+            return;
+        };
+        let by_ticks = self.config.snapshot_every_ticks > 0
+            && self.ctx.stats.ticks % self.config.snapshot_every_ticks == 0;
+        let by_commits = self.config.snapshot_every_commits > 0
+            && self.commits_since_snapshot >= self.config.snapshot_every_commits;
+        if by_ticks || by_commits {
+            let at_us = u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            timeline.push(registry.snapshot(at_us));
+            self.commits_since_snapshot = 0;
+        }
+    }
+
+    /// How long the loop may sleep: bounded by the next timer deadline,
+    /// the earliest recovery point, and any open batch's window expiry.
+    fn next_timeout(&self) -> Duration {
+        let now = self.ctx.now;
+        let mut deadline: Option<Instant> = self.ctx.wheel.next_deadline();
+        let mut fold = |t: Instant| {
+            deadline = Some(deadline.map_or(t, |d| d.min(t)));
+        };
+        for st in &self.sites {
+            if let Some(t) = st.host.down_until {
+                fold(t);
+            }
+            if let Some(opened) = st.host.batch_opened {
+                fold(opened + self.config.commit_window);
+            }
+        }
+        deadline
+            .map_or(Duration::from_millis(50), |d| d.saturating_duration_since(now))
+            .max(Duration::from_micros(100))
+    }
+
+    /// Collect final state into the backend-independent report shape.
+    fn report(self) -> ReactorReport {
+        let mut sites = Vec::new();
+        let mut coordinator_table_size = 0;
+        let mut group_commit = GroupCommitStats::default();
+        let mut logical_forces = 0;
+        let mut physical_syncs = 0;
+        let mut absorb = |log: &NetLog| {
+            group_commit.merge(&log.group_stats());
+            logical_forces += acp_wal::StableLog::stats(log).forces;
+            let inner = acp_wal::StableLog::stats(log.inner());
+            physical_syncs += inner.forces + inner.flushes;
+        };
+        for st in self.sites {
+            let site = st.host.site;
+            match st.task {
+                SiteTask::Coord { engine } => {
+                    coordinator_table_size = engine.protocol_table_size();
+                    absorb(engine.log());
+                    sites.push(SiteSummary {
+                        site,
+                        enforced: BTreeMap::new(),
+                        log_pinned: engine.log_pinned(),
+                        committed: BTreeMap::new(),
+                    });
+                }
+                SiteTask::Part {
+                    engine, storage, ..
+                } => {
+                    absorb(engine.log());
+                    sites.push(SiteSummary {
+                        site,
+                        enforced: engine.enforced_all().clone(),
+                        log_pinned: engine.log_pinned(),
+                        committed: storage
+                            .store()
+                            .iter()
+                            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                            .collect(),
+                    });
+                }
+                SiteTask::Gateway { engine } => {
+                    let committed: BTreeMap<Vec<u8>, Vec<u8>> =
+                        engine.legacy().entries().into_iter().collect();
+                    sites.push(SiteSummary {
+                        site,
+                        enforced: BTreeMap::new(),
+                        log_pinned: Vec::new(),
+                        committed,
+                    });
+                }
+            }
+        }
+        let history = self.ctx.history.lock().clone();
+        ReactorReport {
+            cluster: ClusterReport {
+                history,
+                coordinator_table_size,
+                sites,
+                group_commit,
+                logical_forces,
+                physical_syncs,
+            },
+            stats: self.ctx.stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public handle
+
+/// A running reactor: same client API as [`crate::cluster::Cluster`],
+/// one background thread for the whole cluster.
+pub struct ReactorCluster {
+    tx: Sender<(SiteId, Envelope)>,
+    handle: JoinHandle<ReactorReport>,
+    next_txn: u64,
+    n_sites: usize,
+    _dir: TempDir,
+}
+
+impl ReactorCluster {
+    /// The coordinator's site id.
+    pub const COORDINATOR: SiteId = SiteId(0);
+
+    /// Spawn a reactor cluster with tracing off.
+    #[must_use]
+    pub fn spawn(config: &ReactorConfig) -> ReactorCluster {
+        Self::spawn_inner(config, None, None, None)
+    }
+
+    /// Spawn with a trace sink (same event vocabulary and formatting as
+    /// the threaded backend).
+    #[must_use]
+    pub fn spawn_with_sink(config: &ReactorConfig, sink: Arc<dyn TraceSink>) -> ReactorCluster {
+        Self::spawn_inner(config, Some(sink), None, None)
+    }
+
+    /// Spawn with a sink *and* a live metrics surface: the reactor
+    /// snapshots `registry` into `timeline` per the config's snapshot
+    /// cadence (the caller is responsible for feeding the registry,
+    /// typically by including a `CountingSink` in `sink`).
+    #[must_use]
+    pub fn spawn_observed(
+        config: &ReactorConfig,
+        sink: Arc<dyn TraceSink>,
+        registry: Arc<MetricsRegistry>,
+        timeline: Arc<MetricsTimeline>,
+    ) -> ReactorCluster {
+        Self::spawn_inner(config, Some(sink), Some(registry), Some(timeline))
+    }
+
+    fn spawn_inner(
+        config: &ReactorConfig,
+        sink: Option<Arc<dyn TraceSink>>,
+        registry: Option<Arc<MetricsRegistry>>,
+        timeline: Option<Arc<MetricsTimeline>>,
+    ) -> ReactorCluster {
+        let t0 = Instant::now();
+        let obs_for = |proto: ProtoLabel| {
+            sink.as_ref().map(|s| NetObs {
+                sink: Arc::clone(s),
+                t0,
+                proto,
+            })
+        };
+        let dir = TempDir::new("reactor").expect("tempdir");
+        let history: SharedHistory = Arc::new(Mutex::new(History::new()));
+        let cc = &config.cluster;
+        let wrap = |log: FileLog| {
+            if cc.group_commit {
+                GroupCommitLog::deferred(log)
+            } else {
+                GroupCommitLog::passthrough(log)
+            }
+        };
+        let host_for = |site: SiteId, obs: Option<NetObs>, defer: bool| SiteHost {
+            site,
+            obs,
+            down_until: None,
+            last_decision_us: None,
+            defer_sends: defer,
+            deferred_sends: Vec::new(),
+            timer_ids: BTreeMap::new(),
+            batch_opened: None,
+        };
+
+        let mut sites = Vec::new();
+        {
+            let mut engine = Coordinator::new(
+                Self::COORDINATOR,
+                cc.kind,
+                wrap(FileLog::create(dir.path().join("coord.wal")).expect("wal")),
+            );
+            for (i, &p) in cc.participant_protocols.iter().enumerate() {
+                engine.register_site(SiteId::new(i as u32 + 1), p);
+            }
+            engine.set_track_cancellations(true);
+            // Per-decision auto-GC rewrites the retained log suffix on
+            // every finish — O(n²) I/O once thousands of transactions
+            // are in flight on this one thread. The reactor defers GC
+            // like it defers fsyncs: once per tick (`gc_turns`).
+            engine.auto_gc = false;
+            let defer = cc.group_commit;
+            sites.push(SiteState {
+                host: host_for(
+                    Self::COORDINATOR,
+                    obs_for(ProtoLabel::of_coordinator(cc.kind)),
+                    defer,
+                ),
+                task: SiteTask::Coord { engine },
+            });
+        }
+        for (i, &proto) in cc.participant_protocols.iter().enumerate() {
+            let site = SiteId::new(i as u32 + 1);
+            if cc.gateways.contains(&i) {
+                let engine = GatewayParticipant::new(
+                    site,
+                    proto,
+                    FileLog::create(dir.path().join(format!("gw-{}.wal", site.raw())))
+                        .expect("wal"),
+                    LegacyStore::new(),
+                );
+                sites.push(SiteState {
+                    host: host_for(site, obs_for(ProtoLabel::Gateway), false),
+                    task: SiteTask::Gateway { engine },
+                });
+            } else {
+                let mut engine = Participant::new(
+                    site,
+                    proto,
+                    wrap(
+                        FileLog::create(dir.path().join(format!("part-{}.wal", site.raw())))
+                            .expect("wal"),
+                    ),
+                );
+                engine.set_track_cancellations(true);
+                let storage = SiteEngine::new(
+                    FileLog::create(dir.path().join(format!("data-{}.wal", site.raw())))
+                        .expect("wal"),
+                );
+                sites.push(SiteState {
+                    host: host_for(site, obs_for(ProtoLabel::of_participant(proto)), cc.group_commit),
+                    task: SiteTask::Part {
+                        engine,
+                        storage,
+                        forced_intents: BTreeMap::new(),
+                        poisoned: BTreeMap::new(),
+                    },
+                });
+            }
+        }
+
+        let (tx, rx) = unbounded();
+        let n_sites = sites.len();
+        let reactor = Reactor {
+            sites,
+            ctx: Ctx {
+                wheel: TimerWheel::new(t0),
+                local: VecDeque::new(),
+                history,
+                delays: cc.delays,
+                replies: BTreeMap::new(),
+                stats: ReactorStats::default(),
+                now: t0,
+            },
+            config: config.clone(),
+            rx,
+            t0,
+            registry,
+            timeline,
+            commits_since_snapshot: 0,
+            running: true,
+        };
+        let handle = std::thread::spawn(move || reactor.run());
+        ReactorCluster {
+            tx,
+            handle,
+            next_txn: 1,
+            n_sites,
+            _dir: dir,
+        }
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn next_txn(&mut self) -> TxnId {
+        let t = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        t
+    }
+
+    /// All participant site ids.
+    #[must_use]
+    pub fn participants(&self) -> Vec<SiteId> {
+        (1..self.n_sites as u32).map(SiteId::new).collect()
+    }
+
+    fn send(&self, site: SiteId, envelope: Envelope) {
+        let _ = self.tx.send((site, envelope));
+    }
+
+    /// Write `key := value` under `txn` at `site`.
+    pub fn apply(&self, site: SiteId, txn: TxnId, key: &[u8], value: &[u8]) {
+        self.send(
+            site,
+            Envelope::Apply {
+                txn,
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+        );
+    }
+
+    /// Override the vote `site` will cast for `txn`.
+    pub fn set_intent(&self, site: SiteId, txn: TxnId, vote: Vote) {
+        self.send(site, Envelope::SetIntent { txn, vote });
+    }
+
+    /// Crash a site for `down_for`.
+    pub fn crash(&self, site: SiteId, down_for: Duration) {
+        self.send(site, Envelope::Crash { down_for });
+    }
+
+    /// Commit `txn` across `participants`; wait for the decision.
+    pub fn commit(&self, txn: TxnId, participants: &[SiteId]) -> Option<Outcome> {
+        self.commit_async(txn, participants)
+            .recv_timeout(Duration::from_secs(20))
+            .ok()
+    }
+
+    /// Start commit processing; the returned channel yields the
+    /// decision when it is durable. This is how a driver keeps
+    /// thousands of transactions in flight on one reactor.
+    #[must_use]
+    pub fn commit_async(&self, txn: TxnId, participants: &[SiteId]) -> Receiver<Outcome> {
+        let (tx, rx) = bounded(1);
+        self.send(
+            Self::COORDINATOR,
+            Envelope::Commit {
+                txn,
+                participants: participants.to_vec(),
+                reply: tx,
+            },
+        );
+        rx
+    }
+
+    /// Let in-flight work settle for `d`.
+    pub fn settle(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// Stop the reactor and collect the final state.
+    #[must_use]
+    pub fn shutdown(self) -> ReactorReport {
+        self.send(Self::COORDINATOR, Envelope::Shutdown);
+        self.handle.join().expect("reactor thread")
+    }
+}

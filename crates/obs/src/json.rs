@@ -107,6 +107,126 @@ fn push_txn(s: &mut String, txn: Option<u64>) {
     }
 }
 
+/// A scalar value of a flat trace-line object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonValue {
+    /// An unsigned integer (the only number shape the trace format
+    /// emits).
+    Num(u64),
+    /// A string, unescaped.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Num(_) => None,
+            JsonValue::Str(s) => Some(s),
+        }
+    }
+}
+
+/// Parse one *flat* JSON object line — the exact subset
+/// [`event_to_json`] emits: string keys mapped to unsigned integers or
+/// strings, no nesting, no arrays, no floats. This is the trace
+/// replayer's inverse of the emission above; keeping both in this
+/// module keeps the dialect honest without a serialization dependency.
+///
+/// Returns `None` on anything outside that subset (malformed input, a
+/// nested value, a negative number).
+#[must_use]
+pub fn parse_flat_json(line: &str) -> Option<std::collections::BTreeMap<String, JsonValue>> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut chars = line.trim().chars().peekable();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        skip_ws(&mut chars);
+        return chars.next().is_none().then_some(out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    n = n.checked_mul(10)?.checked_add(u64::from(d))?;
+                    chars.next();
+                }
+                JsonValue::Num(n)
+            }
+            _ => return None, // nested / non-scalar: outside the dialect
+        };
+        out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next()? {
+            ',' => {}
+            '}' => break,
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +253,31 @@ mod tests {
             "{\"type\":\"msg_send\",\"at_us\":1200,\"site\":0,\"proto\":\"PrAny\",\
              \"to\":2,\"kind\":\"prepare\",\"txn\":1}"
         );
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_events() {
+        let e = ProtocolEvent::RecoveryStep {
+            at_us: 42,
+            site: 1,
+            proto: ProtoLabel::PrC,
+            detail: "answer inquiry t7: \"abort\"\n".to_string(),
+        };
+        let m = parse_flat_json(&event_to_json(&e)).expect("parse");
+        assert_eq!(m["type"].as_str(), Some("recovery_step"));
+        assert_eq!(m["at_us"].as_u64(), Some(42));
+        assert_eq!(m["detail"].as_str(), Some("answer inquiry t7: \"abort\"\n"));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_dialect_input() {
+        assert!(parse_flat_json("{}").is_some());
+        assert!(parse_flat_json("not json").is_none());
+        assert!(parse_flat_json("{\"a\":1} trailing").is_none());
+        assert!(parse_flat_json("{\"a\":{\"nested\":1}}").is_none());
+        assert!(parse_flat_json("{\"a\":-1}").is_none());
+        assert!(parse_flat_json("{\"a\":[1]}").is_none());
+        assert!(parse_flat_json("{\"a\"").is_none());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod render;
 pub mod sink;
 
 pub use event::{ProtoLabel, ProtocolEvent};
-pub use json::event_to_json;
-pub use metrics::{Counter, MetricsRegistry};
+pub use json::{event_to_json, parse_flat_json, JsonValue};
+pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot, MetricsTimeline};
 pub use render::{render_ascii, render_mermaid};
 pub use sink::{CountingSink, FanoutSink, JsonLinesSink, NullSink, RingBufferSink, TraceSink, VecSink};

@@ -288,6 +288,98 @@ impl MetricsRegistry {
     }
 }
 
+/// A point-in-time copy of the registry's full counter grid, stamped
+/// with the host's clock. Snapshots are plain values: compare them,
+/// subtract them, or render curves from a sequence of them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Host time (microseconds since run start) the snapshot was taken.
+    pub at_us: u64,
+    counts: [[u64; N_COUNTERS]; N_PROTOS],
+}
+
+impl MetricsSnapshot {
+    /// Read one cell.
+    #[must_use]
+    pub fn get(&self, proto: ProtoLabel, counter: Counter) -> u64 {
+        self.counts[proto.index()][counter.index()]
+    }
+
+    /// Sum one counter across every protocol row.
+    #[must_use]
+    pub fn total(&self, counter: Counter) -> u64 {
+        ProtoLabel::ALL.iter().map(|&p| self.get(p, counter)).sum()
+    }
+}
+
+impl MetricsRegistry {
+    /// Copy the whole grid at the host's current clock. One relaxed
+    /// load per cell — cheap enough to call every few reactor ticks.
+    /// Counters are monotone, so a snapshot taken while other threads
+    /// record is a consistent *lower bound* per cell; under the
+    /// single-threaded reactor it is exact.
+    #[must_use]
+    pub fn snapshot(&self, at_us: u64) -> MetricsSnapshot {
+        let mut counts = [[0u64; N_COUNTERS]; N_PROTOS];
+        for (pi, row) in counts.iter_mut().enumerate() {
+            for (ci, cell) in row.iter_mut().enumerate() {
+                *cell = self.cells[pi][ci].load(Ordering::Relaxed);
+            }
+        }
+        MetricsSnapshot { at_us, counts }
+    }
+}
+
+/// A shared, append-only sequence of [`MetricsSnapshot`]s: the live
+/// metrics surface. Long-running hosts (the reactor) push a snapshot
+/// every N ticks / M transactions; campaign binaries read the sequence
+/// afterwards (or concurrently) and stream cost curves — forces per
+/// committed transaction over time — instead of one exit aggregate.
+#[derive(Debug, Default)]
+pub struct MetricsTimeline {
+    snaps: std::sync::Mutex<Vec<MetricsSnapshot>>,
+}
+
+impl MetricsTimeline {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a snapshot.
+    pub fn push(&self, snap: MetricsSnapshot) {
+        self.snaps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(snap);
+    }
+
+    /// Number of snapshots recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snaps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Is the timeline empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out every snapshot recorded so far, in push order.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.snaps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
 fn kind_counter(kind: &str) -> Option<Counter> {
     match kind {
         "prepare" => Some(Counter::Prepares),
@@ -414,6 +506,30 @@ mod tests {
         });
         assert_eq!(r.get(ProtoLabel::PrAny, Counter::BatchedForces), 2);
         assert_eq!(r.get(ProtoLabel::PrAny, Counter::BatchOccupancy), 6);
+    }
+
+    #[test]
+    fn snapshots_capture_the_grid_and_totals() {
+        let r = MetricsRegistry::new();
+        r.record(&force(0, ProtoLabel::PrAny));
+        let s1 = r.snapshot(100);
+        r.record(&force(1, ProtoLabel::PrA));
+        r.record(&force(1, ProtoLabel::PrA));
+        let s2 = r.snapshot(200);
+        assert_eq!(s1.get(ProtoLabel::PrAny, Counter::ForcedWrites), 1);
+        assert_eq!(s1.total(Counter::ForcedWrites), 1);
+        assert_eq!(s2.get(ProtoLabel::PrA, Counter::ForcedWrites), 2);
+        assert_eq!(s2.total(Counter::ForcedWrites), 3);
+        assert_eq!(s1.at_us, 100);
+
+        let tl = MetricsTimeline::new();
+        assert!(tl.is_empty());
+        tl.push(s1.clone());
+        tl.push(s2);
+        let snaps = tl.snapshots();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(snaps[0], s1);
+        assert!(snaps[1].at_us > snaps[0].at_us);
     }
 
     #[test]

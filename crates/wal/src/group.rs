@@ -252,6 +252,15 @@ impl<L: StableLog> GroupCommitLog<L> {
         std::mem::take(&mut self.closed)
     }
 
+    /// Occupancy of the currently open batch (0 when none is open).
+    /// Hosts with an adaptive batch window use this to force a
+    /// lone-record batch immediately instead of waiting out the window —
+    /// batching only ever pays when at least two forces share the fsync.
+    #[must_use]
+    pub fn open_occupancy(&self) -> u64 {
+        self.open.map_or(0, |(_, occ)| occ)
+    }
+
     fn close_open(&mut self) {
         if let Some((opened, occ)) = self.open.take() {
             self.stats.absorb(occ);

@@ -50,6 +50,20 @@ git diff --exit-code -- results/exp_group_commit.txt \
   || { echo "FAIL: results/exp_group_commit.txt drifted from the batched cost model —"; \
        echo "      investigate, then commit the regenerated table"; exit 1; }
 
+echo "== trace replay: ACTA predicates over the committed corpus"
+# Replays results/figures/traces.jsonl against event-level safe-state
+# predicates (with mutation controls proving they can fail) and
+# regenerates Theorem 1 counterexample traces, which the ACTA
+# atomicity + safe-state checkers must flag. Exits non-zero itself.
+cargo run --release --offline -q -p acp-bench --bin replay | tail -6
+
+echo "== runtime smoke: reactor vs threaded backends (correctness slice)"
+# Small fixed workload on both runtime backends: every transaction
+# must commit, the reactor must genuinely multiplex (inflight > 1)
+# and must stream live metrics snapshots. The machine-timed campaign
+# (BENCH_runtime.json) is regenerated manually, not here.
+ACP_RUNTIME_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_runtime | tail -3
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

@@ -131,6 +131,13 @@ pub mod channel {
             self.0.senders.load(Ordering::SeqCst) == 0
         }
 
+        /// Is the queue currently empty? (Racy by nature, like the real
+        /// crossbeam API: a send may land right after the check.)
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.0.queue.lock().expect("channel lock").is_empty()
+        }
+
         /// Dequeue, blocking until a message or disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut q = self.0.queue.lock().expect("channel lock");
