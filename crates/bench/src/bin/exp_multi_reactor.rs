@@ -1,0 +1,424 @@
+//! E14 — the sharded multi-reactor runtime: the E13 event loop scaled
+//! across reactor threads.
+//!
+//! Every cell drives the *same* sans-IO engines over file WALs with
+//! group commit enabled; what the sweep varies is the partition: the
+//! coordinator sliced by transaction id and the participants
+//! partitioned by site id across N reactor threads connected by
+//! lock-free mailboxes, each shard owning its own timer wheel and
+//! fsync domain.
+//!
+//! The sweep runs reactor counts {1, 2, 4} × requested concurrency
+//! {64, 512} closed-loop over a fixed PrAny site set (PrN + PrA + PrC)
+//! and records, per cell, aggregate committed-transaction throughput,
+//! cross-shard mailbox traffic, the cluster-wide in-flight peak (the
+//! shared gauge) and the per-shard fsync-domain counters proving each
+//! shard is one coalesced force domain. Results land in
+//! `BENCH_multi_reactor.json`.
+//!
+//! **Read the numbers with the meta note in mind**: on a single-CPU
+//! host the N reactor threads time-slice one core, so the sweep
+//! demonstrates *low partition overhead* (multi-reactor throughput
+//! stays within a constant factor of single-reactor throughput), not
+//! parallel speedup — the same caveat `BENCH_checker.json` records for
+//! the checker's thread sweep.
+//!
+//! Acceptance (exits non-zero when violated): every transaction
+//! commits at every cell; at N ≥ 2 the partition routes real
+//! cross-shard mail (`mailbox_sends > 0`); every shard that forced
+//! anything coalesced (per-shard fsync rounds strictly below the
+//! records flushed through them at 512 concurrency); and multi-reactor
+//! throughput stays overhead-bounded (≥ 0.4× the single-reactor cell
+//! at the same concurrency).
+//!
+//! `ACP_MULTI_REACTOR_SMOKE=1` runs a small correctness-only slice
+//! (reactor counts {1, 2} × concurrency 8, used by
+//! `scripts/verify.sh`); the full campaign is machine-timed and
+//! regenerated manually like the other BENCH_*.json files.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_multi_reactor
+//! ```
+
+use acp_bench::{row, sep};
+use acp_net::{MultiReactorCluster, MultiReactorConfig, NetDelays, ReactorConfig};
+use acp_obs::{Counter, ProtoLabel};
+use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SelectionPolicy, TxnId};
+use acp_wal::DomainStats;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Reactor-thread sweep.
+const REACTORS: [usize; 3] = [1, 2, 4];
+
+/// Requested-concurrency sweep (per cell, across the whole cluster).
+const CONCURRENCY: [usize; 2] = [64, 512];
+
+fn kind() -> CoordinatorKind {
+    CoordinatorKind::PrAny(SelectionPolicy::PaperStrict)
+}
+
+const PROTOS: [ProtocolKind; 3] = [ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC];
+
+/// Long protocol timeouts: the sweep measures runtime throughput, not
+/// timeout handling, so no timer may fire during a clean run.
+fn bench_delays() -> NetDelays {
+    NetDelays {
+        vote_timeout: Duration::from_secs(30),
+        ack_resend: Duration::from_secs(10),
+        inquiry_retry: Duration::from_secs(10),
+        apply_retry: Duration::from_secs(10),
+    }
+}
+
+/// Transactions per cell (4x the window, floor 256).
+fn total_for(c: usize) -> u64 {
+    (4 * c as u64).max(256)
+}
+
+struct ShardCell {
+    shard: usize,
+    fsync: DomainStats,
+    logical_forces: u64,
+    physical_syncs: u64,
+    /// Peak occupancy in any single protocol-table shard of this
+    /// reactor's coordinator slice (sampled per snapshot tick).
+    table_peak: u64,
+}
+
+struct Cell {
+    reactors: usize,
+    requested: usize,
+    txns: u64,
+    committed: u64,
+    elapsed_ms: u64,
+    commits_per_sec: f64,
+    /// Cluster-wide peak of simultaneously-open client commits (the
+    /// shared cross-reactor gauge).
+    max_inflight: u64,
+    /// Envelopes pushed across shard boundaries through the lock-free
+    /// mailboxes.
+    mailbox_sends: u64,
+    logical_forces: u64,
+    physical_syncs: u64,
+    per_shard: Vec<ShardCell>,
+    /// Merged live-metrics curve: (shard, host µs since spawn,
+    /// decisions reached, forced writes) per snapshot.
+    timeline: Vec<(usize, u64, u64, u64)>,
+}
+
+impl Cell {
+    fn syncs_per_txn(&self) -> f64 {
+        self.physical_syncs as f64 / self.txns.max(1) as f64
+    }
+}
+
+fn key(n: u64) -> Vec<u8> {
+    format!("k{n:06}").into_bytes()
+}
+
+/// Closed-loop driver in windows of `requested`: stage every window's
+/// writes, burst the commit requests, await every decision.
+fn cell(reactors: usize, requested: usize, total: u64) -> Cell {
+    let mut reactor = ReactorConfig::new(kind(), &PROTOS);
+    reactor.cluster.delays = bench_delays();
+    reactor.cluster.group_commit = true;
+    // Each shard snapshots its own registry on its own delivered
+    // decisions; the merged timeline carries all of them.
+    reactor.snapshot_every_commits = (total / (8 * reactors as u64)).max(1);
+    let config = MultiReactorConfig::new(reactor, reactors);
+    let cluster = MultiReactorCluster::spawn_observed(&config, None);
+    let parts = cluster.participants();
+
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let mut next = 1u64;
+    while next <= total {
+        let batch = (requested as u64).min(total - next + 1);
+        for i in 0..batch {
+            let txn = TxnId::new(next + i);
+            for site in &parts {
+                cluster.apply(*site, txn, &key(next + i), b"v");
+            }
+        }
+        let pending: Vec<_> = (0..batch)
+            .map(|i| cluster.commit_async(TxnId::new(next + i), &parts))
+            .collect();
+        for rx in pending {
+            if rx.recv_timeout(Duration::from_secs(60)) == Ok(Outcome::Commit) {
+                committed += 1;
+            }
+        }
+        next += batch;
+    }
+    let elapsed = start.elapsed();
+
+    let report = cluster.shutdown();
+    let per_shard = report
+        .per_shard
+        .iter()
+        .map(|s| ShardCell {
+            shard: s.shard,
+            fsync: s.fsync,
+            logical_forces: s.logical_forces,
+            physical_syncs: s.physical_syncs,
+            table_peak: report
+                .registries
+                .get(s.shard)
+                .map_or(0, |r| {
+                    ProtoLabel::ALL
+                        .iter()
+                        .map(|&p| r.get(p, Counter::TablePeakShardOccupancy))
+                        .max()
+                        .unwrap_or(0)
+                }),
+        })
+        .collect();
+    Cell {
+        reactors,
+        requested,
+        txns: total,
+        committed,
+        elapsed_ms: elapsed.as_millis() as u64,
+        commits_per_sec: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+        max_inflight: report.max_inflight,
+        mailbox_sends: report.stats.mailbox_sends,
+        logical_forces: report.cluster.logical_forces,
+        physical_syncs: report.cluster.physical_syncs,
+        per_shard,
+        timeline: report
+            .timeline
+            .iter()
+            .map(|(shard, s)| {
+                (
+                    *shard,
+                    s.at_us,
+                    s.total(Counter::DecisionsReached),
+                    s.total(Counter::ForcedWrites),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn print_cell(c: &Cell, widths: &[usize]) {
+    println!(
+        "{}",
+        row(
+            &[
+                c.reactors.to_string(),
+                c.requested.to_string(),
+                format!("{}/{}", c.committed, c.txns),
+                format!("{:.0}", c.commits_per_sec),
+                c.max_inflight.to_string(),
+                c.mailbox_sends.to_string(),
+                format!("{:.3}", c.syncs_per_txn()),
+                format!("{}ms", c.elapsed_ms),
+            ],
+            widths
+        )
+    );
+}
+
+fn bench_json(cells: &[Cell], ratios: &[(usize, usize, f64)], pass: bool) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"multi_reactor\",");
+    let _ = writeln!(
+        j,
+        "  \"site_set\": \"PrAny(PaperStrict) over PrN+PrA+PrC, group commit on\","
+    );
+    let _ = writeln!(
+        j,
+        "  \"meta\": {{\"host_cpus\": {host_cpus}, \"note\": \"single-CPU container: reactor \
+         threads time-slice one core, so throughput is flat by construction; the sweep \
+         demonstrates low partition overhead and per-shard fsync coalescing, not parallel \
+         speedup. Determinism across reactor counts is pinned by tests/multi_reactor.rs.\"}},"
+    );
+    let _ = writeln!(j, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let mut shards = String::new();
+        for (k, s) in c.per_shard.iter().enumerate() {
+            let _ = write!(
+                shards,
+                "{{\"shard\": {}, \"fsync_rounds\": {}, \"leader_flushes\": {}, \
+                 \"follower_flushes\": {}, \"records\": {}, \"max_members\": {}, \
+                 \"solo_rounds\": {}, \"logical_forces\": {}, \"physical_syncs\": {}, \
+                 \"table_peak_shard_occupancy\": {}}}",
+                s.shard,
+                s.fsync.rounds,
+                s.fsync.leader_flushes,
+                s.fsync.follower_flushes,
+                s.fsync.records,
+                s.fsync.max_members,
+                s.fsync.solo_rounds,
+                s.logical_forces,
+                s.physical_syncs,
+                s.table_peak,
+            );
+            if k + 1 < c.per_shard.len() {
+                shards.push_str(", ");
+            }
+        }
+        let mut curve = String::new();
+        for (k, &(shard, at_us, decided, forces)) in c.timeline.iter().enumerate() {
+            let _ = write!(
+                curve,
+                "{{\"shard\": {shard}, \"at_us\": {at_us}, \"decided\": {decided}, \
+                 \"forced_writes\": {forces}}}"
+            );
+            if k + 1 < c.timeline.len() {
+                curve.push_str(", ");
+            }
+        }
+        let _ = writeln!(
+            j,
+            "    {{\"reactors\": {}, \"requested_concurrency\": {}, \"txns\": {}, \
+             \"committed\": {}, \"elapsed_ms\": {}, \"commits_per_sec\": {:.1}, \
+             \"max_inflight\": {}, \"mailbox_sends\": {}, \"logical_forces\": {}, \
+             \"physical_syncs\": {}, \"syncs_per_txn\": {:.3}, \"per_shard\": [{shards}], \
+             \"timeline\": [{curve}]}}{comma}",
+            c.reactors,
+            c.requested,
+            c.txns,
+            c.committed,
+            c.elapsed_ms,
+            c.commits_per_sec,
+            c.max_inflight,
+            c.mailbox_sends,
+            c.logical_forces,
+            c.physical_syncs,
+            c.syncs_per_txn(),
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(
+        j,
+        "    \"criterion\": \"all txns commit; cross-shard mail flows at N >= 2; per-shard \
+         fsync rounds < records at 512 concurrency; multi-reactor throughput >= 0.4x \
+         single-reactor at equal concurrency (overhead-bounded on a 1-CPU host)\","
+    );
+    for (n, conc, ratio) in ratios {
+        let _ = writeln!(j, "    \"throughput_ratio_n{n}_c{conc}\": {ratio:.2},");
+    }
+    let _ = writeln!(j, "    \"pass\": {pass}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let smoke = std::env::var_os("ACP_MULTI_REACTOR_SMOKE").is_some();
+    let (reactor_sweep, conc_sweep): (Vec<usize>, Vec<usize>) = if smoke {
+        (vec![1, 2], vec![8])
+    } else {
+        (REACTORS.to_vec(), CONCURRENCY.to_vec())
+    };
+
+    println!("E14 — sharded multi-reactor runtime: reactor-count sweep");
+    println!("site set: PrAny(PaperStrict) over PrN+PrA+PrC, group commit on\n");
+    let widths = [9, 10, 14, 12, 10, 10, 11, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "reactors".into(),
+                "requested".into(),
+                "committed".into(),
+                "txns/sec".into(),
+                "inflight".into(),
+                "mailbox".into(),
+                "syncs/txn".into(),
+                "elapsed".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &conc in &conc_sweep {
+        for &n in &reactor_sweep {
+            let total = if smoke { 48 } else { total_for(conc) };
+            let c = cell(n, conc, total);
+            print_cell(&c, &widths);
+            cells.push(c);
+        }
+    }
+
+    let all_committed = cells.iter().all(|c| c.committed == c.txns);
+    let mail_flows = cells
+        .iter()
+        .filter(|c| c.reactors >= 2)
+        .all(|c| c.mailbox_sends > 0);
+
+    if smoke {
+        let snapshots_ok = cells.iter().all(|c| !c.timeline.is_empty());
+        let coalesced = cells
+            .iter()
+            .all(|c| c.per_shard.iter().all(|s| s.fsync.records >= s.fsync.rounds));
+        println!(
+            "\nsmoke acceptance (all commit, cross-shard mail, metrics stream, \
+             domains coalesce): {}",
+            if all_committed && mail_flows && snapshots_ok && coalesced {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        eprintln!("smoke mode: skipping the full campaign and BENCH_multi_reactor.json");
+        if !(all_committed && mail_flows && snapshots_ok && coalesced) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Per-shard coalescing at high concurrency: every shard that
+    // forced anything closed strictly fewer rounds than it flushed
+    // records — one force domain per shard, not one per transaction.
+    let coalesced = cells
+        .iter()
+        .filter(|c| c.requested >= 512)
+        .all(|c| {
+            c.per_shard
+                .iter()
+                .filter(|s| s.fsync.records > 0)
+                .all(|s| s.fsync.rounds < s.fsync.records)
+        });
+
+    // Overhead bound: multi-reactor throughput vs the single-reactor
+    // cell at the same concurrency.
+    let base = |conc: usize| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.reactors == 1 && c.requested == conc)
+            .map_or(f64::INFINITY, |c| c.commits_per_sec)
+    };
+    let ratios: Vec<(usize, usize, f64)> = cells
+        .iter()
+        .filter(|c| c.reactors > 1)
+        .map(|c| (c.reactors, c.requested, c.commits_per_sec / base(c.requested)))
+        .collect();
+    let overhead_ok = ratios.iter().all(|&(_, _, r)| r >= 0.4);
+
+    let pass = all_committed && mail_flows && coalesced && overhead_ok;
+    let json = bench_json(&cells, &ratios, pass);
+    let bench_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_multi_reactor.json");
+    std::fs::write(&bench_path, &json).expect("write BENCH_multi_reactor.json");
+    eprintln!("wrote BENCH_multi_reactor.json");
+
+    for (n, conc, r) in &ratios {
+        println!("\nthroughput ratio N={n} vs N=1 at concurrency {conc}: {r:.2}x");
+    }
+    println!(
+        "acceptance (all commit, cross-shard mail, per-shard coalescing, overhead-bounded): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -206,6 +206,33 @@ impl<L: StableLog> Coordinator<L> {
         self.table.len()
     }
 
+    /// Re-shard the (empty) protocol table to `n_shards` locks. Hosts
+    /// that partition coordinator work — the multi-reactor runtime —
+    /// call this at spawn so table sharding can be sized to the
+    /// partition. Panics if the table already holds transactions:
+    /// re-sharding would silently reassign their lock ownership.
+    pub fn set_table_shards(&mut self, n_shards: usize) {
+        assert!(
+            self.table.is_empty(),
+            "cannot re-shard a non-empty protocol table"
+        );
+        self.table = ShardedTable::with_shards(n_shards);
+    }
+
+    /// Per-shard occupancy of the protocol table (lock-free sample).
+    #[must_use]
+    pub fn table_shard_occupancy(&self) -> Vec<usize> {
+        self.table.shard_occupancy()
+    }
+
+    /// Largest single-shard occupancy of the protocol table right now
+    /// (lock-free). Reactor hosts feed this into the metrics
+    /// registry's `table_peak_shard_occupancy` high-water mark.
+    #[must_use]
+    pub fn table_peak_shard_occupancy(&self) -> usize {
+        self.table.max_shard_len()
+    }
+
     /// Transactions currently in the protocol table.
     #[must_use]
     pub fn protocol_table_txns(&self) -> Vec<TxnId> {

@@ -8,11 +8,16 @@
 //! readers (metrics snapshots, table-size probes) must not serialize
 //! against protocol progress.
 //!
-//! [`ShardedTable`] splits the map into [`TABLE_SHARDS`] independently
-//! locked shards keyed by `txn.raw() % TABLE_SHARDS` — the same recipe
-//! as the model checker's sharded seen-set. Each shard is a
-//! `Mutex<BTreeMap<..>>`; a cached atomic length makes size probes
-//! lock-free. All access is closure-scoped ([`ShardedTable::with`] /
+//! [`ShardedTable`] splits the map into independently locked shards
+//! keyed by `txn.raw() % shard_count` — the same recipe as the model
+//! checker's sharded seen-set, and the same recipe the multi-reactor
+//! runtime uses to partition coordinator work across event loops
+//! ([`shard_of`] is the single definition of that ownership map). The
+//! shard count is configurable ([`ShardedTable::with_shards`]);
+//! [`ShardedTable::new`] keeps the historical [`TABLE_SHARDS`] spread.
+//! Each shard is a `Mutex<BTreeMap<..>>`; cached atomic lengths — one
+//! global, one per shard — make size and occupancy probes lock-free.
+//! All access is closure-scoped ([`ShardedTable::with`] /
 //! [`ShardedTable::with_mut`]) so a shard lock can never be held across
 //! a call back into the engine — the discipline that keeps the engine
 //! deadlock-free no matter which host drives it.
@@ -26,16 +31,30 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-/// Number of shards. Matches the checker's seen-set sharding; plenty of
-/// spread for thousands of in-flight transactions while keeping the
-/// all-shards walk (fingerprints, snapshots) cheap.
+/// Default number of shards. Matches the checker's seen-set sharding;
+/// plenty of spread for thousands of in-flight transactions while
+/// keeping the all-shards walk (fingerprints, snapshots) cheap.
 pub const TABLE_SHARDS: usize = 64;
 
-/// A map from [`TxnId`] to `V`, split across [`TABLE_SHARDS`]
-/// independently locked shards. See the module docs.
+/// The shard owning `txn` when work is split `n_shards` ways:
+/// `txn.raw() % n_shards`. This is THE ownership map — the table's
+/// internal sharding, the multi-reactor's coordinator partitioner and
+/// the E14 report all call this one function, so "which shard owns
+/// transaction t" has a single answer everywhere.
+#[must_use]
+pub fn shard_of(txn: TxnId, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0, "shard_of with zero shards");
+    (txn.raw() % n_shards.max(1) as u64) as usize
+}
+
+/// A map from [`TxnId`] to `V`, split across independently locked
+/// shards. See the module docs.
 pub struct ShardedTable<V> {
     shards: Vec<Mutex<BTreeMap<TxnId, V>>>,
     len: AtomicUsize,
+    /// Per-shard occupancy, maintained alongside `len` so hosts can
+    /// probe shard balance without touching a lock.
+    shard_lens: Vec<AtomicUsize>,
 }
 
 impl<V> Default for ShardedTable<V> {
@@ -45,17 +64,40 @@ impl<V> Default for ShardedTable<V> {
 }
 
 impl<V> ShardedTable<V> {
-    /// An empty table.
+    /// An empty table with the default [`TABLE_SHARDS`] spread.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_shards(TABLE_SHARDS)
+    }
+
+    /// An empty table with an explicit shard count (≥ 1). The
+    /// multi-reactor runtime sizes per-slice tables to its reactor
+    /// count so table ownership and reactor ownership coincide.
+    #[must_use]
+    pub fn with_shards(n_shards: usize) -> Self {
+        let n = n_shards.max(1);
         ShardedTable {
-            shards: (0..TABLE_SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(BTreeMap::new())).collect(),
             len: AtomicUsize::new(0),
+            shard_lens: (0..n).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
-    fn shard(&self, txn: TxnId) -> &Mutex<BTreeMap<TxnId, V>> {
-        &self.shards[(txn.raw() % TABLE_SHARDS as u64) as usize]
+    /// Number of shards the table spreads across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `txn` in this table.
+    #[must_use]
+    pub fn shard_of(&self, txn: TxnId) -> usize {
+        shard_of(txn, self.shards.len())
+    }
+
+    fn shard(&self, txn: TxnId) -> (usize, &Mutex<BTreeMap<TxnId, V>>) {
+        let i = self.shard_of(txn);
+        (i, &self.shards[i])
     }
 
     fn lock(m: &Mutex<BTreeMap<TxnId, V>>) -> std::sync::MutexGuard<'_, BTreeMap<TxnId, V>> {
@@ -68,18 +110,22 @@ impl<V> ShardedTable<V> {
 
     /// Insert, returning the previous value if one existed.
     pub fn insert(&self, txn: TxnId, value: V) -> Option<V> {
-        let prev = Self::lock(self.shard(txn)).insert(txn, value);
+        let (i, shard) = self.shard(txn);
+        let prev = Self::lock(shard).insert(txn, value);
         if prev.is_none() {
             self.len.fetch_add(1, Ordering::Relaxed);
+            self.shard_lens[i].fetch_add(1, Ordering::Relaxed);
         }
         prev
     }
 
     /// Remove and return the entry.
     pub fn remove(&self, txn: TxnId) -> Option<V> {
-        let prev = Self::lock(self.shard(txn)).remove(&txn);
+        let (i, shard) = self.shard(txn);
+        let prev = Self::lock(shard).remove(&txn);
         if prev.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.shard_lens[i].fetch_sub(1, Ordering::Relaxed);
         }
         prev
     }
@@ -87,13 +133,42 @@ impl<V> ShardedTable<V> {
     /// Is `txn` present?
     #[must_use]
     pub fn contains(&self, txn: TxnId) -> bool {
-        Self::lock(self.shard(txn)).contains_key(&txn)
+        Self::lock(self.shard(txn).1).contains_key(&txn)
     }
 
     /// Number of entries (lock-free read of a cached counter).
     #[must_use]
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of one shard (lock-free). Out-of-range probes read 0.
+    #[must_use]
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shard_lens
+            .get(shard)
+            .map_or(0, |l| l.load(Ordering::Relaxed))
+    }
+
+    /// Per-shard occupancy snapshot (lock-free, one relaxed load per
+    /// shard). The multi-reactor's metrics surface samples this per
+    /// tick to report table balance.
+    #[must_use]
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shard_lens
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Largest single-shard occupancy (lock-free).
+    #[must_use]
+    pub fn max_shard_len(&self) -> usize {
+        self.shard_lens
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Is the table empty?
@@ -104,9 +179,10 @@ impl<V> ShardedTable<V> {
 
     /// Drop every entry.
     pub fn clear(&self) {
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
             let mut m = Self::lock(shard);
             self.len.fetch_sub(m.len(), Ordering::Relaxed);
+            self.shard_lens[i].fetch_sub(m.len(), Ordering::Relaxed);
             m.clear();
         }
     }
@@ -114,12 +190,12 @@ impl<V> ShardedTable<V> {
     /// Run `f` over the entry for `txn` (or `None`), holding only that
     /// shard's lock. `f` must not call back into the table.
     pub fn with<R>(&self, txn: TxnId, f: impl FnOnce(Option<&V>) -> R) -> R {
-        f(Self::lock(self.shard(txn)).get(&txn))
+        f(Self::lock(self.shard(txn).1).get(&txn))
     }
 
     /// Like [`ShardedTable::with`] with mutable access.
     pub fn with_mut<R>(&self, txn: TxnId, f: impl FnOnce(Option<&mut V>) -> R) -> R {
-        f(Self::lock(self.shard(txn)).get_mut(&txn))
+        f(Self::lock(self.shard(txn).1).get_mut(&txn))
     }
 
     /// Visit every entry in deterministic (shard, key) order, one shard
@@ -160,7 +236,7 @@ impl<V> ShardedTable<V> {
 
 impl<V: Clone> Clone for ShardedTable<V> {
     fn clone(&self) -> Self {
-        let table = ShardedTable::new();
+        let table = ShardedTable::with_shards(self.shards.len());
         for shard in &self.shards {
             for (txn, v) in Self::lock(shard).iter() {
                 table.insert(*txn, v.clone());
@@ -233,9 +309,54 @@ mod tests {
         assert_eq!(format!("{t:?}"), format!("{c:?}"));
     }
 
+    /// Satellite: the shard count is a config knob, not a constant, and
+    /// ownership is the one public `shard_of` map at every count.
+    #[test]
+    fn configurable_shard_count_preserves_semantics() {
+        for n in [1usize, 2, 3, 64] {
+            let t: ShardedTable<u64> = ShardedTable::with_shards(n);
+            assert_eq!(t.shard_count(), n);
+            for raw in 0..50u64 {
+                t.insert(TxnId::new(raw), raw * 2);
+            }
+            assert_eq!(t.len(), 50);
+            for raw in 0..50u64 {
+                let txn = TxnId::new(raw);
+                assert_eq!(t.shard_of(txn), shard_of(txn, n));
+                assert_eq!(t.with(txn, |v| v.copied()), Some(raw * 2));
+            }
+            // keys_sorted is shard-count independent.
+            assert_eq!(t.keys_sorted().len(), 50);
+            let sorted: Vec<u64> = t.keys_sorted().iter().map(|t| t.raw()).collect();
+            assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    /// Satellite: per-shard occupancy counters are exact and lock-free.
+    #[test]
+    fn shard_occupancy_tracks_inserts_and_removes() {
+        let t: ShardedTable<u64> = ShardedTable::with_shards(4);
+        for raw in 0..16u64 {
+            t.insert(TxnId::new(raw), raw);
+        }
+        // 16 txns round-robin over 4 shards: perfectly balanced.
+        assert_eq!(t.shard_occupancy(), vec![4, 4, 4, 4]);
+        assert_eq!(t.max_shard_len(), 4);
+        // Remove everything owned by shard 2.
+        for raw in (0..16u64).filter(|r| shard_of(TxnId::new(*r), 4) == 2) {
+            t.remove(TxnId::new(raw));
+        }
+        assert_eq!(t.shard_occupancy(), vec![4, 4, 0, 4]);
+        assert_eq!(t.shard_len(2), 0);
+        assert_eq!(t.shard_len(99), 0, "out-of-range probe reads 0");
+        assert_eq!(t.len(), 12);
+        t.clear();
+        assert_eq!(t.shard_occupancy(), vec![0, 0, 0, 0]);
+    }
+
     /// The satellite's concurrent-access stress test: writer threads
     /// hammer disjoint key ranges while readers sweep the whole table;
-    /// the final content and the cached length must both be exact.
+    /// the final content and the cached lengths must both be exact.
     #[test]
     fn concurrent_access_stress() {
         let t: Arc<ShardedTable<u64>> = Arc::new(ShardedTable::new());
@@ -287,5 +408,7 @@ mod tests {
             n += 1;
         });
         assert_eq!(n, expected, "cached len disagrees with a full walk");
+        // The per-shard counters agree with the global one.
+        assert_eq!(t.shard_occupancy().iter().sum::<usize>(), expected);
     }
 }

@@ -57,7 +57,7 @@ pub mod participant;
 pub use action::{Action, TimerPurpose};
 pub use coordinator::plan::CommitPlan;
 pub use coordinator::select::select_mode;
-pub use coordinator::table::{ShardedTable, TABLE_SHARDS};
+pub use coordinator::table::{shard_of, ShardedTable, TABLE_SHARDS};
 pub use coordinator::Coordinator;
 pub use gateway::{GatewayParticipant, LegacyStore};
 pub use participant::Participant;

@@ -1,6 +1,7 @@
 //! Inter-thread messages.
 
-use acp_types::{Message, Outcome, TxnId, Vote};
+use acp_core::shard_of;
+use acp_types::{Message, Outcome, SiteId, TxnId, Vote};
 use crossbeam::channel::Sender;
 use std::time::Duration;
 
@@ -47,4 +48,46 @@ pub enum Envelope {
     },
     /// Orderly shutdown (the thread returns its final state).
     Shutdown,
+}
+
+impl Envelope {
+    /// The reactor shard that owns this envelope when it is addressed
+    /// to `to` in an `n_shards`-way partition, or `None` for envelopes
+    /// that must be broadcast to every shard.
+    ///
+    /// This is the multi-reactor's whole routing table:
+    ///
+    /// * participants and gateways live on one shard each —
+    ///   `(site − 1) mod n_shards` — so anything addressed to them has
+    ///   a unique owner;
+    /// * the coordinator (site 0) is *sliced* across every shard by
+    ///   transaction id ([`shard_of`]), so coordinator-bound envelopes
+    ///   route by the transaction they carry (a [`Envelope::ProtocolBatch`]
+    ///   routes by its first message — senders group batches per owner
+    ///   shard, so every message in a batch has the same owner);
+    /// * a coordinator crash and a shutdown have no transaction: every
+    ///   shard's coordinator slice is part of the one logical site 0,
+    ///   so those broadcast (`None`).
+    #[must_use]
+    pub fn owner_shard(&self, to: SiteId, n_shards: usize) -> Option<usize> {
+        if n_shards <= 1 {
+            return Some(0);
+        }
+        if to.raw() != 0 {
+            return match self {
+                Envelope::Shutdown => None,
+                _ => Some((to.raw() as usize - 1) % n_shards),
+            };
+        }
+        match self {
+            Envelope::Protocol(msg) => Some(shard_of(msg.payload.txn(), n_shards)),
+            Envelope::ProtocolBatch(msgs) => msgs
+                .first()
+                .map(|m| shard_of(m.payload.txn(), n_shards)),
+            Envelope::Apply { txn, .. }
+            | Envelope::SetIntent { txn, .. }
+            | Envelope::Commit { txn, .. } => Some(shard_of(*txn, n_shards)),
+            Envelope::Crash { .. } | Envelope::Shutdown => None,
+        }
+    }
 }

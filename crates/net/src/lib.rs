@@ -12,17 +12,22 @@
 //! the examples a "real system" feel: crash a site and its volatile
 //! state is really gone; only the files survive.
 //!
-//! Two backends share this crate:
+//! Three backends share this crate:
 //!
 //! * the **threaded** backend ([`Cluster`]) — one OS thread and one
-//!   crossbeam mailbox per site, and
+//!   crossbeam mailbox per site,
 //! * the **reactor** backend ([`ReactorCluster`]) — a single-threaded
 //!   event loop ([`reactor`]) that owns every site, fires timers off a
 //!   hashed [`timer::TimerWheel`], batches each site's forced writes
 //!   into one fsync per tick, and sustains thousands of concurrent
-//!   in-flight transactions (experiment E13).
+//!   in-flight transactions (experiment E13), and
+//! * the **multi-reactor** backend ([`MultiReactorCluster`]) — N
+//!   reactor shards ([`multi_reactor`]) connected by lock-free
+//!   mailboxes: the coordinator sliced by transaction id, participants
+//!   partitioned by site id, one fsync domain and timer wheel per
+//!   shard (experiment E14).
 //!
-//! Both drive the identical engines and emit byte-identical trace
+//! All drive the identical engines and emit byte-identical trace
 //! lines through the shared emission points in [`actor`].
 
 #![forbid(unsafe_code)]
@@ -31,11 +36,17 @@
 pub mod actor;
 pub mod cluster;
 pub mod envelope;
+pub mod multi_reactor;
 pub mod reactor;
 pub mod timer;
 
 pub use actor::{NetDelays, NetObs};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
 pub use envelope::Envelope;
-pub use reactor::{ReactorCluster, ReactorConfig, ReactorReport, ReactorStats};
+pub use multi_reactor::{
+    MultiReactorCluster, MultiReactorConfig, MultiReactorReport, ShardSummary,
+};
+pub use reactor::{
+    InflightGauge, ReactorCluster, ReactorConfig, ReactorReport, ReactorStats, SnapshotCadence,
+};
 pub use timer::{TimerId, TimerWheel};

@@ -43,10 +43,12 @@ use acp_engine::SiteEngine;
 use acp_obs::{MetricsRegistry, MetricsTimeline, ProtoLabel, ProtocolEvent, TraceSink};
 use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
 use acp_wal::tempdir::TempDir;
-use acp_wal::{FileLog, GroupCommitLog, GroupCommitStats};
+use acp_wal::{DomainStats, FileLog, FsyncDomain, GroupCommitLog, GroupCommitStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -110,10 +112,129 @@ pub struct ReactorStats {
     pub adaptive_forces: u64,
     /// Batches forced because their window expired or the tick ended.
     pub window_forces: u64,
-    /// Most client commits simultaneously awaiting a decision.
+    /// Most client commits simultaneously awaiting a decision *on this
+    /// reactor*. The aggregate across a multi-reactor cluster is the
+    /// shared [`InflightGauge`]'s peak, not the sum of these (shard
+    /// peaks need not coincide in time).
     pub max_inflight: usize,
     /// Decisions delivered to waiting clients.
     pub decisions_delivered: u64,
+    /// Envelopes handed to another reactor's mailbox (cross-shard
+    /// routing; always 0 on a single-reactor cluster).
+    pub mailbox_sends: u64,
+}
+
+impl ReactorStats {
+    /// Fold another reactor's loop counters into this aggregate: sums
+    /// everywhere except `max_inflight`, which is a per-shard peak and
+    /// maxes (see the field docs for the true cluster-wide aggregate).
+    pub fn merge(&mut self, other: &ReactorStats) {
+        self.ticks += other.ticks;
+        self.envelopes += other.envelopes;
+        self.timers_fired += other.timers_fired;
+        self.timers_cancelled += other.timers_cancelled;
+        self.adaptive_forces += other.adaptive_forces;
+        self.window_forces += other.window_forces;
+        self.max_inflight = self.max_inflight.max(other.max_inflight);
+        self.decisions_delivered += other.decisions_delivered;
+        self.mailbox_sends += other.mailbox_sends;
+    }
+}
+
+/// Deterministic composition of the two snapshot triggers.
+///
+/// The reactor can snapshot its metrics registry every
+/// `snapshot_every_ticks` working ticks, every
+/// `snapshot_every_commits` delivered decisions, or both. The two
+/// triggers compose with a pinned tie-break so merged multi-reactor
+/// timelines have a stable per-reactor snapshot sequence:
+///
+/// 1. Both triggers are evaluated once per working tick, tick trigger
+///    first (the tick count is the loop's own clock; commits are
+///    events within it).
+/// 2. When both fire on the same tick, exactly **one** snapshot is
+///    taken — the triggers coalesce, they never double-snapshot.
+/// 3. The pending-commit counter resets **only when the commit trigger
+///    itself fired**. A tick-triggered snapshot does not absorb
+///    pending commits, so the commit cadence is independent of the
+///    tick cadence: M delivered commits always produce
+///    `⌊M / snapshot_every_commits⌋` commit-trigger firings no matter
+///    how the tick trigger interleaves.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotCadence {
+    every_ticks: u64,
+    every_commits: u64,
+    commits_pending: u64,
+}
+
+impl SnapshotCadence {
+    /// A cadence from the two trigger periods (0 disables a trigger).
+    #[must_use]
+    pub fn new(every_ticks: u64, every_commits: u64) -> Self {
+        SnapshotCadence {
+            every_ticks,
+            every_commits,
+            commits_pending: 0,
+        }
+    }
+
+    /// Record `n` delivered decisions toward the commit trigger.
+    pub fn on_commits(&mut self, n: u64) {
+        self.commits_pending += n;
+    }
+
+    /// Evaluate both triggers at the end of working tick number
+    /// `ticks`. Returns whether to take (one) snapshot now.
+    pub fn on_tick(&mut self, ticks: u64) -> bool {
+        let by_ticks = self.every_ticks > 0 && ticks % self.every_ticks == 0;
+        let by_commits = self.every_commits > 0 && self.commits_pending >= self.every_commits;
+        if by_commits {
+            self.commits_pending = 0;
+        }
+        by_ticks || by_commits
+    }
+}
+
+/// Client commits currently awaiting a decision, shared by every
+/// reactor of a cluster: the `in_flight` aggregate the multi-reactor
+/// report exposes. Lock-free — one relaxed `fetch_add`/`fetch_sub` per
+/// commit plus a `fetch_max` to keep the high-water mark.
+#[derive(Debug, Default)]
+pub struct InflightGauge {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl InflightGauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One more commit in flight.
+    pub fn inc(&self) {
+        let now = self.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// `n` decisions delivered.
+    pub fn dec_by(&self, n: u64) {
+        self.cur.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Commits in flight right now.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Most commits ever simultaneously in flight across the whole
+    /// cluster.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
 }
 
 /// What [`ReactorCluster::shutdown`] hands back: the same report shape
@@ -123,6 +244,9 @@ pub struct ReactorReport {
     pub cluster: ClusterReport,
     /// Reactor loop counters.
     pub stats: ReactorStats,
+    /// This reactor's fsync-domain coalescing counters (all zero when
+    /// group commit is off — passthrough logs never stage a batch).
+    pub fsync: DomainStats,
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +281,12 @@ struct SiteHost {
     timer_ids: BTreeMap<u64, TimerId>,
     /// When the currently-open batch was first observed non-empty.
     batch_opened: Option<Instant>,
+    /// Suppress crash/recover *observability* (ACTA events + trace
+    /// lines) for this engine. Set on every coordinator slice except
+    /// shard 0's: the N slices are one logical site 0, and a broadcast
+    /// crash must read as ONE site crash in the history, not N. The
+    /// engines themselves still crash and recover normally.
+    quiet: bool,
 }
 
 impl SiteHost {
@@ -173,13 +303,40 @@ struct SiteState {
 /// Loop-wide mutable context threaded through dispatch.
 struct Ctx {
     wheel: TimerWheel<(SiteId, u64, TimerPurpose)>,
-    /// Site-to-site messages ready for delivery this tick.
+    /// Site-to-site messages ready for delivery this tick (owned by
+    /// this shard).
     local: VecDeque<(SiteId, Envelope)>,
     history: SharedHistory,
     delays: NetDelays,
     replies: BTreeMap<TxnId, Sender<Outcome>>,
     stats: ReactorStats,
     now: Instant,
+    /// This reactor's shard index in an `n_shards`-way partition.
+    shard: usize,
+    n_shards: usize,
+    /// Every reactor's injector (index = shard). `peers[shard]` is this
+    /// reactor's own injector and is never used — self-sends go through
+    /// `local`, which is what keeps the single-reactor hot path free of
+    /// channel traffic.
+    peers: Vec<Sender<(SiteId, Envelope)>>,
+    /// Per-shard fsync domain: one coalesced force round per turn.
+    domain: FsyncDomain,
+    /// Cluster-wide in-flight commit gauge (shared across shards).
+    inflight: Arc<InflightGauge>,
+}
+
+impl Ctx {
+    /// Hand an envelope to whichever reactor owns it: our own ready
+    /// queue, or a peer's lock-free mailbox.
+    fn route(&mut self, to: SiteId, envelope: Envelope) {
+        let owner = envelope.owner_shard(to, self.n_shards).unwrap_or(self.shard);
+        if owner == self.shard {
+            self.local.push_back((to, envelope));
+        } else {
+            self.stats.mailbox_sends += 1;
+            let _ = self.peers[owner].send((to, envelope));
+        }
+    }
 }
 
 /// Execute engine actions for one site; returns storage enforcements.
@@ -195,7 +352,7 @@ fn run_site_actions(host: &mut SiteHost, ctx: &mut Ctx, actions: Vec<Action>) ->
                     if let Some(obs) = &host.obs {
                         observe_send(obs, host.site, &msg);
                     }
-                    ctx.local.push_back((to, Envelope::Protocol(msg)));
+                    ctx.route(to, Envelope::Protocol(msg));
                 }
             }
             Action::SetTimer {
@@ -250,32 +407,48 @@ fn drain_cancellations(host: &mut SiteHost, ctx: &mut Ctx, retired: Vec<u64>) {
 /// Externalize a site's withheld sends (after its batch forced): emit
 /// their events, coalescing same-destination messages into one
 /// [`Envelope::ProtocolBatch`] exactly like the threaded backend.
+///
+/// Batches are keyed by *(owner shard, destination)*, not destination
+/// alone: messages to the coordinator route by transaction id, so two
+/// acks to site 0 may belong to different reactor slices and must not
+/// share an envelope. With one shard the key degenerates to the
+/// destination and the grouping (and therefore the trace) is identical
+/// to the single-reactor behavior.
 fn flush_sends(host: &mut SiteHost, ctx: &mut Ctx) {
     if host.deferred_sends.is_empty() {
         return;
     }
     let msgs = std::mem::take(&mut host.deferred_sends);
-    let mut by_dest: BTreeMap<SiteId, Vec<Message>> = BTreeMap::new();
+    let mut by_dest: BTreeMap<(usize, SiteId), Vec<Message>> = BTreeMap::new();
     for msg in msgs {
         if let Some(obs) = &host.obs {
             observe_send(obs, host.site, &msg);
         }
-        by_dest.entry(msg.to).or_default().push(msg);
+        let owner = if ctx.n_shards <= 1 {
+            0
+        } else if msg.to.raw() == 0 {
+            acp_core::shard_of(msg.payload.txn(), ctx.n_shards)
+        } else {
+            (msg.to.raw() as usize - 1) % ctx.n_shards
+        };
+        by_dest.entry((owner, msg.to)).or_default().push(msg);
     }
-    for (to, mut msgs) in by_dest {
+    for ((_, to), mut msgs) in by_dest {
         let envelope = if msgs.len() == 1 {
             Envelope::Protocol(msgs.pop().expect("one message"))
         } else {
             Envelope::ProtocolBatch(msgs)
         };
-        ctx.local.push_back((to, envelope));
+        ctx.route(to, envelope);
     }
 }
 
-/// Force a site's open batch and externalize its sends. `adaptive`
-/// marks the fast path for the stats split.
+/// Force a site's open batch — as a member of the shard's fsync
+/// domain, so the turn's forces across all member sites count as one
+/// coalesced force round — and externalize its sends. `adaptive` marks
+/// the fast path for the stats split.
 fn force_site_batch(host: &mut SiteHost, log: &mut NetLog, ctx: &mut Ctx, adaptive: bool) {
-    match log.commit_batch() {
+    match ctx.domain.force_member(log) {
         Ok(_) => {
             for b in log.take_closed() {
                 if b.occupancy >= 2 {
@@ -314,21 +487,25 @@ fn crash_volatile(host: &mut SiteHost, ctx: &mut Ctx) {
 // The reactor loop
 
 struct Reactor {
+    /// Sites owned by this shard. Index 0 is always this shard's
+    /// coordinator slice.
     sites: Vec<SiteState>,
+    /// Site id → index into `sites` (identity on a single reactor,
+    /// sparse on a shard that owns a subset).
+    owned: BTreeMap<SiteId, usize>,
     ctx: Ctx,
     config: ReactorConfig,
     rx: Receiver<(SiteId, Envelope)>,
     t0: Instant,
     registry: Option<Arc<MetricsRegistry>>,
     timeline: Option<Arc<MetricsTimeline>>,
-    commits_since_snapshot: u64,
+    cadence: SnapshotCadence,
     running: bool,
 }
 
 impl Reactor {
     fn site_index(&self, site: SiteId) -> Option<usize> {
-        let i = site.raw() as usize;
-        (i < self.sites.len()).then_some(i)
+        self.owned.get(&site).copied()
     }
 
     fn run(mut self) -> ReactorReport {
@@ -372,9 +549,11 @@ impl Reactor {
             }
             host.down_until = None;
             worked = true;
-            self.ctx.history.lock().push(ActaEvent::Recover { site: host.site });
-            if let Some(obs) = &host.obs {
-                observe_recover(obs, host.site);
+            if !host.quiet {
+                self.ctx.history.lock().push(ActaEvent::Recover { site: host.site });
+                if let Some(obs) = &host.obs {
+                    observe_recover(obs, host.site);
+                }
             }
             match task {
                 SiteTask::Coord { engine } => {
@@ -467,9 +646,11 @@ impl Reactor {
             Envelope::Shutdown => self.running = false,
             Envelope::Crash { down_for } => {
                 if host.down_until.is_none() {
-                    self.ctx.history.lock().push(ActaEvent::Crash { site });
-                    if let Some(obs) = &host.obs {
-                        observe_crash(obs, host.site);
+                    if !host.quiet {
+                        self.ctx.history.lock().push(ActaEvent::Crash { site });
+                        if let Some(obs) = &host.obs {
+                            observe_crash(obs, host.site);
+                        }
                     }
                     match task {
                         SiteTask::Coord { engine } => engine.crash(),
@@ -520,6 +701,7 @@ impl Reactor {
                     drop(reply);
                 } else {
                     self.ctx.replies.insert(txn, reply);
+                    self.ctx.inflight.inc();
                     self.ctx.stats.max_inflight =
                         self.ctx.stats.max_inflight.max(self.ctx.replies.len());
                     let actions = engine.begin_commit(txn, &participants);
@@ -621,6 +803,9 @@ impl Reactor {
                 force_site_batch(host, log, &mut self.ctx, adaptive);
             }
         }
+        // Turn boundary: the forces above were one coalesced round of
+        // this shard's fsync domain.
+        self.ctx.domain.end_round();
     }
 
     /// End-of-tick log GC. The threaded host lets the coordinator
@@ -665,21 +850,27 @@ impl Reactor {
         deliver_decisions(engine, &mut self.ctx.replies);
         let delivered = (before - self.ctx.replies.len()) as u64;
         self.ctx.stats.decisions_delivered += delivered;
-        self.commits_since_snapshot += delivered;
+        self.ctx.inflight.dec_by(delivered);
+        self.cadence.on_commits(delivered);
     }
 
     fn maybe_snapshot(&mut self) {
+        let take = self.cadence.on_tick(self.ctx.stats.ticks);
         let (Some(registry), Some(timeline)) = (&self.registry, &self.timeline) else {
             return;
         };
-        let by_ticks = self.config.snapshot_every_ticks > 0
-            && self.ctx.stats.ticks % self.config.snapshot_every_ticks == 0;
-        let by_commits = self.config.snapshot_every_commits > 0
-            && self.commits_since_snapshot >= self.config.snapshot_every_commits;
-        if by_ticks || by_commits {
+        if take {
+            // Sample the coordinator slice's protocol-table balance into
+            // the registry's high-water mark before copying the grid.
+            if let SiteTask::Coord { engine } = &self.sites[0].task {
+                registry.set_max(
+                    ProtoLabel::of_coordinator(self.config.cluster.kind),
+                    acp_obs::Counter::TablePeakShardOccupancy,
+                    engine.table_peak_shard_occupancy() as u64,
+                );
+            }
             let at_us = u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
             timeline.push(registry.snapshot(at_us));
-            self.commits_since_snapshot = 0;
         }
     }
 
@@ -768,8 +959,201 @@ impl Reactor {
                 physical_syncs,
             },
             stats: self.ctx.stats,
+            fsync: self.ctx.domain.stats(),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shard spawning
+
+/// Everything needed to build and run one reactor shard. The
+/// single-reactor [`ReactorCluster`] is the 1-shard special case;
+/// [`crate::multi_reactor::MultiReactorCluster`] builds N of these over
+/// one shared history, in-flight gauge and WAL directory.
+pub(crate) struct ShardSpec {
+    /// This shard's index.
+    pub shard: usize,
+    /// Total reactor count.
+    pub n_shards: usize,
+    /// Shared reactor configuration.
+    pub config: ReactorConfig,
+    /// This shard's injector: client envelopes and peer mail.
+    pub rx: Receiver<(SiteId, Envelope)>,
+    /// Every shard's injector, by shard index.
+    pub peers: Vec<Sender<(SiteId, Envelope)>>,
+    /// Cluster-wide ACTA history.
+    pub history: SharedHistory,
+    /// Cluster-wide in-flight commit gauge.
+    pub inflight: Arc<InflightGauge>,
+    /// Trace sink for this shard's sites (may differ per shard so each
+    /// shard can feed its own metrics registry).
+    pub sink: Option<Arc<dyn TraceSink>>,
+    /// Registry snapshotted into `timeline` on the snapshot cadence.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// This shard's snapshot timeline.
+    pub timeline: Option<Arc<MetricsTimeline>>,
+    /// Shared epoch for trace timestamps.
+    pub t0: Instant,
+    /// Override the coordinator slice's protocol-table shard count
+    /// (None keeps [`acp_core::TABLE_SHARDS`]).
+    pub table_shards: Option<usize>,
+}
+
+/// Build one shard's sites and start its event loop. The shard owns
+/// its coordinator slice (always at local index 0) plus the
+/// participants and gateways with `(site − 1) mod n_shards == shard`.
+/// `dir` is the WAL directory, shared across shards: participant files
+/// are disambiguated by site, coordinator slices by shard.
+pub(crate) fn spawn_shard(spec: ShardSpec, dir: &Path) -> JoinHandle<ReactorReport> {
+    let ShardSpec {
+        shard,
+        n_shards,
+        config,
+        rx,
+        peers,
+        history,
+        inflight,
+        sink,
+        registry,
+        timeline,
+        t0,
+        table_shards,
+    } = spec;
+    let obs_for = |proto: ProtoLabel| {
+        sink.as_ref().map(|s| NetObs {
+            sink: Arc::clone(s),
+            t0,
+            proto,
+        })
+    };
+    let cc = &config.cluster;
+    let wrap = |log: FileLog| {
+        if cc.group_commit {
+            GroupCommitLog::deferred(log)
+        } else {
+            GroupCommitLog::passthrough(log)
+        }
+    };
+    let host_for = |site: SiteId, obs: Option<NetObs>, defer: bool, quiet: bool| SiteHost {
+        site,
+        obs,
+        down_until: None,
+        last_decision_us: None,
+        defer_sends: defer,
+        deferred_sends: Vec::new(),
+        timer_ids: BTreeMap::new(),
+        batch_opened: None,
+        quiet,
+    };
+
+    let mut sites = Vec::new();
+    let mut owned = BTreeMap::new();
+    {
+        let mut engine = Coordinator::new(
+            ReactorCluster::COORDINATOR,
+            cc.kind,
+            wrap(FileLog::create(dir.join(format!("coord-{shard}.wal"))).expect("wal")),
+        );
+        if let Some(n) = table_shards {
+            engine.set_table_shards(n);
+        }
+        for (i, &p) in cc.participant_protocols.iter().enumerate() {
+            engine.register_site(SiteId::new(i as u32 + 1), p);
+        }
+        engine.set_track_cancellations(true);
+        // Per-decision auto-GC rewrites the retained log suffix on
+        // every finish — O(n²) I/O once thousands of transactions
+        // are in flight on this one thread. The reactor defers GC
+        // like it defers fsyncs: once per tick (`gc_turns`).
+        engine.auto_gc = false;
+        let defer = cc.group_commit;
+        owned.insert(ReactorCluster::COORDINATOR, sites.len());
+        sites.push(SiteState {
+            host: host_for(
+                ReactorCluster::COORDINATOR,
+                obs_for(ProtoLabel::of_coordinator(cc.kind)),
+                defer,
+                // N slices are one logical site 0; only shard 0's slice
+                // narrates crash/recover.
+                shard != 0,
+            ),
+            task: SiteTask::Coord { engine },
+        });
+    }
+    for (i, &proto) in cc.participant_protocols.iter().enumerate() {
+        if i % n_shards != shard {
+            continue; // another reactor owns this site
+        }
+        let site = SiteId::new(i as u32 + 1);
+        if cc.gateways.contains(&i) {
+            let engine = GatewayParticipant::new(
+                site,
+                proto,
+                FileLog::create(dir.join(format!("gw-{}.wal", site.raw()))).expect("wal"),
+                LegacyStore::new(),
+            );
+            owned.insert(site, sites.len());
+            sites.push(SiteState {
+                host: host_for(site, obs_for(ProtoLabel::Gateway), false, false),
+                task: SiteTask::Gateway { engine },
+            });
+        } else {
+            let mut engine = Participant::new(
+                site,
+                proto,
+                wrap(FileLog::create(dir.join(format!("part-{}.wal", site.raw()))).expect("wal")),
+            );
+            engine.set_track_cancellations(true);
+            let storage = SiteEngine::new(
+                FileLog::create(dir.join(format!("data-{}.wal", site.raw()))).expect("wal"),
+            );
+            owned.insert(site, sites.len());
+            sites.push(SiteState {
+                host: host_for(
+                    site,
+                    obs_for(ProtoLabel::of_participant(proto)),
+                    cc.group_commit,
+                    false,
+                ),
+                task: SiteTask::Part {
+                    engine,
+                    storage,
+                    forced_intents: BTreeMap::new(),
+                    poisoned: BTreeMap::new(),
+                },
+            });
+        }
+    }
+
+    let delays = cc.delays;
+    let cadence = SnapshotCadence::new(config.snapshot_every_ticks, config.snapshot_every_commits);
+    let reactor = Reactor {
+        sites,
+        owned,
+        ctx: Ctx {
+            wheel: TimerWheel::new(t0),
+            local: VecDeque::new(),
+            history,
+            delays,
+            replies: BTreeMap::new(),
+            stats: ReactorStats::default(),
+            now: t0,
+            shard,
+            n_shards,
+            peers,
+            domain: FsyncDomain::new(),
+            inflight,
+        },
+        config,
+        rx,
+        t0,
+        registry,
+        timeline,
+        cadence,
+        running: true,
+    };
+    std::thread::spawn(move || reactor.run())
 }
 
 // ---------------------------------------------------------------------------
@@ -823,131 +1207,33 @@ impl ReactorCluster {
         timeline: Option<Arc<MetricsTimeline>>,
     ) -> ReactorCluster {
         let t0 = Instant::now();
-        let obs_for = |proto: ProtoLabel| {
-            sink.as_ref().map(|s| NetObs {
-                sink: Arc::clone(s),
-                t0,
-                proto,
-            })
-        };
         let dir = TempDir::new("reactor").expect("tempdir");
-        let history: SharedHistory = Arc::new(Mutex::new(History::new()));
-        let cc = &config.cluster;
-        let wrap = |log: FileLog| {
-            if cc.group_commit {
-                GroupCommitLog::deferred(log)
-            } else {
-                GroupCommitLog::passthrough(log)
-            }
-        };
-        let host_for = |site: SiteId, obs: Option<NetObs>, defer: bool| SiteHost {
-            site,
-            obs,
-            down_until: None,
-            last_decision_us: None,
-            defer_sends: defer,
-            deferred_sends: Vec::new(),
-            timer_ids: BTreeMap::new(),
-            batch_opened: None,
-        };
-
-        let mut sites = Vec::new();
-        {
-            let mut engine = Coordinator::new(
-                Self::COORDINATOR,
-                cc.kind,
-                wrap(FileLog::create(dir.path().join("coord.wal")).expect("wal")),
-            );
-            for (i, &p) in cc.participant_protocols.iter().enumerate() {
-                engine.register_site(SiteId::new(i as u32 + 1), p);
-            }
-            engine.set_track_cancellations(true);
-            // Per-decision auto-GC rewrites the retained log suffix on
-            // every finish — O(n²) I/O once thousands of transactions
-            // are in flight on this one thread. The reactor defers GC
-            // like it defers fsyncs: once per tick (`gc_turns`).
-            engine.auto_gc = false;
-            let defer = cc.group_commit;
-            sites.push(SiteState {
-                host: host_for(
-                    Self::COORDINATOR,
-                    obs_for(ProtoLabel::of_coordinator(cc.kind)),
-                    defer,
-                ),
-                task: SiteTask::Coord { engine },
-            });
-        }
-        for (i, &proto) in cc.participant_protocols.iter().enumerate() {
-            let site = SiteId::new(i as u32 + 1);
-            if cc.gateways.contains(&i) {
-                let engine = GatewayParticipant::new(
-                    site,
-                    proto,
-                    FileLog::create(dir.path().join(format!("gw-{}.wal", site.raw())))
-                        .expect("wal"),
-                    LegacyStore::new(),
-                );
-                sites.push(SiteState {
-                    host: host_for(site, obs_for(ProtoLabel::Gateway), false),
-                    task: SiteTask::Gateway { engine },
-                });
-            } else {
-                let mut engine = Participant::new(
-                    site,
-                    proto,
-                    wrap(
-                        FileLog::create(dir.path().join(format!("part-{}.wal", site.raw())))
-                            .expect("wal"),
-                    ),
-                );
-                engine.set_track_cancellations(true);
-                let storage = SiteEngine::new(
-                    FileLog::create(dir.path().join(format!("data-{}.wal", site.raw())))
-                        .expect("wal"),
-                );
-                sites.push(SiteState {
-                    host: host_for(site, obs_for(ProtoLabel::of_participant(proto)), cc.group_commit),
-                    task: SiteTask::Part {
-                        engine,
-                        storage,
-                        forced_intents: BTreeMap::new(),
-                        poisoned: BTreeMap::new(),
-                    },
-                });
-            }
-        }
-
         let (tx, rx) = unbounded();
-        let n_sites = sites.len();
-        let reactor = Reactor {
-            sites,
-            ctx: Ctx {
-                wheel: TimerWheel::new(t0),
-                local: VecDeque::new(),
-                history,
-                delays: cc.delays,
-                replies: BTreeMap::new(),
-                stats: ReactorStats::default(),
-                now: t0,
+        let handle = spawn_shard(
+            ShardSpec {
+                shard: 0,
+                n_shards: 1,
+                config: config.clone(),
+                rx,
+                peers: vec![tx.clone()],
+                history: Arc::new(Mutex::new(History::new())),
+                inflight: Arc::new(InflightGauge::new()),
+                sink,
+                registry,
+                timeline,
+                t0,
+                table_shards: None,
             },
-            config: config.clone(),
-            rx,
-            t0,
-            registry,
-            timeline,
-            commits_since_snapshot: 0,
-            running: true,
-        };
-        let handle = std::thread::spawn(move || reactor.run());
+            dir.path(),
+        );
         ReactorCluster {
             tx,
             handle,
             next_txn: 1,
-            n_sites,
+            n_sites: config.cluster.participant_protocols.len() + 1,
             _dir: dir,
         }
     }
-
     /// Allocate a fresh transaction id.
     pub fn next_txn(&mut self) -> TxnId {
         let t = TxnId::new(self.next_txn);

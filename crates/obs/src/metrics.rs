@@ -69,11 +69,17 @@ pub enum Counter {
     /// shared forces). `BatchOccupancy / BatchedForces` is the mean
     /// multi-transaction batch size.
     BatchOccupancy,
+    /// Peak occupancy observed in any single shard of the coordinator's
+    /// protocol table (a high-water mark fed with
+    /// [`MetricsRegistry::set_max`], not an accumulating sum). Reactor
+    /// hosts sample it per tick; the E14 report uses it to show table
+    /// load stays balanced across reactor shards.
+    TablePeakShardOccupancy,
 }
 
 impl Counter {
     /// All counters, in JSON-dump order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 23] = [
         Counter::ForcedWrites,
         Counter::LazyWrites,
         Counter::MsgsSent,
@@ -96,6 +102,7 @@ impl Counter {
         Counter::Recoveries,
         Counter::BatchedForces,
         Counter::BatchOccupancy,
+        Counter::TablePeakShardOccupancy,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -124,6 +131,7 @@ impl Counter {
             Counter::Recoveries => "recoveries",
             Counter::BatchedForces => "batched_forces",
             Counter::BatchOccupancy => "batch_occupancy",
+            Counter::TablePeakShardOccupancy => "table_peak_shard_occupancy",
         }
     }
 
@@ -168,6 +176,14 @@ impl MetricsRegistry {
     #[must_use]
     pub fn get(&self, proto: ProtoLabel, counter: Counter) -> u64 {
         self.cells[proto.index()][counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Raise one counter to at least `v` (atomic `fetch_max`). For
+    /// high-water-mark counters like
+    /// [`Counter::TablePeakShardOccupancy`], where the registry cell
+    /// records the largest value ever observed rather than a sum.
+    pub fn set_max(&self, proto: ProtoLabel, counter: Counter, v: u64) {
+        self.cells[proto.index()][counter.index()].fetch_max(v, Ordering::Relaxed);
     }
 
     /// Absorb one event into the grid.
@@ -378,6 +394,31 @@ impl MetricsTimeline {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
+
+    /// Merge several per-reactor timelines into one deterministic
+    /// sequence, each snapshot tagged with the index of the timeline it
+    /// came from. Order is total and stable: ascending `at_us`, ties
+    /// broken by timeline index, then by push order within a timeline —
+    /// so N reactors whose clocks coincide always interleave the same
+    /// way, and re-merging the same timelines is byte-identical. This is
+    /// the multi-reactor report's metrics surface: per-shard registries
+    /// snapshot independently, one merged timeline comes out.
+    #[must_use]
+    pub fn merged(timelines: &[&MetricsTimeline]) -> Vec<(usize, MetricsSnapshot)> {
+        let mut all: Vec<(usize, usize, MetricsSnapshot)> = Vec::new();
+        for (ti, tl) in timelines.iter().enumerate() {
+            for (pi, snap) in tl.snapshots().into_iter().enumerate() {
+                all.push((ti, pi, snap));
+            }
+        }
+        all.sort_by(|a, b| {
+            a.2.at_us
+                .cmp(&b.2.at_us)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        all.into_iter().map(|(ti, _, snap)| (ti, snap)).collect()
+    }
 }
 
 fn kind_counter(kind: &str) -> Option<Counter> {
@@ -530,6 +571,33 @@ mod tests {
         assert_eq!(tl.len(), 2);
         assert_eq!(snaps[0], s1);
         assert!(snaps[1].at_us > snaps[0].at_us);
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let r = MetricsRegistry::new();
+        let c = Counter::TablePeakShardOccupancy;
+        r.set_max(ProtoLabel::PrAny, c, 3);
+        r.set_max(ProtoLabel::PrAny, c, 7);
+        r.set_max(ProtoLabel::PrAny, c, 5); // lower sample does not regress the peak
+        assert_eq!(r.get(ProtoLabel::PrAny, c), 7);
+    }
+
+    #[test]
+    fn merged_timelines_order_by_time_then_timeline_then_push() {
+        let r = MetricsRegistry::new();
+        let a = MetricsTimeline::new();
+        let b = MetricsTimeline::new();
+        a.push(r.snapshot(100));
+        a.push(r.snapshot(300));
+        b.push(r.snapshot(100)); // at_us tie with a's first snapshot
+        b.push(r.snapshot(200));
+        let merged = MetricsTimeline::merged(&[&a, &b]);
+        let order: Vec<(usize, u64)> = merged.iter().map(|(ti, s)| (*ti, s.at_us)).collect();
+        // Tie at 100 µs resolves to timeline 0 first; the rest by time.
+        assert_eq!(order, vec![(0, 100), (1, 100), (1, 200), (0, 300)]);
+        // Re-merging is byte-identical (determinism).
+        assert_eq!(MetricsTimeline::merged(&[&a, &b]), merged);
     }
 
     #[test]

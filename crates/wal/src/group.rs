@@ -337,6 +337,132 @@ impl<L: StableLog> StableLog for GroupCommitLog<L> {
 }
 
 // ---------------------------------------------------------------------
+// Per-shard fsync domains.
+// ---------------------------------------------------------------------
+
+/// Coalescing counters for one [`FsyncDomain`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Force rounds completed (turns in which at least one member site
+    /// committed a deferred batch). The domain's coalescing claim is
+    /// `rounds ≪ records`: one round per shard turn no matter how many
+    /// transactions forced in it.
+    pub rounds: u64,
+    /// Rounds led: the first member batch committed in each round. By
+    /// construction `leader_flushes == rounds`.
+    pub leader_flushes: u64,
+    /// Member batches that joined a round already opened by a leader —
+    /// forces that ride the round instead of starting one.
+    pub follower_flushes: u64,
+    /// Staged records made durable through the domain (sum of member
+    /// batch occupancies).
+    pub records: u64,
+    /// Largest number of member sites in a single round.
+    pub max_members: u64,
+    /// Rounds with exactly one member (no cross-site coalescing — the
+    /// degenerate case a lone transaction produces).
+    pub solo_rounds: u64,
+}
+
+impl DomainStats {
+    /// Fold another shard's domain counters into this aggregate.
+    pub fn merge(&mut self, other: &DomainStats) {
+        self.rounds += other.rounds;
+        self.leader_flushes += other.leader_flushes;
+        self.follower_flushes += other.follower_flushes;
+        self.records += other.records;
+        self.max_members = self.max_members.max(other.max_members);
+        self.solo_rounds += other.solo_rounds;
+    }
+}
+
+/// A per-shard fsync domain: the single-owner analogue of
+/// [`SharedGroupLog`]'s leader election for event-loop hosts where one
+/// reactor thread owns several sites, each with its own deferred
+/// [`GroupCommitLog`].
+///
+/// At the end of a reactor turn every member site with staged records
+/// commits its batch **through the domain**
+/// ([`FsyncDomain::force_member`]). The first member in the round is
+/// the *leader* — exactly as the first staged appender is in
+/// [`SharedGroupLog`], just elected by turn order instead of by lock
+/// acquisition, because shard single-threadedness already serializes
+/// the members. Remaining members are followers whose forces ride the
+/// same round. [`FsyncDomain::end_round`] seals the round at the turn
+/// boundary.
+///
+/// The domain is an *accounting* layer over the member logs' real
+/// deferral: each member's `commit_batch` still performs its own
+/// physical flush (members keep independent WAL files so per-site crash
+/// and recovery semantics are untouched), and the round structure
+/// records what a shared commit device would have coalesced — one
+/// leader force per shard turn. E14 reports one `DomainStats` per
+/// shard to prove each shard is one coalesced force domain.
+#[derive(Debug, Default)]
+pub struct FsyncDomain {
+    stats: DomainStats,
+    /// Member batches committed in the currently open round.
+    open_members: u64,
+}
+
+impl FsyncDomain {
+    /// A fresh domain with no open round.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit one member log's deferred batch as part of the current
+    /// force round, opening the round if this is its first member.
+    /// Returns the member's closed batch (None if it had nothing
+    /// staged — an empty member never joins the round).
+    pub fn force_member<L: StableLog>(
+        &mut self,
+        log: &mut GroupCommitLog<L>,
+    ) -> Result<Option<ClosedBatch>, WalError> {
+        let closed = log.commit_batch()?;
+        if let Some(batch) = closed {
+            if self.open_members == 0 {
+                self.stats.leader_flushes += 1;
+            } else {
+                self.stats.follower_flushes += 1;
+            }
+            self.open_members += 1;
+            self.stats.records += batch.occupancy;
+        }
+        Ok(closed)
+    }
+
+    /// Seal the current force round (the reactor calls this once per
+    /// turn, after every member site has had its chance to force). A
+    /// round with no members is not counted.
+    pub fn end_round(&mut self) {
+        if self.open_members > 0 {
+            self.stats.rounds += 1;
+            self.stats.max_members = self.stats.max_members.max(self.open_members);
+            if self.open_members == 1 {
+                self.stats.solo_rounds += 1;
+            }
+            self.open_members = 0;
+        }
+    }
+
+    /// Is a force round currently open (members committed, round not yet
+    /// sealed)?
+    #[must_use]
+    pub fn round_open(&self) -> bool {
+        self.open_members > 0
+    }
+
+    /// Coalescing counters. Call after [`FsyncDomain::end_round`] for a
+    /// turn-consistent view.
+    #[must_use]
+    pub fn stats(&self) -> DomainStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
 // Threaded leader/follower handshake.
 // ---------------------------------------------------------------------
 
@@ -594,6 +720,71 @@ mod tests {
         assert_eq!(lost, 1, "the staged record is lost");
         assert_eq!(log.records().unwrap().len(), 1);
         assert_eq!(log.group_stats().batches, 1, "the dead batch never counted");
+    }
+
+    #[test]
+    fn fsync_domain_elects_one_leader_per_round() {
+        let mut domain = FsyncDomain::new();
+        let mut coord = GroupCommitLog::deferred(MemLog::new());
+        let mut part = GroupCommitLog::deferred(MemLog::new());
+        let mut idle = GroupCommitLog::deferred(MemLog::new());
+
+        // Round 1: both active members force; the idle one stays out.
+        coord.append_forced_batched(end(1)).unwrap();
+        coord.append_forced_batched(end(2)).unwrap();
+        part.append_forced_batched(end(1)).unwrap();
+        assert!(domain.force_member(&mut coord).unwrap().is_some());
+        assert!(domain.round_open());
+        assert!(domain.force_member(&mut part).unwrap().is_some());
+        assert!(domain.force_member(&mut idle).unwrap().is_none());
+        domain.end_round();
+        assert!(!domain.round_open());
+
+        // Round 2: a lone member — the solo (no-coalescing) case.
+        part.append_forced_batched(end(2)).unwrap();
+        domain.force_member(&mut part).unwrap();
+        domain.end_round();
+        // A memberless turn counts no round.
+        domain.end_round();
+
+        let s = domain.stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.leader_flushes, 2, "exactly one leader per round");
+        assert_eq!(s.follower_flushes, 1);
+        assert_eq!(s.records, 4, "3 staged records in round 1, 1 in round 2");
+        assert_eq!(s.max_members, 2);
+        assert_eq!(s.solo_rounds, 1);
+        // The member logs really are durable (the domain does not defer
+        // beyond the member commit).
+        assert_eq!(coord.records().unwrap().len(), 2);
+        assert_eq!(part.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fsync_domain_stats_merge_across_shards() {
+        let mut a = DomainStats {
+            rounds: 3,
+            leader_flushes: 3,
+            follower_flushes: 2,
+            records: 9,
+            max_members: 2,
+            solo_rounds: 1,
+        };
+        let b = DomainStats {
+            rounds: 1,
+            leader_flushes: 1,
+            follower_flushes: 0,
+            records: 1,
+            max_members: 3,
+            solo_rounds: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.leader_flushes, 4);
+        assert_eq!(a.follower_flushes, 2);
+        assert_eq!(a.records, 10);
+        assert_eq!(a.max_members, 3);
+        assert_eq!(a.solo_rounds, 2);
     }
 
     #[test]

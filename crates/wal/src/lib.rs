@@ -49,7 +49,9 @@ pub use error::WalError;
 pub use fault::{Fault, FaultyLog, RecoveryReport};
 pub use file::FileLog;
 pub use gc::GcTracker;
-pub use group::{ClosedBatch, GroupCommitLog, GroupCommitStats, SharedGroupLog};
+pub use group::{
+    ClosedBatch, DomainStats, FsyncDomain, GroupCommitLog, GroupCommitStats, SharedGroupLog,
+};
 pub use mem::MemLog;
 pub use observe::ObservedLog;
 pub use record::{LogRecord, Lsn, WalStats};

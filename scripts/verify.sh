@@ -64,6 +64,15 @@ echo "== runtime smoke: reactor vs threaded backends (correctness slice)"
 # (BENCH_runtime.json) is regenerated manually, not here.
 ACP_RUNTIME_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_runtime | tail -3
 
+echo "== multi-reactor smoke: sharded event loop (determinism + E14 slice)"
+# Small fixed workload at 1 and 2 reactors: every transaction must
+# commit, cross-shard mailboxes must carry real traffic at N = 2, every
+# shard must stream metrics snapshots and its fsync domain must
+# coalesce. 1-vs-N trace/counter determinism is pinned by
+# tests/multi_reactor.rs in the suite above. The machine-timed campaign
+# (BENCH_multi_reactor.json) is regenerated manually, not here.
+ACP_MULTI_REACTOR_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_multi_reactor | tail -3
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

@@ -68,7 +68,10 @@ pub mod prelude {
         run_scenario, run_scenario_with_sink, Scenario, ScenarioOutcome, TimerDelays, TxnSpec,
     };
     pub use acp_core::{select_mode, Action, CommitPlan, Coordinator, Participant};
-    pub use acp_net::{Cluster, ClusterConfig, ReactorCluster, ReactorConfig};
+    pub use acp_net::{
+        Cluster, ClusterConfig, MultiReactorCluster, MultiReactorConfig, ReactorCluster,
+        ReactorConfig,
+    };
     pub use acp_obs::{
         CountingSink, MetricsRegistry, MetricsTimeline, ProtoLabel, ProtocolEvent, TraceSink,
         VecSink,

@@ -1,0 +1,455 @@
+//! End-to-end tests of the sharded multi-reactor runtime (experiment
+//! E14): N event-loop threads over the same sans-IO engines, with
+//! 1-vs-N determinism, trace parity, cost parity, crash semantics and
+//! fsync-domain coalescing checks.
+
+use presumed_any::net::{NetDelays, SnapshotCadence};
+use presumed_any::obs::{event_to_json, parse_flat_json, Counter, JsonValue};
+use presumed_any::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn mixed_multi(reactors: usize) -> MultiReactorConfig {
+    MultiReactorConfig::new(
+        ReactorConfig::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC],
+        ),
+        reactors,
+    )
+}
+
+/// Delays so large that any timer firing in a clean run is a bug; the
+/// protocol must make progress purely on message flow.
+fn glacial() -> NetDelays {
+    NetDelays {
+        vote_timeout: Duration::from_secs(60),
+        ack_resend: Duration::from_secs(60),
+        inquiry_retry: Duration::from_secs(60),
+        apply_retry: Duration::from_secs(60),
+    }
+}
+
+/// Per-site event lines with the wall-clock fields masked out (same
+/// projection as the single-reactor parity tests: per-site
+/// subsequences are totally ordered; the cross-site interleaving is
+/// scheduling noise).
+fn masked_site_traces(events: &[ProtocolEvent]) -> BTreeMap<u64, Vec<String>> {
+    let mut by_site: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for ev in events {
+        let mut map = parse_flat_json(&event_to_json(ev)).expect("trace dialect");
+        map.remove("at_us");
+        map.remove("since_decision_us");
+        let site = map["site"].as_u64().expect("site field");
+        let line = map
+            .iter()
+            .map(|(k, v)| match v {
+                JsonValue::Num(n) => format!("\"{k}\":{n}"),
+                JsonValue::Str(s) => format!("\"{k}\":{s:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        by_site.entry(site).or_default().push(format!("{{{line}}}"));
+    }
+    by_site
+}
+
+#[test]
+fn multi_reactor_commit_applies_data_at_all_participants() {
+    let mut cluster = MultiReactorCluster::spawn(&mixed_multi(3));
+    assert_eq!(cluster.reactors(), 3);
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"balance", b"100");
+    }
+    assert_eq!(cluster.commit(txn, &parts), Some(Outcome::Commit));
+    cluster.settle(Duration::from_millis(300));
+    let report = cluster.shutdown();
+    assert!(check_atomicity(&report.cluster.history).is_empty());
+    for s in &report.cluster.sites {
+        if s.site != MultiReactorCluster::COORDINATOR {
+            assert_eq!(
+                s.committed.get(b"balance".as_slice()).map(Vec::as_slice),
+                Some(b"100".as_slice()),
+                "site {}",
+                s.site
+            );
+        }
+    }
+    assert_eq!(report.cluster.coordinator_table_size, 0);
+    assert_eq!(report.per_shard.len(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: byte-identical single-transaction traces per shard
+
+/// One clean transaction over a single participant must produce the
+/// same per-site trace, byte for byte modulo timestamps, on the
+/// single-reactor backend and on the multi-reactor backend at
+/// N ∈ {1, 2, 4} — the partition moves work across threads but may
+/// not change what any site does.
+#[test]
+fn single_txn_traces_byte_identical_at_any_reactor_count() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let protos = [ProtocolKind::PrA];
+
+    let baseline = {
+        let sink = Arc::new(VecSink::new());
+        let mut cluster = ReactorCluster::spawn_with_sink(
+            &ReactorConfig::new(kind, &protos),
+            Arc::clone(&sink) as _,
+        );
+        let txn = cluster.next_txn();
+        let parts = cluster.participants();
+        cluster.apply(parts[0], txn, b"k", b"v");
+        assert_eq!(cluster.commit(txn, &parts), Some(Outcome::Commit));
+        cluster.settle(Duration::from_millis(300));
+        let _ = cluster.shutdown();
+        masked_site_traces(&sink.snapshot())
+    };
+
+    for n in [1usize, 2, 4] {
+        let sink = Arc::new(VecSink::new());
+        let config = MultiReactorConfig::new(ReactorConfig::new(kind, &protos), n);
+        let mut cluster = MultiReactorCluster::spawn_with_sink(&config, Arc::clone(&sink) as _);
+        let txn = cluster.next_txn();
+        let parts = cluster.participants();
+        cluster.apply(parts[0], txn, b"k", b"v");
+        assert_eq!(cluster.commit(txn, &parts), Some(Outcome::Commit));
+        cluster.settle(Duration::from_millis(300));
+        let _ = cluster.shutdown();
+        let traces = masked_site_traces(&sink.snapshot());
+        assert_eq!(
+            baseline.keys().collect::<Vec<_>>(),
+            traces.keys().collect::<Vec<_>>(),
+            "N={n}: same sites traced"
+        );
+        for (site, lines) in &baseline {
+            assert_eq!(
+                lines, &traces[site],
+                "N={n}, site {site}: trace diverged from single-reactor backend"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: deterministic outcomes and identical cost counters 1 vs N
+
+/// The same deterministic transaction set — disjoint keys, a fixed
+/// subset forced to vote No — must produce identical per-transaction
+/// outcomes and identical aggregate protocol cost counters on 1, 2 and
+/// 4 reactors. Scheduling-dependent amortization counters (batch
+/// composition, GC run granularity, wall-clock latency) are excluded;
+/// every protocol-action counter must match exactly.
+#[test]
+fn stress_outcomes_and_cost_counters_identical_1_vs_n_reactors() {
+    const TXNS: u64 = 48;
+    let run = |n: usize| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(CountingSink::new(Arc::clone(&registry)));
+        let mut config = mixed_multi(n);
+        config.reactor.cluster.delays = glacial();
+        config.reactor.cluster.group_commit = true;
+        let mut cluster = MultiReactorCluster::spawn_with_sink(&config, sink as _);
+        let parts = cluster.participants();
+        let mut pending = Vec::new();
+        for i in 0..TXNS {
+            let txn = cluster.next_txn();
+            for &p in &parts {
+                cluster.apply(p, txn, format!("key-{i}").as_bytes(), b"v");
+            }
+            if i % 7 == 3 {
+                cluster.set_intent(parts[0], txn, Vote::No);
+            }
+            pending.push((txn, cluster.commit_async(txn, &parts)));
+        }
+        let outcomes: Vec<(TxnId, Outcome)> = pending
+            .into_iter()
+            .map(|(txn, rx)| {
+                (
+                    txn,
+                    rx.recv_timeout(Duration::from_secs(30)).expect("decision"),
+                )
+            })
+            .collect();
+        cluster.settle(Duration::from_millis(500));
+        let report = cluster.shutdown();
+        assert!(check_atomicity(&report.cluster.history).is_empty());
+        assert_eq!(
+            report.cluster.coordinator_table_size, 0,
+            "N={n}: records left unreclaimed"
+        );
+        (outcomes, registry, report)
+    };
+
+    let (outcomes_1, registry_1, _) = run(1);
+    assert_eq!(
+        outcomes_1.iter().filter(|(_, o)| *o == Outcome::Abort).count(),
+        (0..TXNS).filter(|i| i % 7 == 3).count(),
+        "forced aborts present in the baseline"
+    );
+    for n in [2usize, 4] {
+        let (outcomes_n, registry_n, report) = run(n);
+        assert_eq!(
+            outcomes_1, outcomes_n,
+            "N={n}: per-transaction outcomes diverged from single reactor"
+        );
+        assert!(
+            report.stats.mailbox_sends > 0,
+            "N={n}: partition never exercised a cross-shard mailbox"
+        );
+        for proto in ProtoLabel::ALL {
+            for counter in Counter::ALL {
+                match counter {
+                    // Wall-clock and amortization accounting is
+                    // scheduling-dependent by nature: batch composition
+                    // and GC-run granularity change with the partition
+                    // while the underlying protocol actions do not.
+                    Counter::GcLatencyUsSum
+                    | Counter::GcLatencySamples
+                    | Counter::GcRuns
+                    | Counter::BatchedForces
+                    | Counter::BatchOccupancy
+                    | Counter::TablePeakShardOccupancy => continue,
+                    _ => {}
+                }
+                assert_eq!(
+                    registry_1.get(proto, counter),
+                    registry_n.get(proto, counter),
+                    "N={n}: {proto:?}/{counter:?} diverged from single reactor"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash semantics across the partition
+
+/// A participant crash is owned by exactly one shard: its staged
+/// records and withheld sends drop together there, and the cluster
+/// still reaches an atomic outcome.
+#[test]
+fn participant_crash_on_its_owning_shard_still_atomic() {
+    let mut cluster = MultiReactorCluster::spawn(&mixed_multi(2));
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"x", b"1");
+    }
+    let _ = cluster.commit_async(txn, &parts);
+    // Site 2 lives on shard (2 − 1) mod 2 = 1; the coordinator slice
+    // for txn 1 lives on shard 1 mod 2 = 1 as well — the crash and the
+    // decision race on one shard while shard 0's sites keep running.
+    cluster.crash(parts[1], Duration::from_millis(300));
+    cluster.settle(Duration::from_millis(2_500));
+    let report = cluster.shutdown();
+    let v = check_atomicity(&report.cluster.history);
+    assert!(v.is_empty(), "{v:?}");
+    let datasets: Vec<_> = report
+        .cluster
+        .sites
+        .iter()
+        .filter(|s| s.site != MultiReactorCluster::COORDINATOR)
+        .map(|s| s.committed.clone())
+        .collect();
+    for d in &datasets[1..] {
+        assert_eq!(&datasets[0], d, "data diverged");
+    }
+}
+
+/// Crashing the coordinator crashes every slice of it, but the N
+/// slices are one logical site: the trace must record exactly one
+/// crash and one recovery, and the cluster must converge.
+#[test]
+fn coordinator_crash_broadcasts_to_all_slices_as_one_logical_crash() {
+    let sink = Arc::new(VecSink::new());
+    let mut cluster = MultiReactorCluster::spawn_with_sink(&mixed_multi(2), Arc::clone(&sink) as _);
+    let parts = cluster.participants();
+    let txn = cluster.next_txn();
+    for &p in &parts {
+        cluster.apply(p, txn, b"k", b"v");
+    }
+    let _ = cluster.commit_async(txn, &parts);
+    cluster.crash(MultiReactorCluster::COORDINATOR, Duration::from_millis(200));
+    cluster.settle(Duration::from_secs(3));
+    let report = cluster.shutdown();
+    let v = check_atomicity(&report.cluster.history);
+    assert!(v.is_empty(), "{v:?}");
+    let events = sink.snapshot();
+    let crashes = events
+        .iter()
+        .filter(|e| matches!(e, ProtocolEvent::CrashObserved { .. }))
+        .count();
+    let restarts = events
+        .iter()
+        .filter(|e| {
+            matches!(e, ProtocolEvent::RecoveryStep { detail, .. }
+                if detail.starts_with("site back up"))
+        })
+        .count();
+    assert_eq!(crashes, 1, "N slices crashed as one logical site");
+    assert_eq!(restarts, 1, "N slices recovered as one logical site");
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard fsync domains
+
+/// Under concurrent load with group commit on, each shard is one
+/// coalesced force domain: per turn one member leads the round and the
+/// rest follow, so rounds stay far below the records they flush and
+/// physical syncs stay below logical forces.
+#[test]
+fn each_shard_is_one_coalesced_fsync_domain() {
+    let mut config = mixed_multi(2);
+    config.reactor.cluster.delays = glacial();
+    config.reactor.cluster.group_commit = true;
+    let mut cluster = MultiReactorCluster::spawn(&config);
+    let parts = cluster.participants();
+    const N: usize = 128;
+    let mut pending = Vec::with_capacity(N);
+    for i in 0..N {
+        let txn = cluster.next_txn();
+        for &p in &parts {
+            cluster.apply(p, txn, format!("key-{i}").as_bytes(), b"v");
+        }
+        pending.push((txn, cluster.commit_async(txn, &parts)));
+    }
+    for (txn, rx) in pending {
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).ok(),
+            Some(Outcome::Commit),
+            "txn {txn}"
+        );
+    }
+    cluster.settle(Duration::from_millis(300));
+    let report = cluster.shutdown();
+    assert!(check_atomicity(&report.cluster.history).is_empty());
+    assert_eq!(report.stats.decisions_delivered, N as u64);
+    assert!(
+        report.max_inflight > 16,
+        "expected genuinely concurrent transactions, peak in-flight was {}",
+        report.max_inflight
+    );
+    for s in &report.per_shard {
+        assert!(
+            s.fsync.rounds > 0,
+            "shard {}: no force rounds despite committing load",
+            s.shard
+        );
+        assert!(
+            s.fsync.records >= s.fsync.rounds,
+            "shard {}: {:?}",
+            s.shard,
+            s.fsync
+        );
+    }
+    // Coalescing proof: members joined rounds another member led, and
+    // round count is well below the records flushed through them.
+    assert!(
+        report.fsync.follower_flushes > 0,
+        "no member ever joined a round it did not lead: {:?}",
+        report.fsync
+    );
+    assert!(
+        report.fsync.rounds < report.fsync.records,
+        "rounds should amortize records: {:?}",
+        report.fsync
+    );
+    assert!(
+        report.cluster.physical_syncs < report.cluster.logical_forces,
+        "batching should amortize forces: {} physical vs {} logical",
+        report.cluster.physical_syncs,
+        report.cluster.logical_forces
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Observability: merged timelines and cadence composition
+
+/// Per-reactor metrics timelines merge into one deterministic
+/// sequence, tagged by shard, time-ordered within each shard.
+#[test]
+fn observed_cluster_merges_per_reactor_timelines() {
+    let mut config = mixed_multi(2);
+    config.reactor.cluster.delays = glacial();
+    config.reactor.snapshot_every_commits = 1;
+    let mut cluster = MultiReactorCluster::spawn_observed(&config, None);
+    let parts = cluster.participants();
+    const TXNS: u64 = 6;
+    for i in 0..TXNS {
+        let txn = cluster.next_txn();
+        for &p in &parts {
+            cluster.apply(p, txn, format!("k{i}").as_bytes(), b"v");
+        }
+        assert_eq!(cluster.commit(txn, &parts), Some(Outcome::Commit));
+    }
+    cluster.settle(Duration::from_millis(200));
+    let report = cluster.shutdown();
+    assert_eq!(report.registries.len(), 2);
+    assert!(
+        report.timeline.len() >= 2,
+        "expected in-run snapshots from the shards, got {}",
+        report.timeline.len()
+    );
+    for (shard, _) in &report.timeline {
+        assert!(*shard < 2, "shard tag out of range");
+    }
+    let mut last_at: BTreeMap<usize, u64> = BTreeMap::new();
+    for (shard, snap) in &report.timeline {
+        if let Some(prev) = last_at.insert(*shard, snap.at_us) {
+            assert!(prev <= snap.at_us, "shard {shard}: time ran backwards");
+        }
+    }
+    // Cluster-wide decision total is the per-cell sum over shard
+    // registries — and every decision was snapshotted somewhere.
+    let decisions: u64 = report
+        .registries
+        .iter()
+        .map(|r| r.snapshot(0).total(Counter::DecisionsReached))
+        .sum();
+    assert_eq!(decisions, TXNS);
+}
+
+/// Satellite pin: the two snapshot triggers compose deterministically.
+/// Tick trigger first, both firing coalesce into one snapshot, and the
+/// pending-commit counter resets only when the commit trigger itself
+/// fired — M delivered commits always produce ⌊M / every_commits⌋
+/// commit firings no matter how tick snapshots interleave.
+#[test]
+fn snapshot_cadence_composes_tick_and_commit_triggers() {
+    // Both triggers fire on the same tick: exactly one snapshot, and
+    // the commit counter is consumed.
+    let mut c = SnapshotCadence::new(2, 3);
+    c.on_commits(3);
+    assert!(c.on_tick(2), "tick multiple + commit threshold → snapshot");
+    assert!(!c.on_tick(3), "both triggers consumed");
+
+    // A tick-triggered snapshot must NOT absorb pending commits: the
+    // commit cadence stays independent of the tick cadence.
+    c.on_commits(2);
+    assert!(c.on_tick(4), "tick trigger fires with 2 commits pending");
+    c.on_commits(1);
+    assert!(c.on_tick(5), "3rd commit still fires the commit trigger");
+    assert!(!c.on_tick(7), "commit counter was reset by its own firing");
+
+    // Disabled triggers (period 0) never fire.
+    let mut off = SnapshotCadence::new(0, 0);
+    off.on_commits(1_000);
+    assert!(!off.on_tick(1_000));
+
+    // Commit-only cadence: M commits → ⌊M / every⌋ firings regardless
+    // of which ticks they land on.
+    let mut commit_only = SnapshotCadence::new(0, 5);
+    let mut fired = 0;
+    for tick in 1..=100u64 {
+        commit_only.on_commits(1);
+        if commit_only.on_tick(tick) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 100 / 5);
+}
