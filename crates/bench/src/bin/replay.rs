@@ -24,283 +24,13 @@
 
 use acp_acta::check_atomicity;
 use acp_acta::safe_state::check_all_safe_states;
+use acp_bench::trace_check::{check_panel, load_panels, mutations};
 use acp_bench::{row, sep};
 use acp_core::harness::{run_scenario, Scenario};
-use acp_obs::parse_flat_json;
 use acp_sim::{FailureSchedule, SimTime};
 use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId, TxnId};
-use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::exit;
-
-/// One flat-JSON trace event, kept as the parsed key/value map plus
-/// accessors for the fields the predicates consult.
-#[derive(Clone)]
-struct Ev(BTreeMap<String, acp_obs::JsonValue>);
-
-impl Ev {
-    fn str(&self, key: &str) -> &str {
-        self.0.get(key).and_then(|v| v.as_str()).unwrap_or("")
-    }
-    fn num(&self, key: &str) -> u64 {
-        self.0.get(key).and_then(|v| v.as_u64()).unwrap_or(u64::MAX)
-    }
-    fn ty(&self) -> &str {
-        self.str("type")
-    }
-    fn at_us(&self) -> u64 {
-        self.num("at_us")
-    }
-    fn site(&self) -> u64 {
-        self.num("site")
-    }
-    fn txn(&self) -> u64 {
-        self.num("txn")
-    }
-}
-
-struct Panel {
-    slug: String,
-    events: Vec<Ev>,
-}
-
-fn load_panels(path: &Path) -> Vec<Panel> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let mut panels: Vec<Panel> = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let map = parse_flat_json(line)
-            .unwrap_or_else(|| panic!("{}:{}: unparseable line", path.display(), i + 1));
-        if map.get("meta").and_then(|v| v.as_str()) == Some("panel") {
-            let slug = map
-                .get("slug")
-                .and_then(|v| v.as_str())
-                .expect("panel meta has slug")
-                .to_string();
-            panels.push(Panel { slug, events: Vec::new() });
-        } else {
-            panels
-                .last_mut()
-                .expect("event line before any panel meta")
-                .events
-                .push(Ev(map));
-        }
-    }
-    panels
-}
-
-/// Event-level safe-state predicates over one panel. Returns human
-/// readable violation strings; empty means the panel replays clean.
-///
-/// The checks are trace-shaped renditions of the ACTA predicates the
-/// simulator-side checkers (`acp-acta`) evaluate over histories:
-/// write-ahead forcing, presumption-consistent decision logging, and
-/// forget-only-after-safe garbage collection (Definition 2).
-fn check_panel(events: &[Ev]) -> Vec<String> {
-    let mut v = Vec::new();
-
-    // 1. Per-site clocks are monotone in trace order.
-    let mut clocks: BTreeMap<u64, u64> = BTreeMap::new();
-    for e in events {
-        let c = clocks.entry(e.site()).or_insert(0);
-        if e.at_us() < *c {
-            v.push(format!(
-                "site {} clock regressed: {} -> {}",
-                e.site(),
-                *c,
-                e.at_us()
-            ));
-        }
-        *c = (*c).max(e.at_us());
-    }
-
-    // 2. Exactly one decision per transaction, reached by the
-    //    coordinator (site 0 in every committed panel).
-    let mut decisions: BTreeMap<u64, (usize, String)> = BTreeMap::new();
-    for (i, e) in events.iter().enumerate() {
-        if e.ty() == "decision_reached" {
-            if let Some((_, prev)) = decisions.get(&e.txn()) {
-                v.push(format!(
-                    "txn {} decided twice ({} then {})",
-                    e.txn(),
-                    prev,
-                    e.str("outcome")
-                ));
-            }
-            decisions.insert(e.txn(), (i, e.str("outcome").to_string()));
-        }
-    }
-    if decisions.is_empty() {
-        v.push("panel has no decision_reached event".into());
-    }
-
-    // 3. Log rule: a Yes vote is externalised only after the prepared
-    //    record is forced at that participant (every protocol forces
-    //    the prepared record — presumptions only relax decision
-    //    records).
-    for (i, e) in events.iter().enumerate() {
-        if e.ty() == "vote_cast" && e.str("vote") == "yes" {
-            let forced = events[..i].iter().any(|p| {
-                p.ty() == "force_write"
-                    && p.site() == e.site()
-                    && p.txn() == e.txn()
-                    && p.str("record") == "prepared"
-            });
-            if !forced {
-                v.push(format!(
-                    "site {} voted yes on txn {} without a forced prepared record",
-                    e.site(),
-                    e.txn()
-                ));
-            }
-        }
-    }
-
-    // 4. A commit decision requires a yes vote from every participant
-    //    that was sent a prepare, cast before the decision.
-    for (&txn, &(di, ref outcome)) in &decisions {
-        if outcome != "commit" {
-            continue;
-        }
-        let invited: Vec<u64> = events[..di]
-            .iter()
-            .filter(|p| p.ty() == "msg_send" && p.str("kind") == "prepare" && p.txn() == txn)
-            .map(|p| p.num("to"))
-            .collect();
-        for p in invited {
-            let voted = events[..di].iter().any(|e| {
-                e.ty() == "vote_cast" && e.site() == p && e.txn() == txn && e.str("vote") == "yes"
-            });
-            if !voted {
-                v.push(format!(
-                    "txn {txn} committed without a yes vote from site {p}"
-                ));
-            }
-        }
-    }
-
-    // 5. Presumption rule at the coordinator: a commit decision is
-    //    always forced before the decision is externalised; an abort
-    //    decision is forced only when nothing presumes it (PrN).
-    for (&txn, &(di, ref outcome)) in &decisions {
-        let proto = events[di].str("proto").to_string();
-        let needs_force = outcome == "commit" || proto == "PrN";
-        if !needs_force {
-            continue;
-        }
-        let first_send = events[di..]
-            .iter()
-            .position(|e| e.ty() == "msg_send" && e.str("kind") == "decision" && e.txn() == txn)
-            .map(|p| di + p)
-            .unwrap_or(events.len());
-        let forced = events[di..first_send].iter().any(|e| {
-            e.ty() == "force_write" && e.site() == 0 && e.txn() == txn && e.str("record") == *outcome
-        });
-        if !forced {
-            v.push(format!(
-                "txn {txn} {outcome} decision ({proto}) externalised before the decision record was forced"
-            ));
-        }
-    }
-
-    // 6. Acks follow forces: a participant acks the decision only
-    //    after forcing its own decision record (participants whose
-    //    presumption matches the outcome write it non-forced and stay
-    //    silent).
-    for (i, e) in events.iter().enumerate() {
-        if e.ty() == "msg_send" && e.str("kind") == "ack" {
-            let forced = events[..i].iter().any(|p| {
-                p.ty() == "force_write"
-                    && p.site() == e.site()
-                    && p.txn() == e.txn()
-                    && p.str("record").starts_with("part-")
-            });
-            if !forced {
-                v.push(format!(
-                    "site {} acked txn {} without forcing its decision record",
-                    e.site(),
-                    e.txn()
-                ));
-            }
-        }
-    }
-
-    // 7. Safe forgetting (Definition 2, trace shape): the coordinator
-    //    GCs only after the decision is reached and the end record is
-    //    written, and the advertised decision age matches the clocks.
-    for (i, e) in events.iter().enumerate() {
-        if e.ty() != "log_gc" {
-            continue;
-        }
-        let Some((_, &(di, _))) = decisions.iter().next() else {
-            continue;
-        };
-        let decided_at = events[di].at_us();
-        if i < di {
-            v.push("coordinator GCed its protocol table before deciding".into());
-        }
-        let ended = events[..i]
-            .iter()
-            .any(|p| p.site() == 0 && p.str("record") == "end");
-        if !ended {
-            v.push("coordinator GCed before writing its end record".into());
-        }
-        let age = e.num("since_decision_us");
-        if age != e.at_us().saturating_sub(decided_at) {
-            v.push(format!(
-                "log_gc since_decision_us={age} disagrees with clocks ({} - {decided_at})",
-                e.at_us()
-            ));
-        }
-    }
-
-    v
-}
-
-/// Seeded corruptions: each must be caught by `check_panel`, proving
-/// the predicates can actually fail. Returns (name, mutated events).
-fn mutations(clean: &[Ev]) -> Vec<(&'static str, Vec<Ev>)> {
-    let mut out = Vec::new();
-
-    // a. Drop the forced prepared record behind the first yes vote.
-    let mut m = clean.to_vec();
-    if let Some(i) = m
-        .iter()
-        .position(|e| e.ty() == "force_write" && e.str("record") == "prepared")
-    {
-        m.remove(i);
-        out.push(("unforced yes vote", m));
-    }
-
-    // b. Regress the last event's clock to zero.
-    let mut m = clean.to_vec();
-    if let Some(e) = m.last_mut() {
-        e.0.insert("at_us".into(), acp_obs::JsonValue::Num(0));
-        out.push(("clock regression", m));
-    }
-
-    // c. Duplicate the decision with the opposite outcome.
-    let mut m = clean.to_vec();
-    if let Some(i) = m.iter().position(|e| e.ty() == "decision_reached") {
-        let mut dup = m[i].clone();
-        let flipped = if dup.str("outcome") == "commit" { "abort" } else { "commit" };
-        dup.0.insert("outcome".into(), acp_obs::JsonValue::Str(flipped.into()));
-        m.insert(i + 1, dup);
-        out.push(("contradictory second decision", m));
-    }
-
-    // d. Strip the coordinator's forced decision record (write-ahead
-    //    violation for a commit decision).
-    let mut m = clean.to_vec();
-    if let Some(i) = m.iter().position(|e| {
-        e.ty() == "force_write" && e.site() == 0 && e.str("record") == "commit"
-    }) {
-        m.remove(i);
-        out.push(("commit externalised without force", m));
-    }
-
-    out
-}
 
 /// Theorem 1 slice: regenerate counterexample traces by sweeping a
 /// participant crash through the U2PC/PrC decision window and confirm

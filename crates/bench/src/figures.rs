@@ -2,7 +2,8 @@
 //! from live simulator runs through the `acp-obs` event stream.
 //!
 //! Figures 1–4 are protocol schedules (commit and abort panels); each
-//! panel is one [`Scenario`] run whose typed event stream is rendered to
+//! panel is one [`acp_core::harness::Scenario`] run whose typed event
+//! stream is rendered to
 //! the ASCII schedule format and a Mermaid sequence diagram. Figure 5 is
 //! the protocol taxonomy tree, rendered by `acp-types`. The whole
 //! artifact set is a pure function of the scenarios — byte-stable across

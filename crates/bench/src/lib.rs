@@ -14,6 +14,7 @@ use acp_sim::SimTime;
 use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SiteId, TxnId};
 
 pub mod figures;
+pub mod trace_check;
 
 /// Standard single-transaction scenario used across experiments:
 /// all-yes voters, reliable 200us links.

@@ -1,4 +1,28 @@
-//! Inter-thread messages.
+//! The runtime-internal message vocabulary: everything a hosted site
+//! can be handed, across all four backends.
+//!
+//! An [`Envelope`] is the unit every runtime moves — the threaded
+//! backend sends them over crossbeam channels, the reactor and
+//! multi-reactor push them onto ready queues and mailboxes, and the
+//! socket backend re-encodes the subset that may leave the process as
+//! [`crate::wire::WireMsg`] frames. The variants split into three
+//! kinds with different reach:
+//!
+//! * **protocol traffic** ([`Envelope::Protocol`],
+//!   [`Envelope::ProtocolBatch`]) — the paper's messages, site to
+//!   site; crosses shard mailboxes and the wire;
+//! * **client verbs** ([`Envelope::Apply`], [`Envelope::SetIntent`],
+//!   [`Envelope::Commit`]) — workload injection; `Apply`/`SetIntent`
+//!   cross the wire, `Commit` never does (its `reply` channel only
+//!   means something to the node hosting the coordinator);
+//! * **host control** ([`Envelope::Crash`], [`Envelope::Shutdown`]) —
+//!   fault injection and teardown; strictly process-local (on the
+//!   socket backend a *process* is the failure domain, so crashing a
+//!   hosted site severs that node's connections instead of sending
+//!   anything).
+//!
+//! [`Envelope::owner_shard`] is the multi-reactor's routing table; see
+//! its docs for the slicing rules.
 
 use acp_core::shard_of;
 use acp_types::{Message, Outcome, SiteId, TxnId, Vote};

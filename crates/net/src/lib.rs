@@ -12,7 +12,7 @@
 //! the examples a "real system" feel: crash a site and its volatile
 //! state is really gone; only the files survive.
 //!
-//! Three backends share this crate:
+//! Four backends share this crate:
 //!
 //! * the **threaded** backend ([`Cluster`]) — one OS thread and one
 //!   crossbeam mailbox per site,
@@ -20,12 +20,17 @@
 //!   event loop ([`reactor`]) that owns every site, fires timers off a
 //!   hashed [`timer::TimerWheel`], batches each site's forced writes
 //!   into one fsync per tick, and sustains thousands of concurrent
-//!   in-flight transactions (experiment E13), and
+//!   in-flight transactions (experiment E13),
 //! * the **multi-reactor** backend ([`MultiReactorCluster`]) — N
 //!   reactor shards ([`multi_reactor`]) connected by lock-free
 //!   mailboxes: the coordinator sliced by transaction id, participants
 //!   partitioned by site id, one fsync domain and timer wheel per
-//!   shard (experiment E14).
+//!   shard (experiment E14), and
+//! * the **socket** backend ([`wire`], Unix only) — the reactor loop
+//!   per OS process, hosting a subset of sites, with length-prefixed
+//!   CRC-framed TCP between processes driven by a vendored epoll shim:
+//!   real `kill -9` failure domains, real WAL-only recovery
+//!   (experiment E15).
 //!
 //! All drive the identical engines and emit byte-identical trace
 //! lines through the shared emission points in [`actor`].
@@ -39,6 +44,8 @@ pub mod envelope;
 pub mod multi_reactor;
 pub mod reactor;
 pub mod timer;
+#[cfg(unix)]
+pub mod wire;
 
 pub use actor::{NetDelays, NetObs};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
@@ -50,3 +57,5 @@ pub use reactor::{
     InflightGauge, ReactorCluster, ReactorConfig, ReactorReport, ReactorStats, SnapshotCadence,
 };
 pub use timer::{TimerId, TimerWheel};
+#[cfg(unix)]
+pub use wire::{AddressBook, NodeConfig, NodeReport, SocketNode, WireFaults, WireMsg};

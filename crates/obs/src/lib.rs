@@ -45,9 +45,11 @@ pub mod json;
 pub mod metrics;
 pub mod render;
 pub mod sink;
+pub mod wire;
 
 pub use event::{ProtoLabel, ProtocolEvent};
 pub use json::{event_to_json, parse_flat_json, JsonValue};
 pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot, MetricsTimeline};
 pub use render::{render_ascii, render_mermaid};
 pub use sink::{CountingSink, FanoutSink, JsonLinesSink, NullSink, RingBufferSink, TraceSink, VecSink};
+pub use wire::{WireMetrics, WireSnapshot};

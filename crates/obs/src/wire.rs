@@ -1,0 +1,137 @@
+//! Transport-level counters for the socket runtime.
+//!
+//! The protocol-cost grid ([`crate::metrics::MetricsRegistry`]) counts
+//! *protocol* quantities — forces, messages, acks — whose values are
+//! pinned by committed goldens and must not depend on the transport.
+//! The socket backend's own health (bytes moved, frames framed,
+//! reconnect churn, backpressure sheds) is a different axis, so it gets
+//! its own lock-free struct instead of new [`crate::metrics::Counter`]
+//! variants: adding transport rows to the grid would churn every
+//! committed metrics golden without changing a single protocol cost.
+//!
+//! One [`WireMetrics`] instance describes one node (one event loop);
+//! clone the `Arc` into tests or reports and read a coherent-enough
+//! [`WireSnapshot`] at any time (relaxed atomics — counters, not a
+//! consistency protocol).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! wire_counters {
+    ($($(#[doc = $doc:literal])+ $name:ident),+ $(,)?) => {
+        /// Lock-free transport counters for one socket node.
+        #[derive(Debug, Default)]
+        pub struct WireMetrics {
+            $($(#[doc = $doc])+ pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`WireMetrics`].
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct WireSnapshot {
+            $($(#[doc = $doc])+ pub $name: u64,)+
+        }
+
+        impl WireMetrics {
+            /// A zeroed counter set.
+            #[must_use]
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Copy every counter (relaxed loads).
+            #[must_use]
+            pub fn snapshot(&self) -> WireSnapshot {
+                WireSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl WireSnapshot {
+            /// Render as one flat JSON object (the repo's hand-rolled
+            /// trace dialect: stable key order, numbers only).
+            #[must_use]
+            pub fn to_json(&self) -> String {
+                let mut out = String::from("{");
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    let _ = first;
+                    out.push_str(concat!("\"", stringify!($name), "\":"));
+                    out.push_str(&self.$name.to_string());
+                )+
+                out.push('}');
+                out
+            }
+        }
+    };
+}
+
+wire_counters! {
+    /// Frames serialized and handed to a connection's write queue.
+    frames_sent,
+    /// Frames decoded from inbound connections.
+    frames_recv,
+    /// Payload bytes written to sockets (frame bytes, post-encoding).
+    bytes_sent,
+    /// Bytes read off sockets (pre-decoding).
+    bytes_recv,
+    /// Outbound connection attempts (first dials and redials).
+    dials,
+    /// Outbound connections that reached the established state.
+    connects,
+    /// Inbound connections accepted.
+    accepts,
+    /// Established connections lost (EOF, reset, write error) — each
+    /// one schedules a backed-off redial, so `dials - connects` plus
+    /// this approximates retry churn.
+    disconnects,
+    /// Frames dropped because a connection's bounded write queue was
+    /// full (backpressure shed = omission failure).
+    backpressure_drops,
+    /// Frames dropped by injected faults.
+    fault_drops,
+    /// Frames delayed by injected faults (released later).
+    fault_delays,
+    /// Inbound connections dropped because a frame failed CRC/framing
+    /// validation (corruption = connection-level omission).
+    decode_errors,
+    /// Frames that arrived with a sequence number at or below the
+    /// connection's previous one — evidence of frame-level reordering
+    /// (possible only via fault injection; TCP itself is FIFO).
+    seq_regressions,
+}
+
+impl WireMetrics {
+    /// Bump a counter by one (relaxed).
+    pub fn inc(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n` (relaxed).
+    pub fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_and_json_is_stable() {
+        let m = WireMetrics::new();
+        m.inc(&m.frames_sent);
+        m.add(&m.bytes_sent, 120);
+        let s = m.snapshot();
+        assert_eq!(s.frames_sent, 1);
+        assert_eq!(s.bytes_sent, 120);
+        let json = s.to_json();
+        assert!(json.starts_with("{\"frames_sent\":1,"));
+        assert!(json.contains("\"bytes_sent\":120"));
+        assert!(json.ends_with("\"seq_regressions\":0}"));
+        // The flat-JSON parser used by the trace tooling reads it back.
+        let parsed = crate::json::parse_flat_json(&json).expect("flat json");
+        assert_eq!(parsed["frames_sent"].as_u64(), Some(1));
+    }
+}

@@ -40,20 +40,29 @@ const TAG_CHECKPOINT: u8 = 0x08;
 // ---------------------------------------------------------------------
 // primitive writers / readers
 // ---------------------------------------------------------------------
+//
+// Public: the wire codec in `acp-net::wire` frames network messages
+// with the same primitives (and the same CRC discipline) as the
+// on-disk records, so there is exactly one binary dialect in the
+// system.
 
-fn put_u8(out: &mut Vec<u8>, v: u8) {
+/// Append one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+/// Append a length-prefixed (u32) byte string.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
     put_u32(
         out,
         u32::try_from(v.len()).expect("payload byte string too long"),
@@ -61,7 +70,8 @@ fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
     out.extend_from_slice(v);
 }
 
-fn put_opt_bytes(out: &mut Vec<u8>, v: Option<&[u8]>) {
+/// Append an optional byte string: presence byte, then the string.
+pub fn put_opt_bytes(out: &mut Vec<u8>, v: Option<&[u8]>) {
     match v {
         None => put_u8(out, 0),
         Some(b) => {
@@ -71,14 +81,18 @@ fn put_opt_bytes(out: &mut Vec<u8>, v: Option<&[u8]>) {
     }
 }
 
-/// A bounds-checked cursor over an encoded payload.
-struct Reader<'a> {
+/// A bounds-checked cursor over an encoded payload. Every accessor
+/// returns [`WalError::Corrupt`] instead of slicing out of bounds, so
+/// decoders built on it are total over arbitrary input bytes.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
@@ -98,26 +112,31 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, WalError> {
+    /// Read one byte (`what` names the field in corruption errors).
+    pub fn u8(&mut self, what: &str) -> Result<u8, WalError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, WalError> {
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WalError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, WalError> {
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WalError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, WalError> {
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &str) -> Result<Vec<u8>, WalError> {
         let len = self.u32(what)? as usize;
         Ok(self.take(len, what)?.to_vec())
     }
 
-    fn opt_bytes(&mut self, what: &str) -> Result<Option<Vec<u8>>, WalError> {
+    /// Read an optional byte string (presence byte, then the string).
+    pub fn opt_bytes(&mut self, what: &str) -> Result<Option<Vec<u8>>, WalError> {
         match self.u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.bytes(what)?)),
@@ -128,7 +147,10 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn done(&self) -> bool {
+    /// Whether the cursor consumed the whole buffer (decoders use this
+    /// to reject trailing bytes).
+    #[must_use]
+    pub fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }

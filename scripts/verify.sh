@@ -73,6 +73,17 @@ echo "== multi-reactor smoke: sharded event loop (determinism + E14 slice)"
 # (BENCH_multi_reactor.json) is regenerated manually, not here.
 ACP_MULTI_REACTOR_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_multi_reactor | tail -3
 
+echo "== socket smoke: multi-process cluster over real TCP (kill -9 + recovery)"
+# Coordinator and two participant processes over loopback sockets: a
+# short mixed load with a kill -9 of a participant and of the
+# coordinator, both restarted from their WALs. The parent merges the
+# per-process trace files and replays the cross-process ACTA
+# predicates (with mutation controls); the binary exits non-zero on
+# any violation or missing recovery evidence. Byte-identity of the
+# socket trace against the in-process reactor is pinned by
+# tests/socket_wire.rs in the suite above.
+ACP_SOCKET_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_socket | tail -3
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

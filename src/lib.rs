@@ -39,7 +39,7 @@
 //! | [`acta`] | `acp-acta` | executable ACTA correctness criteria |
 //! | [`engine`] | `acp-engine` | per-site transactional KV storage |
 //! | [`check`] | `acp-check` | bounded model checker |
-//! | [`net`] | `acp-net` | threaded actor runtime with file WALs |
+//! | [`net`] | `acp-net` | four runtimes: threaded actors, reactor, sharded multi-reactor, real TCP sockets |
 //! | [`workload`] | `acp-workload` | workload/population/failure generators |
 
 #![forbid(unsafe_code)]
@@ -72,6 +72,8 @@ pub mod prelude {
         Cluster, ClusterConfig, MultiReactorCluster, MultiReactorConfig, ReactorCluster,
         ReactorConfig,
     };
+    #[cfg(unix)]
+    pub use acp_net::{AddressBook, NodeConfig, SocketNode, WireFaults};
     pub use acp_obs::{
         CountingSink, MetricsRegistry, MetricsTimeline, ProtoLabel, ProtocolEvent, TraceSink,
         VecSink,

@@ -114,3 +114,173 @@ fn fifo_control_is_fully_correct() {
         assert_eq!(out.decided.get(&T), Some(&Outcome::Abort), "seed {seed}");
     }
 }
+
+/// The same footnote-5 chain over **real sockets**: TCP is FIFO, so the
+/// violation cannot occur naturally — the wire fault layer delays the
+/// `Prepare` frame at the sender, letting the abort `Decision` overtake
+/// it on the wire, and the receiver's sequence-number watermark records
+/// the reordering as a genuine `seq_regression`.
+#[cfg(unix)]
+mod socket {
+    use super::*;
+    use presumed_any::net::wire::{
+        shared_history, AddressBook, FaultRule, NodeConfig, SocketNode, WireFaults,
+    };
+    use presumed_any::obs::WireSnapshot;
+    use presumed_any::wal::tempdir::TempDir;
+    use std::net::SocketAddr;
+    use std::path::Path;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn write_peers(path: &Path, entries: &[(u32, SocketAddr)]) {
+        let tmp = path.with_extension("tmp");
+        let body: String = entries.iter().map(|(s, a)| format!("{s} {a}\n")).collect();
+        std::fs::write(&tmp, body).expect("write peers");
+        std::fs::rename(&tmp, path).expect("rename peers");
+    }
+
+    struct SocketRun {
+        history: History,
+        outcome: Outcome,
+        /// Outcomes site 1 enforced, from its node's final report.
+        site1_enforced: Vec<Outcome>,
+        /// Coordinator-node transport counters (fault injection side).
+        coord_wire: WireSnapshot,
+        /// Participant-node transport counters (reordering observer).
+        part_wire: WireSnapshot,
+    }
+
+    /// One aborting transaction, coordinator and participants in
+    /// separate socket nodes, with `faults` installed on the
+    /// coordinator's outbound wire.
+    fn run(faults: WireFaults) -> SocketRun {
+        let dir = TempDir::new("socket-fifo").expect("tempdir");
+        let peers = dir.path().join("peers");
+        let cluster = ClusterConfig::new(
+            CoordinatorKind::Single(ProtocolKind::PrC),
+            &[ProtocolKind::PrC, ProtocolKind::PrC],
+        );
+        let history = shared_history();
+        let mut config = NodeConfig::new(
+            cluster.clone(),
+            vec![SiteId::new(0)],
+            AddressBook::File(peers.clone()),
+            dir.path().join("n0"),
+        );
+        std::fs::create_dir_all(dir.path().join("n0")).expect("wal dir");
+        std::fs::create_dir_all(dir.path().join("n1")).expect("wal dir");
+        config.faults = faults;
+        let mut coord =
+            SocketNode::spawn_with(config, None, Arc::clone(&history)).expect("coord node");
+        let part = SocketNode::spawn_with(
+            NodeConfig::new(
+                cluster,
+                vec![SiteId::new(1), SiteId::new(2)],
+                AddressBook::File(peers.clone()),
+                dir.path().join("n1"),
+            ),
+            None,
+            Arc::clone(&history),
+        )
+        .expect("part node");
+        write_peers(
+            &peers,
+            &[
+                (0, coord.local_addr()),
+                (1, part.local_addr()),
+                (2, part.local_addr()),
+            ],
+        );
+
+        let parts = coord.participants();
+        let txn = coord.next_txn();
+        for &p in &parts {
+            coord.apply(p, txn, b"k", b"v");
+        }
+        // Site 2 vetoes, so the coordinator aborts as soon as that vote
+        // lands — long before site 1's delayed Prepare is released.
+        coord.set_intent(SiteId::new(2), txn, Vote::No);
+        let outcome = coord.commit(txn, &parts).expect("decision");
+        // Let the late Prepare land, the in-doubt inquiry fire, and the
+        // presumption answer flow back.
+        coord.settle(Duration::from_millis(1_500));
+        let coord_report = coord.shutdown();
+        let part_report = part.shutdown();
+        let site1_enforced = part_report
+            .cluster
+            .sites
+            .iter()
+            .find(|s| s.site == SiteId::new(1))
+            .expect("site 1 summary")
+            .enforced
+            .values()
+            .copied()
+            .collect();
+        let merged = history.lock().clone();
+        SocketRun {
+            history: merged,
+            outcome,
+            site1_enforced,
+            coord_wire: coord_report.wire,
+            part_wire: part_report.wire,
+        }
+    }
+
+    #[test]
+    fn delayed_prepare_frame_breaks_footnote_5_over_tcp() {
+        let out = run(WireFaults::none().rule(FaultRule::delay_all(
+            SiteId::new(1),
+            "prepare",
+            Duration::from_millis(300),
+        )));
+        assert_eq!(out.outcome, Outcome::Abort, "site 2's veto must abort");
+        assert!(
+            out.coord_wire.fault_delays >= 1,
+            "the Prepare frame must have been held: {:?}",
+            out.coord_wire
+        );
+        assert!(
+            out.part_wire.seq_regressions >= 1,
+            "the released frame must arrive out of sequence: {:?}",
+            out.part_wire
+        );
+        // Step 5 of the footnote-5 chain: the forgotten coordinator
+        // answers the in-doubt participant by PrC's presumption.
+        assert!(
+            out.history.events().iter().any(|e| matches!(
+                e,
+                ActaEvent::Respond {
+                    by_presumption: true,
+                    outcome: Outcome::Commit,
+                    ..
+                }
+            )),
+            "no presumption answer in the history"
+        );
+        assert!(
+            out.site1_enforced.contains(&Outcome::Commit),
+            "site 1 must enforce commit against the global abort: {:?}",
+            out.site1_enforced
+        );
+        assert!(
+            !check_atomicity(&out.history).is_empty(),
+            "the ACTA atomicity predicate must flag the violation"
+        );
+    }
+
+    /// Control: the identical cluster with a clean wire is FIFO (TCP
+    /// guarantees it), so the same veto schedule is fully correct.
+    #[test]
+    fn clean_tcp_is_fifo_and_correct() {
+        let out = run(WireFaults::none());
+        assert_eq!(out.outcome, Outcome::Abort);
+        assert_eq!(out.part_wire.seq_regressions, 0, "TCP must deliver in order");
+        assert!(
+            !out.site1_enforced.contains(&Outcome::Commit),
+            "no participant may enforce commit: {:?}",
+            out.site1_enforced
+        );
+        assert!(check_atomicity(&out.history).is_empty());
+    }
+}

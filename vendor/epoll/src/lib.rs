@@ -1,0 +1,322 @@
+//! Minimal safe wrapper over the Linux `epoll` readiness API.
+//!
+//! The workspace vendors its dependencies (the crates-io mirror is
+//! unreachable here), and the runtime crates `forbid(unsafe_code)` —
+//! so the one place raw syscalls are allowed is this shim. It binds
+//! `epoll_create1`/`epoll_ctl`/`epoll_wait` directly via `extern "C"`
+//! declarations (the symbols live in libc, which std already links;
+//! no external crate is needed) and exposes a safe, minimal API:
+//! create an instance, register file descriptors with an interest mask
+//! and a caller-chosen `u64` token, and wait for readiness.
+//!
+//! Level-triggered only — that is all the `acp-net` socket runtime
+//! uses, and level-triggered readiness composes naturally with its
+//! "drain until `WouldBlock`" handlers.
+//!
+//! On non-Linux targets a degraded portable fallback is compiled
+//! instead: `wait` sleeps briefly and reports every registered
+//! descriptor as ready. Correct nonblocking callers treat spurious
+//! readiness as a no-op (`read`/`write` return `WouldBlock`), so the
+//! fallback is slow but sound. The real runtime targets Linux.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`). Always reported; no need to register.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`). Always reported; no need to register.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness notification: the event mask that fired and the
+/// caller's registration token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Bitwise OR of the `EPOLL*` conditions that are ready.
+    pub events: u32,
+    /// The `u64` the descriptor was registered with.
+    pub token: u64,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::Event;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    // x86-64's epoll_event is packed (no padding between the u32 mask
+    // and the u64 data); other Linux targets use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// An epoll instance (Linux backend).
+    #[derive(Debug)]
+    pub struct Epoll {
+        epfd: RawFd,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes no pointers; a negative
+            // return is an error reported through errno.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            let evp = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, evp) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            const MAX_EVENTS: usize = 64;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = loop {
+                // SAFETY: `buf` is a valid writable array of MAX_EVENTS
+                // entries; the kernel fills at most that many.
+                let rc = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR: retry. (Timeout accounting restarts; callers
+                // recompute their deadlines every loop pass anyway.)
+            };
+            out.clear();
+            for e in &buf[..n] {
+                // Copy out of the (possibly packed) struct field by
+                // field; direct references into packed fields are UB.
+                let events = e.events;
+                let token = e.data;
+                out.push(Event { events, token });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: we own this fd and close it exactly once.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, EPOLLIN, EPOLLOUT};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Degraded portable fallback: report every registered descriptor
+    /// as both readable and writable after a short sleep. Sound (but
+    /// slow) for nonblocking callers that tolerate spurious readiness.
+    #[derive(Debug, Default)]
+    pub struct Epoll {
+        registered: Mutex<Vec<(RawFd, u32, u64)>>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            Ok(Epoll::default())
+        }
+
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.registered.lock().unwrap().push((fd, interest, token));
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            reg.retain(|(f, _, _)| *f != fd);
+            reg.push((fd, interest, token));
+            Ok(())
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|(f, _, _)| *f != fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            let ms = if timeout_ms < 0 { 1 } else { timeout_ms.min(1) };
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            out.clear();
+            for &(_, interest, token) in self.registered.lock().unwrap().iter() {
+                out.push(Event {
+                    events: interest & (EPOLLIN | EPOLLOUT),
+                    token,
+                });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+/// An epoll instance: register descriptors, then [`Epoll::wait`] for
+/// readiness. Dropping it closes the underlying instance.
+#[derive(Debug)]
+pub struct Epoll {
+    inner: sys::Epoll,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            inner: sys::Epoll::new()?,
+        })
+    }
+
+    /// Register `fd` with the given interest mask; readiness reports
+    /// carry `token` back to the caller.
+    pub fn add(&self, fd: std::os::fd::RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.inner.add(fd, interest, token)
+    }
+
+    /// Change a registered descriptor's interest mask and/or token.
+    pub fn modify(&self, fd: std::os::fd::RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.inner.modify(fd, interest, token)
+    }
+
+    /// Remove a descriptor from the interest set. Callers must do this
+    /// *before* closing the fd (a closed fd is removed by the kernel,
+    /// but the wrapper cannot tell the difference).
+    pub fn delete(&self, fd: std::os::fd::RawFd) -> io::Result<()> {
+        self.inner.delete(fd)
+    }
+
+    /// Block for up to `timeout_ms` milliseconds (`-1` = forever, `0` =
+    /// poll) and fill `out` with ready events. Returns the number of
+    /// events. `EINTR` is retried internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.inner.wait(out, timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn readiness_roundtrip_over_loopback() {
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 1).unwrap();
+
+        let client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        // The pending connection makes the listener readable.
+        let mut accepted = None;
+        for _ in 0..100 {
+            ep.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 1) {
+                let (s, _) = listener.accept().unwrap();
+                s.set_nonblocking(true).unwrap();
+                accepted = Some(s);
+                break;
+            }
+        }
+        let mut server = accepted.expect("listener never became readable");
+        ep.delete(listener.as_raw_fd()).unwrap();
+
+        // Data in flight makes the accepted socket readable.
+        ep.add(server.as_raw_fd(), EPOLLIN, 2).unwrap();
+        (&client).write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            ep.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 2) {
+                let mut buf = [0u8; 16];
+                match server.read(&mut buf) {
+                    Ok(n) => {
+                        got.extend_from_slice(&buf[..n]);
+                        if got == b"ping" {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("read: {e}"),
+                }
+            }
+        }
+        assert_eq!(got, b"ping");
+
+        // Interest can be switched to writable.
+        ep.modify(server.as_raw_fd(), EPOLLOUT, 3).unwrap();
+        let mut writable = false;
+        for _ in 0..100 {
+            ep.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 3 && e.events & EPOLLOUT != 0) {
+                writable = true;
+                break;
+            }
+        }
+        assert!(writable, "idle socket should be writable");
+    }
+}
