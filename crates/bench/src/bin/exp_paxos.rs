@@ -1,0 +1,740 @@
+//! E16 — Paxos Commit as the paper's non-blocking replicated
+//! coordinator, demonstrated twice over.
+//!
+//! **Part A (in-process, deterministic):** the analytic cost model.
+//! For every cluster shape `n × f` in a small grid, a clean
+//! single-transaction commit runs under the simulator harness and its
+//! measured counters — forced writes and log records at the leader,
+//! the `2f` remote acceptors and the `n` participants, plus total
+//! coordination messages — must match [`predict_paxos`]'s closed-form
+//! E8 numbers *exactly*. `f = 0` is the degenerate row: Paxos Commit
+//! collapses to plain 2PC/PrN costs.
+//!
+//! **Part B (multi-process, real kill -9):** the coordinator-kill
+//! matrix over OS processes, one per failure domain, joined only by
+//! loopback TCP and their own WAL files (`exp_paxos node …` children,
+//! as in `exp_socket`). For each `f ∈ {0, 1}` the same schedule runs:
+//! the leader decides commit, every decision frame to the participants
+//! is dropped by an injected wire fault, and then the leader process
+//! is `kill -9`ed.
+//!
+//! * `f = 0` (that *is* 2PC): nobody left knows the outcome — the
+//!   participants are provably still in doubt when we look 2.5 s
+//!   later. Only restarting the leader process, which recovers the
+//!   decision from its WAL and answers the participants' inquiries,
+//!   unblocks them.
+//! * `f = 1` (3 acceptors): the decision survives on the acceptor
+//!   quorum; a remote acceptor's completion watchdog runs the failover
+//!   round and the participants learn the commit with the leader still
+//!   dead — observed before any restart.
+//!
+//! Each campaign then restarts the leader from its WALs and pushes a
+//! clean mixed load through it (commit and vetoed-abort paths), merges
+//! the per-process trace files and replays the cross-process ACTA
+//! predicates ([`trace_check::check_merged`]), with seeded corruptions
+//! proving the predicates have teeth.
+//!
+//! `ACP_PAXOS_SMOKE=1` runs a shortened load (for `scripts/verify.sh`);
+//! the full run also writes `BENCH_paxos.json`.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_paxos
+//! ```
+
+#[cfg(unix)]
+mod run {
+    use acp_bench::trace_check::{check_merged, load_merged, Ev};
+    use acp_bench::{row, sep};
+    use acp_core::cost::predict_paxos;
+    use acp_core::paxos::sim::{run_paxos_scenario, PaxosScenario};
+    use acp_net::wire::{
+        shared_history, AddressBook, FaultRule, NodeConfig, SocketNode, WireFaults,
+    };
+    use acp_net::NetDelays;
+    use acp_obs::{JsonLinesSink, JsonValue, TraceSink};
+    use acp_sim::SimTime;
+    use acp_types::{
+        CoordinatorKind, CostCounters, Outcome, ProtocolKind, SiteId, TxnId, Vote,
+    };
+    use acp_wal::tempdir::TempDir;
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::net::SocketAddr;
+    use std::path::{Path, PathBuf};
+    use std::process::{exit, Child, ChildStdin, ChildStdout, Command, Stdio};
+    use std::sync::Arc;
+    use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+    /// Participants in the multi-process campaigns (sites 1 and 2; the
+    /// remote acceptors, when `f = 1`, sit at sites 3 and 4).
+    const N_PARTS: usize = 2;
+
+    /// The campaign cluster: `N_PARTS` PrN participants under a Paxos
+    /// Commit coordinator of tolerance `f`. Delays keep clean runs
+    /// timer-silent but let the acceptor watchdog and the participants'
+    /// recovery inquiries fire within the campaign's patience.
+    fn cluster(f: usize) -> acp_net::ClusterConfig {
+        let mut c = acp_net::ClusterConfig::new(
+            CoordinatorKind::Single(ProtocolKind::PrN),
+            &[ProtocolKind::PrN; N_PARTS],
+        );
+        c.paxos_f = Some(f);
+        c.delays = NetDelays {
+            vote_timeout: Duration::from_secs(60),
+            ack_resend: Duration::from_millis(200),
+            inquiry_retry: Duration::from_millis(250),
+            apply_retry: Duration::from_secs(60),
+            paxos_completion: Duration::from_millis(300),
+        };
+        c
+    }
+
+    /// Println + flush: children talk to the parent through a pipe, where
+    /// stdout is block-buffered and an unflushed line deadlocks the run.
+    fn say(line: &str) {
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    // ---------------------------------------------------------------- child
+
+    /// `exp_paxos node --hosted 0 --paxos-f 1 --peers F --wal D --trace T
+    /// --epoch-us E [--drop-decisions]`
+    ///
+    /// Spawns the node, announces `LISTEN addr=…`, then serves parent
+    /// commands on stdin: `go <first-txn> <count>` runs a load slice
+    /// (leader only), `quit` (or EOF) shuts down gracefully and prints
+    /// the final `REPORT wire=…` line. `--drop-decisions` installs the
+    /// campaign's wire fault: every decision frame from this node to a
+    /// participant site is silently dropped.
+    fn child_main(args: &[String]) -> ! {
+        let get = |flag: &str| -> String {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .unwrap_or_else(|| panic!("missing {flag}"))
+                .clone()
+        };
+        let hosted: Vec<SiteId> = get("--hosted")
+            .split(',')
+            .map(|s| SiteId::new(s.parse().expect("site id")))
+            .collect();
+        let f: usize = get("--paxos-f").parse().expect("paxos f");
+        let wal_dir = PathBuf::from(get("--wal"));
+        std::fs::create_dir_all(&wal_dir).expect("wal dir");
+        let trace = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(get("--trace"))
+            .expect("open trace file");
+        let sink: Arc<dyn TraceSink> = Arc::new(JsonLinesSink::new(trace));
+        let mut config = NodeConfig::new(
+            cluster(f),
+            hosted,
+            AddressBook::File(PathBuf::from(get("--peers"))),
+            wal_dir,
+        );
+        config.epoch_unix_us = Some(get("--epoch-us").parse().expect("epoch"));
+        if args.iter().any(|a| a == "--drop-decisions") {
+            let mut faults = WireFaults::none();
+            for p in 1..=N_PARTS as u32 {
+                faults = faults.rule(FaultRule::drop_all(SiteId::new(p), "decision"));
+            }
+            config.faults = faults;
+        }
+        let mut node =
+            SocketNode::spawn_with(config, Some(sink), shared_history()).expect("spawn node");
+        say(&format!("LISTEN addr={}", node.local_addr()));
+
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.unwrap_or_default();
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["go", first, count] => child_load(
+                    &mut node,
+                    first.parse().expect("first txn"),
+                    count.parse().expect("txn count"),
+                ),
+                ["quit"] => break,
+                [] => {}
+                other => say(&format!("ERROR unknown command {other:?}")),
+            }
+        }
+        let report = node.shutdown();
+        say(&format!("REPORT wire={}", report.wire.to_json()));
+        exit(0)
+    }
+
+    /// One load slice at the leader: `count` transactions starting at id
+    /// `first`, one write per participant each, every fifth vetoed by a
+    /// rotating participant so both decision paths cross the wire.
+    fn child_load(node: &mut SocketNode, first: u64, count: u64) {
+        node.set_next_txn(first);
+        let parts = node.participants();
+        let (mut committed, mut aborted, mut timeouts) = (0u64, 0u64, 0u64);
+        for _ in 0..count {
+            let txn = node.next_txn();
+            for &p in &parts {
+                node.apply(p, txn, format!("k{}", txn.raw()).as_bytes(), b"v");
+            }
+            if txn.raw() % 5 == 0 {
+                let victim = parts[(txn.raw() as usize / 5) % parts.len()];
+                node.set_intent(victim, txn, Vote::No);
+            }
+            let outcome = node.commit(txn, &parts);
+            match outcome {
+                Some(Outcome::Commit) => committed += 1,
+                Some(Outcome::Abort) => aborted += 1,
+                None => timeouts += 1,
+            }
+            say(&format!(
+                "TXN {} {}",
+                txn.raw(),
+                match outcome {
+                    Some(Outcome::Commit) => "commit",
+                    Some(Outcome::Abort) => "abort",
+                    None => "timeout",
+                }
+            ));
+        }
+        say(&format!(
+            "DONE committed={committed} aborted={aborted} timeouts={timeouts}"
+        ));
+    }
+
+    // ------------------------------------------------- part A: cost model
+
+    /// Run the clean-commit grid under the deterministic sim harness and
+    /// compare every counter against the closed-form model. Returns the
+    /// number of mismatching cells.
+    fn analytic_grid() -> u64 {
+        println!(
+            "Part A — analytic cost model: one clean commit per cluster shape, measured\n\
+             sim counters vs predict_paxos (forces/records per role, total messages)\n"
+        );
+        let widths = [10, 12, 14, 14, 10, 10];
+        let header =
+            ["cluster", "leader f/r", "acceptors f/r", "parts f/r", "messages", "model"]
+                .map(String::from);
+        println!("{}", row(&header, &widths));
+        println!("{}", sep(&widths));
+
+        fn sum<'a>(iter: impl Iterator<Item = &'a CostCounters>) -> CostCounters {
+            iter.fold(CostCounters::default(), |mut a, c| {
+                a += *c;
+                a
+            })
+        }
+        let txn = TxnId::new(1);
+        let mut mismatches = 0u64;
+        for f in 0..=2usize {
+            for n in 1..=3usize {
+                let mut s = PaxosScenario::new(n, f);
+                s.add_txn(txn, SimTime::from_millis(1));
+                let out = run_paxos_scenario(&s);
+                let decided = out.decided.get(&txn) == Some(&Outcome::Commit)
+                    && out.in_doubt.is_empty();
+                let model = predict_paxos(n, f, Outcome::Commit);
+                let leader = out.leader_costs[&txn];
+                let acc = sum(out.acceptor_costs.values());
+                let parts = sum(out.participant_costs.values());
+                let messages = out.total_costs(txn).messages();
+                let exact = decided
+                    && leader.forced_writes == model.leader_forces
+                    && leader.log_records == model.leader_records
+                    && acc.forced_writes == model.acceptor_forces
+                    && acc.log_records == model.acceptor_records
+                    && parts.forced_writes == model.part_forces
+                    && parts.log_records == model.part_records
+                    && messages == model.messages;
+                mismatches += u64::from(!exact);
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            format!("n={n} f={f}"),
+                            format!("{}/{}", leader.forced_writes, leader.log_records),
+                            format!("{}/{}", acc.forced_writes, acc.log_records),
+                            format!("{}/{}", parts.forced_writes, parts.log_records),
+                            messages.to_string(),
+                            if exact { "exact".into() } else { "MISMATCH".into() },
+                        ],
+                        &widths
+                    )
+                );
+            }
+        }
+        mismatches
+    }
+
+    // ---------------------------------------------- part B: kill campaigns
+
+    /// A spawned child node and the plumbing to talk to it.
+    struct Node {
+        child: Child,
+        stdin: ChildStdin,
+        out: BufReader<ChildStdout>,
+        addr: SocketAddr,
+        /// Sites this child hosts (address-book entries to point at it).
+        sites: Vec<u32>,
+    }
+
+    impl Node {
+        #[allow(clippy::too_many_arguments)]
+        fn spawn(
+            exe: &Path,
+            dir: &Path,
+            name: &str,
+            sites: &[u32],
+            f: usize,
+            epoch_us: u64,
+            drop_decisions: bool,
+        ) -> Node {
+            let hosted: Vec<String> = sites.iter().map(u32::to_string).collect();
+            let mut args = vec![
+                "node".to_string(),
+                "--hosted".into(),
+                hosted.join(","),
+                "--paxos-f".into(),
+                f.to_string(),
+                "--peers".into(),
+                dir.join("peers").display().to_string(),
+                "--wal".into(),
+                dir.join(format!("wal-{name}")).display().to_string(),
+                "--trace".into(),
+                dir.join(format!("trace-{name}.jsonl")).display().to_string(),
+                "--epoch-us".into(),
+                epoch_us.to_string(),
+            ];
+            if drop_decisions {
+                args.push("--drop-decisions".into());
+            }
+            let mut child = Command::new(exe)
+                .args(&args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn child node");
+            let stdin = child.stdin.take().expect("child stdin");
+            let mut out = BufReader::new(child.stdout.take().expect("child stdout"));
+            let addr = read_prefixed(&mut out, "LISTEN addr=")
+                .expect("child LISTEN line")
+                .parse()
+                .expect("listen addr");
+            Node { child, stdin, out, addr, sites: sites.to_vec() }
+        }
+
+        fn send(&mut self, cmd: &str) {
+            let _ = writeln!(self.stdin, "{cmd}");
+            let _ = self.stdin.flush();
+        }
+
+        /// SIGKILL — the paper's site failure: volatile state gone, only
+        /// the forced WAL records survive.
+        fn kill9(&mut self) {
+            self.child.kill().expect("kill -9 child");
+            let _ = self.child.wait();
+        }
+
+        fn quit(mut self) -> String {
+            self.send("quit");
+            let report = read_prefixed(&mut self.out, "REPORT ").unwrap_or_default();
+            let _ = self.child.wait();
+            report
+        }
+    }
+
+    /// Read child stdout lines until one starts with `prefix`; returns the
+    /// remainder of that line, or `None` on EOF (the child died).
+    fn read_prefixed(out: &mut BufReader<ChildStdout>, prefix: &str) -> Option<String> {
+        loop {
+            let mut line = String::new();
+            if out.read_line(&mut line).ok()? == 0 {
+                return None;
+            }
+            if let Some(rest) = line.trim_end().strip_prefix(prefix) {
+                return Some(rest.to_string());
+            }
+        }
+    }
+
+    /// Parse a child's `DONE committed=X aborted=Y timeouts=Z` line.
+    fn parse_done(rest: &str) -> (u64, u64, u64) {
+        let field = |name: &str| {
+            rest.split_whitespace()
+                .find_map(|w| w.strip_prefix(&format!("{name}=")))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        (field("committed"), field("aborted"), field("timeouts"))
+    }
+
+    /// Rewrite the rendezvous file atomically (write-then-rename); dial
+    /// retries re-read it, so a restarted leader on a fresh port becomes
+    /// reachable without connection-level coordination.
+    fn write_peers(dir: &Path, nodes: &[&Node]) {
+        let path = dir.join("peers");
+        let tmp = dir.join("peers.tmp");
+        let mut body = String::new();
+        for n in nodes {
+            for &s in &n.sites {
+                let _ = writeln!(body, "{s} {}", n.addr);
+            }
+        }
+        std::fs::write(&tmp, body).expect("write peers");
+        std::fs::rename(&tmp, &path).expect("rename peers");
+    }
+
+    /// Sites whose trace shows a forced enforcement record
+    /// (`part-commit` / `part-abort`) for `txn`.
+    fn enforced_sites(events: &[Ev], txn: u64) -> BTreeSet<u64> {
+        events
+            .iter()
+            .filter(|e| {
+                (e.ty() == "force_write" || e.ty() == "non_forced_write")
+                    && (e.str("record") == "part-commit" || e.str("record") == "part-abort")
+                    && e.txn() == txn
+            })
+            .map(Ev::site)
+            .collect()
+    }
+
+    /// Seeded corruptions of the merged trace: each must be flagged by
+    /// [`check_merged`], proving the cross-process predicates can fail.
+    fn merged_mutations(clean: &[Ev]) -> Vec<(&'static str, Vec<Ev>)> {
+        let mut out = Vec::new();
+        let mut m = clean.to_vec();
+        if let Some(e) = m.iter_mut().find(|e| {
+            e.ty() == "force_write"
+                && (e.str("record") == "part-commit" || e.str("record") == "part-abort")
+        }) {
+            let flipped =
+                if e.str("record") == "part-commit" { "part-abort" } else { "part-commit" };
+            e.0.insert("record".into(), JsonValue::Str(flipped.into()));
+            out.push(("participant enforces against the decision", m));
+        }
+        let mut m = clean.to_vec();
+        if let Some(i) = m
+            .iter()
+            .position(|e| e.ty() == "force_write" && e.str("record") == "prepared")
+        {
+            m.remove(i);
+            out.push(("yes vote without forced prepared", m));
+        }
+        out
+    }
+
+    /// Everything the parent learned from one `f`-campaign.
+    struct Campaign {
+        f: usize,
+        /// Participant sites that had enforced the kill transaction when
+        /// we looked, leader still dead.
+        enforced_while_dead: BTreeSet<u64>,
+        /// Site that re-drove the decision with the leader dead (`f = 1`
+        /// failover evidence), if any.
+        failover_decider: Option<u64>,
+        /// Participant sites enforced after the leader restart.
+        enforced_final: BTreeSet<u64>,
+        leader_recovered: bool,
+        clean: (u64, u64, u64),
+        violations: Vec<String>,
+        merged: Vec<Ev>,
+        torn: usize,
+        failures: u64,
+    }
+
+    /// One coordinator-kill campaign: decide commit, drop the decision
+    /// frames, `kill -9` the leader process, watch, restart, reload.
+    fn campaign(exe: &Path, f: usize, load: u64) -> Campaign {
+        let tmp = TempDir::new(&format!("exp-paxos-f{f}")).expect("tempdir");
+        let dir = tmp.path().to_path_buf();
+        let epoch_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("clock")
+            .as_micros() as u64;
+        let kill_txn = 1u64;
+        let mut failures = 0u64;
+
+        // One process per failure domain. Only the doomed first leader
+        // incarnation carries the decision-dropping wire fault.
+        let mut leader = Node::spawn(exe, &dir, "leader", &[0], f, epoch_us, true);
+        let p1 = Node::spawn(exe, &dir, "part-1", &[1], f, epoch_us, false);
+        let p2 = Node::spawn(exe, &dir, "part-2", &[2], f, epoch_us, false);
+        let acceptors =
+            (f > 0).then(|| Node::spawn(exe, &dir, "acceptors", &[3, 4], f, epoch_us, false));
+        let mut members: Vec<&Node> = vec![&leader, &p1, &p2];
+        if let Some(a) = &acceptors {
+            members.push(a);
+        }
+        write_peers(&dir, &members);
+
+        // The kill transaction: decided commit at the leader (the client
+        // reply is process-local, so the fault cannot touch it), decision
+        // frames to both participants dropped — then SIGKILL.
+        leader.send(&format!("go {kill_txn} 1"));
+        let done = read_prefixed(&mut leader.out, "DONE ").expect("kill-txn DONE");
+        if parse_done(&done).0 != 1 {
+            println!("  !! f={f}: the kill transaction did not commit at the leader");
+            failures += 1;
+        }
+        leader.kill9();
+
+        // Watch window, leader dead: f = 0 must still be in doubt; f = 1
+        // must commit via the acceptor watchdog's failover round.
+        std::thread::sleep(Duration::from_millis(if f == 0 { 2500 } else { 4000 }));
+        let part_traces: Vec<PathBuf> = ["part-1", "part-2"]
+            .iter()
+            .map(|n| dir.join(format!("trace-{n}.jsonl")))
+            .collect();
+        let (mid, _) = load_merged(&part_traces);
+        let enforced_while_dead = enforced_sites(&mid, kill_txn);
+
+        // Restart the leader from its WALs (fault-free this time) on a
+        // fresh port; republish the address book. For f = 0 this is the
+        // only way out: recovery re-reads the decision and the
+        // participants' inquiry retries finally get an answer.
+        let mut leader = Node::spawn(exe, &dir, "leader", &[0], f, epoch_us, false);
+        let mut members: Vec<&Node> = vec![&leader, &p1, &p2];
+        if let Some(a) = &acceptors {
+            members.push(a);
+        }
+        write_peers(&dir, &members);
+        std::thread::sleep(Duration::from_millis(2500));
+
+        // Clean mixed load through the restarted leader: the cluster must
+        // be fully serviceable again (commit and vetoed-abort paths).
+        leader.send(&format!("go {} {load}", kill_txn + 1));
+        let done = read_prefixed(&mut leader.out, "DONE ").expect("reload DONE");
+        let clean = parse_done(&done);
+
+        // Graceful teardown, then merge every process's trace (both leader
+        // incarnations append to the same file) and replay the
+        // cross-process ACTA predicates.
+        let _ = leader.quit();
+        let _ = p1.quit();
+        let _ = p2.quit();
+        if let Some(a) = acceptors {
+            let _ = a.quit();
+        }
+        let mut traces = part_traces;
+        traces.push(dir.join("trace-leader.jsonl"));
+        if f > 0 {
+            traces.push(dir.join("trace-acceptors.jsonl"));
+        }
+        let (merged, torn) = load_merged(&traces);
+        let violations = check_merged(&merged);
+        let enforced_final = enforced_sites(&merged, kill_txn);
+        let leader_recovered = merged
+            .iter()
+            .any(|e| e.ty() == "recovery_step" && e.site() == 0);
+        let failover_decider = merged
+            .iter()
+            .find(|e| e.ty() == "decision_reached" && e.txn() == kill_txn && e.site() != 0)
+            .map(Ev::site);
+
+        Campaign {
+            f,
+            enforced_while_dead,
+            failover_decider,
+            enforced_final,
+            leader_recovered,
+            clean,
+            violations,
+            merged,
+            torn,
+            failures,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    pub fn main() {
+        let args: Vec<String> = std::env::args().collect();
+        if args.get(1).map(String::as_str) == Some("node") {
+            child_main(&args[2..]);
+        }
+        let smoke = std::env::var_os("ACP_PAXOS_SMOKE").is_some();
+        let load = if smoke { 4u64 } else { 24 };
+        let exe = std::env::current_exe().expect("own path");
+
+        println!(
+            "E16 — Paxos Commit: a non-blocking replicated coordinator over {N_PARTS} PrN \
+             participants\n"
+        );
+        let analytic_mismatches = analytic_grid();
+        let mut failures = analytic_mismatches;
+
+        println!(
+            "\nPart B — coordinator-kill matrix over OS processes: decide commit, drop the\n\
+             decision frames, kill -9 the leader; watch, then restart it from its WALs\n"
+        );
+        let all_parts: BTreeSet<u64> = (1..=N_PARTS as u64).collect();
+        let widths = [14, 26, 22, 16, 10];
+        let header = [
+            "campaign",
+            "while the leader is dead",
+            "after leader restart",
+            "reload (c/a/t)",
+            "checks",
+        ]
+        .map(String::from);
+        println!("{}", row(&header, &widths));
+        println!("{}", sep(&widths));
+
+        let mut campaigns = Vec::new();
+        for f in [0usize, 1] {
+            let mut c = campaign(&exe, f, load);
+
+            // Expectations, per tolerance.
+            if f == 0 {
+                if !c.enforced_while_dead.is_empty() {
+                    println!(
+                        "  !! f=0: participants {:?} enforced with the leader dead — 2PC must block",
+                        c.enforced_while_dead
+                    );
+                    c.failures += 1;
+                }
+            } else {
+                if c.enforced_while_dead != all_parts {
+                    println!(
+                        "  !! f=1: only {:?} enforced with the leader dead — failover must commit",
+                        c.enforced_while_dead
+                    );
+                    c.failures += 1;
+                }
+                if c.failover_decider.is_none() {
+                    println!("  !! f=1: no decision_reached from a surviving acceptor in the trace");
+                    c.failures += 1;
+                }
+            }
+            if c.enforced_final != all_parts {
+                println!(
+                    "  !! f={f}: participants {:?} enforced after restart (want {:?})",
+                    c.enforced_final, all_parts
+                );
+                c.failures += 1;
+            }
+            if !c.leader_recovered {
+                println!("  !! f={f}: no recovery_step from site 0 — the restart did not recover");
+                c.failures += 1;
+            }
+            if c.clean.0 == 0 || c.clean.1 == 0 || c.clean.2 != 0 {
+                println!(
+                    "  !! f={f}: reload must exercise both decision paths without timeouts, got \
+                     {:?}",
+                    c.clean
+                );
+                c.failures += 1;
+            }
+            for v in &c.violations {
+                println!("  !! f={f}: {v}");
+            }
+            c.failures += c.violations.len() as u64;
+
+            let while_dead = if c.enforced_while_dead.is_empty() {
+                "blocked (in doubt)".to_string()
+            } else {
+                format!(
+                    "commit via failover @{}",
+                    c.failover_decider.map_or_else(|| "?".to_string(), |s| s.to_string())
+                )
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        if f == 0 { "f=0 (2PC)".into() } else { format!("f={f} (3 acc)") },
+                        while_dead,
+                        format!("enforced @{:?}", c.enforced_final),
+                        format!("{}/{}/{}", c.clean.0, c.clean.1, c.clean.2),
+                        if c.failures == 0 { "ok".into() } else { format!("{} FAIL", c.failures) },
+                    ],
+                    &widths
+                )
+            );
+            failures += c.failures;
+            campaigns.push(c);
+        }
+
+        // The predicates must have teeth: seeded corruptions of the f = 1
+        // merged trace must each be flagged.
+        println!("\nMutation controls (each must be flagged):");
+        let f1 = &campaigns[1];
+        for (name, mutated) in merged_mutations(&f1.merged) {
+            let caught = !check_merged(&mutated).is_empty();
+            println!("  {:44} {}", name, if caught { "flagged" } else { "MISSED" });
+            failures += u64::from(!caught);
+        }
+        for c in &campaigns {
+            println!(
+                "\nf={}: merged {} trace events ({} torn/partial lines skipped), {} violation(s)",
+                c.f,
+                c.merged.len(),
+                c.torn,
+                c.violations.len()
+            );
+        }
+
+        if smoke {
+            println!("\nsmoke mode: skipping BENCH_paxos.json");
+        } else {
+            let mut j = String::from("{\n");
+            let _ = writeln!(j, "  \"bench\": \"paxos\",");
+            let _ = writeln!(
+                j,
+                "  \"config\": {{\"participants\": {N_PARTS}, \"grid\": \"n=1..3 x f=0..2\", \
+                 \"kill_matrix_f\": [0, 1], \"reload_txns\": {load}}},"
+            );
+            let _ = writeln!(j, "  \"campaigns\": [");
+            for (i, c) in campaigns.iter().enumerate() {
+                let _ = writeln!(
+                    j,
+                    "    {{\"f\": {}, \"blocked_while_dead\": {}, \"failover_decider\": {}, \
+                     \"enforced_after_restart\": {}, \"leader_recovered\": {}, \
+                     \"reload\": [{}, {}, {}], \"violations\": {}}}{}",
+                    c.f,
+                    c.enforced_while_dead.is_empty(),
+                    c.failover_decider.map_or_else(|| "null".to_string(), |s| s.to_string()),
+                    c.enforced_final.len(),
+                    c.leader_recovered,
+                    c.clean.0,
+                    c.clean.1,
+                    c.clean.2,
+                    c.violations.len(),
+                    if i + 1 < campaigns.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "  ],");
+            let _ = writeln!(
+                j,
+                "  \"acceptance\": {{\"analytic_mismatches\": {analytic_mismatches}, \
+                 \"pass\": {}}}\n}}",
+                failures == 0
+            );
+            let bench_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_paxos.json");
+            std::fs::write(&bench_path, &j).expect("write BENCH_paxos.json");
+            println!("\nwrote {}", bench_path.display());
+        }
+
+        if failures > 0 {
+            println!("\nexp_paxos FAILED: {failures} check(s)");
+            exit(1);
+        }
+        println!(
+            "\nexp_paxos OK: cost model exact on the 9-cell grid; f=0 blocked until its leader \
+             restarted, f=1 committed through failover with the leader dead; 0 violations"
+        );
+    }
+}
+
+#[cfg(unix)]
+fn main() {
+    run::main();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("exp_paxos: the paxos campaign is unix-only");
+}

@@ -61,6 +61,7 @@ fn bench_delays() -> NetDelays {
         ack_resend: Duration::from_secs(10),
         inquiry_retry: Duration::from_secs(10),
         apply_retry: Duration::from_secs(10),
+        ..NetDelays::default()
     }
 }
 

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod paxos;
 pub mod report;
 pub mod state;
 
 pub use explore::{check, CheckConfig};
+pub use paxos::{check_paxos, PaxosCheckConfig};
 pub use report::{CheckReport, Counterexample};
 pub use state::{CheckState, Trail};

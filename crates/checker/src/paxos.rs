@@ -1,0 +1,562 @@
+//! Bounded exploration for Paxos Commit clusters.
+//!
+//! The classic checker ([`crate::explore`]) explores a single
+//! coordinator against its participants; the failure model there is
+//! crash+recover. Paxos Commit exists for a *harsher* model — permanent
+//! coordinator loss — so this exploration adds a **kill** move:
+//! fail-stop with no recovery, applicable to any acceptor including the
+//! leader. Killed sites receive nothing ever again; their accepted
+//! bundles survive only as replicas on the other `2f` acceptors, which
+//! is exactly the mechanism under test.
+//!
+//! At every state the ACTA history is checked for atomicity (the same
+//! invariant as the classic checker: a failover candidate that decides
+//! differently from the dead leader shows up here as a divergent
+//! `Decide`). At terminal states the Definition-2 safe-state predicate
+//! is additionally evaluated in its replicated form (see
+//! [`replicated_safe_state`]): every inquiry response given by any
+//! replica — post-forget responses are by presumption — must match the
+//! cluster's decided outcome.
+//!
+//! The exploration is a serial BFS: the replicated-coordinator
+//! configurations worth checking are small (the cluster adds `2f`
+//! engines but the per-transaction protocol is still one instance per
+//! participant), and a serial frontier keeps the report trivially
+//! deterministic. Counterexample trails are shortest witnesses, as in
+//! the classic checker.
+
+use crate::report::{CheckReport, Counterexample};
+use crate::state::{ArmedTimer, CheckState, Trail};
+use acp_acta::{check_atomicity, History};
+use acp_core::paxos::{PaxosConfig, PaxosNode};
+use acp_core::{Action, Participant};
+use acp_types::{Message, Payload, ProtocolKind, SiteId, TxnId, Vote};
+use acp_wal::MemLog;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// What to explore.
+#[derive(Clone, Debug)]
+pub struct PaxosCheckConfig {
+    /// Participant count `N` (PrN engines at sites `1..=N`).
+    pub n_participants: usize,
+    /// Tolerated failures `f`: acceptors at site 0 and `N+1..=N+2f`.
+    pub f: usize,
+    /// Per-participant votes (sites `1..=N` in order); missing entries
+    /// vote `Yes`.
+    pub votes: Vec<Vote>,
+    /// How many **permanent** kills may occur (any acceptor, any point).
+    pub kills: u8,
+    /// How many crash+recover events may occur (any site, any point).
+    pub crashes: u8,
+    /// How many messages may be dropped.
+    pub drops: u8,
+    /// How many timers may fire.
+    pub timer_fires: u8,
+    /// State-count safety valve.
+    pub max_states: usize,
+}
+
+impl PaxosCheckConfig {
+    /// A default bounded configuration: one permanent kill, no
+    /// crash+recover, no drops, two timer firings — the leader-failover
+    /// envelope (one completion watchdog, one decision resend).
+    #[must_use]
+    pub fn new(n_participants: usize, f: usize) -> Self {
+        PaxosCheckConfig {
+            n_participants,
+            f,
+            votes: Vec::new(),
+            kills: 1,
+            crashes: 0,
+            drops: 0,
+            timer_fires: 2,
+            max_states: 2_000_000,
+        }
+    }
+
+    fn leader(&self) -> SiteId {
+        SiteId::new(0)
+    }
+
+    fn participant_sites(&self) -> Vec<SiteId> {
+        (1..=self.n_participants as u32).map(SiteId::new).collect()
+    }
+
+    fn paxos_config(&self) -> PaxosConfig {
+        let n = self.n_participants as u32;
+        let mut acceptors = vec![self.leader()];
+        acceptors.extend((n + 1..=n + 2 * self.f as u32).map(SiteId::new));
+        PaxosConfig::new(acceptors)
+    }
+}
+
+/// The transaction every exploration runs.
+const TXN: TxnId = TxnId(1);
+
+/// One complete cluster state of the bounded exploration.
+struct PaxosState {
+    nodes: BTreeMap<SiteId, PaxosNode<MemLog>>,
+    parts: BTreeMap<SiteId, Participant<MemLog>>,
+    /// Permanently killed sites: deliver nothing, fire nothing, forever.
+    dead: BTreeSet<SiteId>,
+    in_flight: Vec<Message>,
+    timers: BTreeSet<ArmedTimer>,
+    kills_left: u8,
+    crashes_left: u8,
+    drops_left: u8,
+    timers_left: u8,
+    history: History,
+    trail: Trail,
+}
+
+impl Clone for PaxosState {
+    fn clone(&self) -> Self {
+        PaxosState {
+            nodes: self.nodes.clone(),
+            parts: self.parts.clone(),
+            dead: self.dead.clone(),
+            in_flight: self.in_flight.clone(),
+            timers: self.timers.clone(),
+            kills_left: self.kills_left,
+            crashes_left: self.crashes_left,
+            drops_left: self.drops_left,
+            timers_left: self.timers_left,
+            history: self.history.clone(),
+            trail: self.trail.clone(),
+        }
+    }
+}
+
+impl PaxosState {
+    /// Absorb a batch of engine actions at `site`. Sends addressed to a
+    /// killed site are discarded outright — nothing can ever deliver
+    /// them, and keeping them would only inflate the state space.
+    fn absorb(&mut self, site: SiteId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, payload } => {
+                    if !self.dead.contains(&to) {
+                        self.in_flight.push(Message::new(site, to, payload));
+                    }
+                }
+                Action::SetTimer { token, purpose, .. } => {
+                    self.timers.insert(ArmedTimer {
+                        site,
+                        token,
+                        purpose,
+                    });
+                }
+                Action::Acta(e) => self.history.push(e),
+                Action::Enforce { .. } | Action::Gc { .. } => {}
+            }
+        }
+    }
+
+    fn deliverable(&self) -> Vec<usize> {
+        let mut seen_links: BTreeSet<(SiteId, SiteId)> = BTreeSet::new();
+        let mut idxs = Vec::new();
+        for (i, m) in self.in_flight.iter().enumerate() {
+            if seen_links.insert((m.from, m.to)) {
+                idxs.push(i);
+            }
+        }
+        idxs
+    }
+
+    fn dispatch(&mut self, to: SiteId, from: SiteId, payload: &Payload) {
+        let actions = if let Some(node) = self.nodes.get_mut(&to) {
+            node.on_message(from, payload)
+        } else {
+            self.parts
+                .get_mut(&to)
+                .expect("site")
+                .on_message(from, payload)
+        };
+        self.absorb(to, actions);
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.in_flight.is_empty() && (self.timers.is_empty() || self.timers_left == 0)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for (site, n) in &self.nodes {
+            site.hash(&mut h);
+            n.hash_state(&mut h);
+        }
+        for (site, p) in &self.parts {
+            site.hash(&mut h);
+            p.hash_state(&mut h);
+        }
+        self.dead.hash(&mut h);
+        let mut links: Vec<(SiteId, SiteId)> =
+            self.in_flight.iter().map(|m| (m.from, m.to)).collect();
+        links.sort_unstable();
+        links.dedup();
+        for &(from, to) in &links {
+            (from, to).hash(&mut h);
+            for m in &self.in_flight {
+                if m.from == from && m.to == to {
+                    m.payload.hash(&mut h);
+                }
+            }
+        }
+        for t in &self.timers {
+            (t.site, t.token).hash(&mut h);
+        }
+        (
+            self.kills_left,
+            self.crashes_left,
+            self.drops_left,
+            self.timers_left,
+        )
+            .hash(&mut h);
+        h.finish()
+    }
+}
+
+fn initial_state(config: &PaxosCheckConfig) -> PaxosState {
+    let pc = config.paxos_config();
+    let mut nodes = BTreeMap::new();
+    for &site in &pc.acceptors {
+        nodes.insert(site, PaxosNode::new(site, pc.clone(), MemLog::new()));
+    }
+    let mut parts = BTreeMap::new();
+    for (i, site) in config.participant_sites().into_iter().enumerate() {
+        let mut p = Participant::new(site, ProtocolKind::PrN, MemLog::new());
+        if let Some(&v) = config.votes.get(i) {
+            p.set_intent(TXN, v);
+        }
+        parts.insert(site, p);
+    }
+    let mut state = PaxosState {
+        nodes,
+        parts,
+        dead: BTreeSet::new(),
+        in_flight: Vec::new(),
+        timers: BTreeSet::new(),
+        kills_left: config.kills,
+        crashes_left: config.crashes,
+        drops_left: config.drops,
+        timers_left: config.timer_fires,
+        history: History::new(),
+        trail: Trail::new(),
+    };
+    let sites = config.participant_sites();
+    let actions = state
+        .nodes
+        .get_mut(&config.leader())
+        .expect("leader")
+        .begin_commit(TXN, &sites);
+    state.absorb(config.leader(), actions);
+    state.trail.push("begin commit");
+    state
+}
+
+/// All successor states of `state`.
+fn successors(state: &PaxosState) -> Vec<PaxosState> {
+    let mut next = Vec::new();
+
+    // 1. Deliver the head message of any link.
+    for idx in state.deliverable() {
+        let mut s = state.clone();
+        let msg = s.in_flight.remove(idx);
+        s.trail
+            .push(format!("deliver {}", CheckState::describe_message(&msg)));
+        s.dispatch(msg.to, msg.from, &msg.payload);
+        next.push(s);
+    }
+
+    // 2. Drop the head message of any link (omission failure).
+    if state.drops_left > 0 {
+        for idx in state.deliverable() {
+            let mut s = state.clone();
+            let msg = s.in_flight.remove(idx);
+            s.drops_left -= 1;
+            s.trail
+                .push(format!("DROP {}", CheckState::describe_message(&msg)));
+            next.push(s);
+        }
+    }
+
+    // 3. KILL any live acceptor: permanent fail-stop. Volatile state and
+    //    armed timers die; messages in flight to the site are lost; the
+    //    site never acts again. This is the move 2PC cannot survive.
+    if state.kills_left > 0 {
+        for &site in state.nodes.keys() {
+            if state.dead.contains(&site) {
+                continue;
+            }
+            let mut s = state.clone();
+            s.kills_left -= 1;
+            s.dead.insert(site);
+            s.in_flight.retain(|m| m.to != site);
+            s.timers.retain(|t| t.site != site);
+            s.trail.push(format!("KILL {site}"));
+            s.history.push(acp_acta::ActaEvent::Crash { site });
+            s.nodes.get_mut(&site).expect("site").crash();
+            next.push(s);
+        }
+    }
+
+    // 4. Crash + recover any live site (acceptor or participant).
+    if state.crashes_left > 0 {
+        let sites: Vec<SiteId> = state
+            .nodes
+            .keys()
+            .chain(state.parts.keys())
+            .copied()
+            .filter(|s| !state.dead.contains(s))
+            .collect();
+        for site in sites {
+            let mut s = state.clone();
+            s.crashes_left -= 1;
+            s.in_flight.retain(|m| m.to != site);
+            s.timers.retain(|t| t.site != site);
+            s.trail.push(format!("CRASH+RECOVER {site}"));
+            s.history.push(acp_acta::ActaEvent::Crash { site });
+            let actions = if let Some(node) = s.nodes.get_mut(&site) {
+                node.crash();
+                node.recover()
+            } else {
+                let p = s.parts.get_mut(&site).expect("site");
+                p.crash();
+                p.recover()
+            };
+            s.history.push(acp_acta::ActaEvent::Recover { site });
+            s.absorb(site, actions);
+            next.push(s);
+        }
+    }
+
+    // 5. Fire any armed timer at a live site — but only when the
+    //    network is quiescent. Timeout bases (80ms+) dwarf message
+    //    latency (200us) by construction, so a timer firing while the
+    //    message it waits for is still in flight is not a realizable
+    //    schedule; excluding those races is what keeps the replicated
+    //    cluster's interleaving space within exhaustive reach. Drops,
+    //    kills and crashes all *create* quiescent states, so every
+    //    interesting timeout schedule (lost vote, dead leader, lost
+    //    decision) is still explored.
+    if state.in_flight.is_empty() && state.timers_left > 0 {
+        let timers: Vec<ArmedTimer> = state.timers.iter().cloned().collect();
+        for t in timers {
+            if state.dead.contains(&t.site) {
+                continue;
+            }
+            let mut s = state.clone();
+            s.timers.remove(&t);
+            s.timers_left -= 1;
+            s.trail.push(format!("timer {} at {}", t.purpose, t.site));
+            let actions = if let Some(node) = s.nodes.get_mut(&t.site) {
+                node.on_timer(t.token)
+            } else {
+                s.parts.get_mut(&t.site).expect("site").on_timer(t.token)
+            };
+            s.absorb(t.site, actions);
+            next.push(s);
+        }
+    }
+
+    next
+}
+
+/// Definition 2 for a *replicated* coordinator.
+///
+/// [`acp_acta::check_safe_state`] assumes the single-coordinator world: every
+/// inquiry in the history is implicitly addressed to the one
+/// coordinator, so an unanswered post-forget inquiry is a violation.
+/// In a cluster, a participant may address its inquiry to a **dead**
+/// replica — `Inquire` events carry no target — and silence from a
+/// corpse is a liveness concern, not a presumption error. What
+/// Definition 2 pins down here is the part that can actually go wrong:
+/// any response any replica *does* give (post-forget responses are by
+/// presumption) must match the cluster's decided outcome. Divergent
+/// `Decide`s across replicas are the atomicity checker's business.
+fn replicated_safe_state(history: &History) -> Vec<acp_acta::AtomicityViolation> {
+    use acp_acta::ActaEvent;
+    let decided = history.events().iter().find_map(|e| match e {
+        ActaEvent::Decide { txn, outcome, .. } if *txn == TXN => Some(*outcome),
+        _ => None,
+    });
+    let Some(decided) = decided else {
+        return Vec::new();
+    };
+    let mut violations = Vec::new();
+    for e in history.events() {
+        if let ActaEvent::Respond {
+            coordinator,
+            txn,
+            participant,
+            outcome,
+            ..
+        } = e
+        {
+            if *txn == TXN && *outcome != decided {
+                violations.push(acp_acta::AtomicityViolation {
+                    txn: *txn,
+                    detail: format!(
+                        "safe-state: {coordinator} answered {participant}'s inquiry \
+                         with {outcome}, but the cluster decided {decided}"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Run the bounded exploration of a Paxos Commit cluster.
+#[must_use]
+pub fn check_paxos(config: &PaxosCheckConfig) -> CheckReport {
+    let mut report = CheckReport::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    let init = initial_state(config);
+    seen.insert(init.fingerprint());
+    let mut frontier = vec![init];
+
+    while !frontier.is_empty() {
+        let budget = config.max_states.saturating_sub(report.states_explored);
+        if frontier.len() >= budget {
+            frontier.truncate(budget);
+            report.truncated = true;
+        }
+        report.states_explored += frontier.len();
+        if std::env::var_os("ACP_CHECK_DEBUG").is_some() {
+            eprintln!(
+                "level: frontier={} explored={} terminal={}",
+                frontier.len(),
+                report.states_explored,
+                report.terminal_states
+            );
+        }
+
+        let mut next = Vec::new();
+        for state in &frontier {
+            let mut violations = check_atomicity(&state.history);
+            if state.is_terminal() {
+                report.terminal_states += 1;
+                // Live-node residency: killed sites hold their tables
+                // forever by construction, which is not a leak.
+                let table = state
+                    .nodes
+                    .iter()
+                    .filter(|(s, _)| !state.dead.contains(s))
+                    .map(|(_, n)| n.protocol_table_size())
+                    .max()
+                    .unwrap_or(0);
+                report.max_terminal_table = report.max_terminal_table.max(table);
+                if table == 0 {
+                    report.terminal_states_fully_forgotten += 1;
+                }
+                violations.extend(replicated_safe_state(&state.history));
+            }
+            if !violations.is_empty() {
+                let trail = state.trail.to_vec();
+                let history = state.history.to_string();
+                for v in violations {
+                    report.counterexamples.push(Counterexample {
+                        violation: v,
+                        trail: trail.clone(),
+                        history: history.clone(),
+                        count: 1,
+                    });
+                }
+                continue;
+            }
+
+            for s in successors(state) {
+                if seen.insert(s.fingerprint()) {
+                    next.push(s);
+                }
+            }
+        }
+
+        if report.truncated {
+            break;
+        }
+        frontier = next;
+    }
+
+    report.canonicalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{check, CheckConfig};
+    use acp_types::CoordinatorKind;
+
+    #[test]
+    fn f1_survives_a_leader_kill_without_violations() {
+        // One participant, three acceptors, one permanent kill anywhere,
+        // two timer firings: every interleaving — including kill-the-
+        // leader-after-phase2a followed by a watchdog failover — must
+        // keep the history atomic and the terminal states safe.
+        let config = PaxosCheckConfig::new(1, 1);
+        let report = check_paxos(&config);
+        assert!(!report.truncated, "{report}");
+        assert!(report.clean(), "{report}");
+        assert!(report.terminal_states > 0);
+        // Some branch completes fully (kill spent on a non-critical
+        // acceptor, or not at all... the budget is optional).
+        assert!(report.terminal_states_fully_forgotten > 0, "{report}");
+    }
+
+    #[test]
+    fn f1_with_two_participants_and_a_no_voter_stays_clean() {
+        let mut config = PaxosCheckConfig::new(2, 1);
+        config.votes = vec![Vote::Yes, Vote::No];
+        config.timer_fires = 1;
+        let report = check_paxos(&config);
+        assert!(!report.truncated, "{report}");
+        assert!(report.clean(), "{report}");
+        assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn f1_with_crash_recover_and_drops_stays_clean() {
+        let mut config = PaxosCheckConfig::new(1, 1);
+        config.kills = 1;
+        config.crashes = 1;
+        config.drops = 1;
+        config.timer_fires = 2;
+        config.max_states = 8_000_000;
+        let report = check_paxos(&config);
+        assert!(!report.truncated, "{report}");
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn f0_verdicts_match_the_classic_prn_exploration() {
+        // Satellite: with one acceptor, the Paxos exploration must agree
+        // with the classic checker on PrN — clean, complete, and with
+        // fully-forgotten terminal states on both sides.
+        let mut paxos_cfg = PaxosCheckConfig::new(2, 0);
+        paxos_cfg.kills = 0;
+        paxos_cfg.crashes = 1;
+        paxos_cfg.drops = 1;
+        paxos_cfg.timer_fires = 2;
+        let paxos = check_paxos(&paxos_cfg);
+
+        let classic_cfg = CheckConfig::new(
+            CoordinatorKind::Single(ProtocolKind::PrN),
+            &[ProtocolKind::PrN, ProtocolKind::PrN],
+        );
+        let classic = check(&classic_cfg);
+
+        assert!(!paxos.truncated && !classic.truncated);
+        assert_eq!(paxos.clean(), classic.clean(), "paxos={paxos} classic={classic}");
+        assert!(paxos.clean());
+        assert!(paxos.terminal_states > 0 && classic.terminal_states > 0);
+        assert_eq!(
+            paxos.terminal_states_fully_forgotten > 0,
+            classic.terminal_states_fully_forgotten > 0
+        );
+    }
+}

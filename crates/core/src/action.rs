@@ -20,6 +20,11 @@ pub enum TimerPurpose {
     /// Gateway: retry applying a committed write set to a temporarily
     /// unavailable legacy system (the redo technique of Figure 5).
     ApplyRetry,
+    /// Paxos acceptor: the transaction it learned about has not
+    /// completed; when this fires the acceptor starts (or retries)
+    /// leader failover with a fresh ballot. Armings are staggered by
+    /// acceptor rank so the lowest live acceptor takes over first.
+    PaxosCompletion,
 }
 
 impl TimerPurpose {
@@ -32,6 +37,7 @@ impl TimerPurpose {
             TimerPurpose::AckResend => "ack-resend",
             TimerPurpose::InquiryRetry => "inquiry-retry",
             TimerPurpose::ApplyRetry => "apply-retry",
+            TimerPurpose::PaxosCompletion => "paxos-completion",
         }
     }
 }

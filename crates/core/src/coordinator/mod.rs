@@ -629,10 +629,18 @@ impl<L: StableLog> Coordinator<L> {
             Payload::Inquiry { txn, protocol } => {
                 self.on_inquiry(from, *txn, *protocol, &mut out);
             }
-            // Coordinator-side protocol ignores everything else (§2).
+            // Coordinator-side protocol ignores everything else (§2) —
+            // including the Paxos Commit vocabulary, which only the
+            // `paxos` engines speak.
             Payload::Prepare { .. }
             | Payload::Decision { .. }
-            | Payload::InquiryResponse { .. } => {}
+            | Payload::InquiryResponse { .. }
+            | Payload::PaxosBegin { .. }
+            | Payload::Phase1a { .. }
+            | Payload::Phase1b { .. }
+            | Payload::Phase2a { .. }
+            | Payload::Phase2b { .. }
+            | Payload::PaxosForget { .. } => {}
         }
         out
     }
@@ -833,8 +841,10 @@ impl<L: StableLog> Coordinator<L> {
                     }
                 }
             }
-            // Participant/gateway-side purposes: not ours.
-            TimerPurpose::InquiryRetry | TimerPurpose::ApplyRetry => {}
+            // Participant/gateway/paxos-side purposes: not ours.
+            TimerPurpose::InquiryRetry
+            | TimerPurpose::ApplyRetry
+            | TimerPurpose::PaxosCompletion => {}
         }
         out
     }

@@ -216,6 +216,82 @@ impl BatchedPrediction {
     }
 }
 
+/// Predicted costs for one failure-free Paxos Commit transaction,
+/// split by role (experiment E16 extends the E8 table with these rows).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PaxosPredictedCosts {
+    /// Leader (acceptor rank 0) forced log writes: one bundled
+    /// `paxos-accept` per transaction.
+    pub leader_forces: u64,
+    /// Leader total log records (the bundle + the lazy end marker).
+    pub leader_records: u64,
+    /// Forced writes summed across the `2f` remote acceptors.
+    pub acceptor_forces: u64,
+    /// Log records summed across the `2f` remote acceptors.
+    pub acceptor_records: u64,
+    /// Forced writes summed across the `n` participants.
+    pub part_forces: u64,
+    /// Log records summed across the `n` participants.
+    pub part_records: u64,
+    /// Total coordination messages (see the flow table in
+    /// [`crate::paxos`]): `4n + 8f` for both outcomes.
+    pub messages: u64,
+}
+
+impl PaxosPredictedCosts {
+    /// Total forced writes in the system.
+    #[must_use]
+    pub fn total_forces(&self) -> u64 {
+        self.leader_forces + self.acceptor_forces + self.part_forces
+    }
+
+    /// The coordinator-side slice of the prediction as a
+    /// [`PredictedCosts`], for comparing the `f = 0` degeneracy against
+    /// `predict(Single(PrN), ..)` field-for-field.
+    #[must_use]
+    pub fn as_predicted(&self) -> PredictedCosts {
+        PredictedCosts {
+            coord_forces: self.leader_forces,
+            coord_records: self.leader_records,
+            part_forces: self.part_forces,
+            part_records: self.part_records,
+            messages: self.messages,
+        }
+    }
+}
+
+/// Predict the costs of one failure-free Paxos Commit transaction over
+/// `n` participants with tolerance `f`, where every participant votes
+/// "Yes" (for the abort case the client then requests abort — the same
+/// situation the E8 figures measure).
+///
+/// Paxos runs the *same* consensus round for both outcomes (an abort is
+/// an all-Aborted bundle), so unlike the presumption protocols the two
+/// columns are identical — the price of non-blocking termination. At
+/// `f = 0` the prediction collapses onto
+/// `predict(Single(PrN), outcome, ..)` exactly: 2PC is the degenerate
+/// case, record for record and message for message.
+#[must_use]
+pub fn predict_paxos(n: usize, f: usize, _outcome: Outcome) -> PaxosPredictedCosts {
+    let n = n as u64;
+    let f = f as u64;
+    PaxosPredictedCosts {
+        // One bundled paxos-accept force, then the lazy end marker.
+        leader_forces: 1,
+        leader_records: 2,
+        // Each remote acceptor mirrors the leader's log shape.
+        acceptor_forces: 2 * f,
+        acceptor_records: 4 * f,
+        // Participants are plain PrN: forced prepared + forced decision
+        // + lazy end marker each.
+        part_forces: 2 * n,
+        part_records: 3 * n,
+        // begin 2f + prepare n + vote n + phase2a 2f + phase2b 2f
+        // + decision n + ack n + forget 2f.
+        messages: 4 * n + 8 * f,
+    }
+}
+
 /// Predict the batched cost of `n_txns` identical concurrent
 /// transactions with group-commit batches of at most `batch`
 /// transactions per slot.
@@ -377,6 +453,39 @@ mod tests {
             let p = predict_batched(kind, Outcome::Commit, pop, 10, batch).physical_forces;
             assert!(p <= last);
             last = p;
+        }
+    }
+
+    #[test]
+    fn paxos_f0_is_exactly_prn() {
+        // Gray & Lamport: 2PC is Paxos Commit with one acceptor. The
+        // analytic tables must agree record-for-record at f = 0.
+        for n in 1..=4 {
+            let pop = Population::new(n, 0, 0);
+            for o in [Outcome::Commit, Outcome::Abort] {
+                let paxos = predict_paxos(n, 0, o);
+                assert_eq!(paxos.acceptor_forces, 0);
+                assert_eq!(paxos.acceptor_records, 0);
+                assert_eq!(
+                    paxos.as_predicted(),
+                    predict(single(ProtocolKind::PrN), o, pop),
+                    "n={n} {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paxos_fault_tolerance_costs_8f_messages_and_2f_forces() {
+        for n in 1..=3 {
+            for f in 0..=2 {
+                let c = predict_paxos(n, f, Outcome::Commit);
+                let base = predict_paxos(n, 0, Outcome::Commit);
+                assert_eq!(c.messages, base.messages + 8 * f as u64);
+                assert_eq!(c.total_forces(), base.total_forces() + 2 * f as u64);
+                // Both outcomes cost the same: abort also runs consensus.
+                assert_eq!(c, predict_paxos(n, f, Outcome::Abort));
+            }
         }
     }
 

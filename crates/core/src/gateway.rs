@@ -460,7 +460,15 @@ impl<L: StableLog> GatewayParticipant<L> {
             Payload::Decision { txn, outcome } | Payload::InquiryResponse { txn, outcome } => {
                 self.on_decision(from, *txn, *outcome)
             }
-            Payload::Vote { .. } | Payload::Ack { .. } | Payload::Inquiry { .. } => Vec::new(),
+            Payload::Vote { .. }
+            | Payload::Ack { .. }
+            | Payload::Inquiry { .. }
+            | Payload::PaxosBegin { .. }
+            | Payload::Phase1a { .. }
+            | Payload::Phase1b { .. }
+            | Payload::Phase2a { .. }
+            | Payload::Phase2b { .. }
+            | Payload::PaxosForget { .. } => Vec::new(),
         }
     }
 

@@ -41,6 +41,8 @@ pub struct TimerDelays {
     pub inquiry_retry: SimTime,
     /// Gateway legacy-apply retry interval.
     pub apply_retry: SimTime,
+    /// Paxos acceptor completion watchdog (leader-failover trigger).
+    pub paxos_completion: SimTime,
     /// Upper bound on any backed-off delay.
     pub max_backoff: SimTime,
 }
@@ -52,6 +54,7 @@ impl Default for TimerDelays {
             ack_resend: SimTime::from_millis(20),
             inquiry_retry: SimTime::from_millis(30),
             apply_retry: SimTime::from_millis(25),
+            paxos_completion: SimTime::from_millis(80),
             max_backoff: SimTime::from_millis(500),
         }
     }
@@ -71,6 +74,7 @@ impl TimerDelays {
             TimerPurpose::AckResend => self.ack_resend,
             TimerPurpose::InquiryRetry => self.inquiry_retry,
             TimerPurpose::ApplyRetry => self.apply_retry,
+            TimerPurpose::PaxosCompletion => self.paxos_completion,
         }
     }
 
@@ -82,6 +86,43 @@ impl TimerDelays {
         let shifted = base.as_micros() << attempt.min(BACKOFF_SHIFT_CAP);
         SimTime::from_micros(shifted.min(self.max_backoff.as_micros()).max(base.as_micros()))
     }
+
+    /// Like [`delay`](Self::delay), but retries (`attempt > 0`) are
+    /// spread by a deterministic ±12.5% jitter derived from `salt`
+    /// (site/timer identity). After a crash, every in-doubt participant
+    /// arms its inquiry retry at the same instant; without jitter each
+    /// backoff round arrives as a synchronized burst at the recovering
+    /// coordinator. Attempt-0 armings are returned *exactly* — clean
+    /// (no-retry) schedules stay byte-identical with jitter enabled.
+    #[must_use]
+    pub fn delay_jittered(&self, purpose: TimerPurpose, attempt: u32, salt: u64) -> SimTime {
+        let d = self.delay(purpose, attempt);
+        if attempt == 0 {
+            return d;
+        }
+        let us = d.as_micros();
+        let span = us / 4; // total jitter window: d/4, centred on d
+        if span == 0 {
+            return d;
+        }
+        let offset = jitter_hash(salt, purpose as u64, u64::from(attempt)) % (span + 1);
+        let jittered = us - span / 2 + offset;
+        SimTime::from_micros(jittered.max(self.base(purpose).as_micros()))
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 over the xor-folded inputs) —
+/// the jitter source for retry backoff. Pure function of its inputs, so
+/// a re-run of the same schedule jitters identically.
+#[must_use]
+pub fn jitter_hash(salt: u64, purpose: u64, attempt: u64) -> u64 {
+    let mut z = salt
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(purpose.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(attempt.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// One transaction in a scenario.
@@ -399,7 +440,15 @@ impl SiteProc {
                     self.next_token += 1;
                     self.timer_map
                         .insert(harness_token, HarnessTimer::Engine(token));
-                    ctx.set_timer(self.delays.delay(purpose, attempt), harness_token);
+                    // Salt the retry jitter with the arming site and the
+                    // engine's own token: two sites backing off from the
+                    // same crash (or one site's distinct transactions)
+                    // de-synchronize instead of re-colliding each round.
+                    let salt = (u64::from(ctx.self_id.raw()) << 32) ^ token;
+                    ctx.set_timer(
+                        self.delays.delay_jittered(purpose, attempt, salt),
+                        harness_token,
+                    );
                 }
                 Action::Acta(event) => {
                     self.emit_acta(&event, ctx);

@@ -27,9 +27,14 @@
 //!   Figure 5's taxonomy: a gateway that simulates a prepared state for
 //!   a legacy system with no commit protocol at all, via exclusive
 //!   right reservations and redo-until-success.
+//! * [`paxos::PaxosNode`] — Paxos Commit (Gray & Lamport): a
+//!   non-blocking replicated coordinator with `2f + 1` acceptors that
+//!   degenerates to 2PC/PrN at `f = 0` and survives a `kill -9` of the
+//!   leader at `f >= 1` via watchdog-triggered leader failover.
 //! * [`cost`] — the analytic cost model (forced writes, log records,
 //!   messages) per protocol × outcome × participant population, checked
-//!   against measured executions in experiment E8.
+//!   against measured executions in experiment E8; extended with
+//!   [`cost::predict_paxos`] for the Paxos Commit rows of the table.
 //! * [`harness`] — glue that runs the engines inside the deterministic
 //!   simulator (`acp-sim`) and produces ACTA histories (`acp-acta`),
 //!   execution traces and final GC states for the correctness checkers.
@@ -53,6 +58,7 @@ pub mod cost;
 pub mod gateway;
 pub mod harness;
 pub mod participant;
+pub mod paxos;
 
 pub use action::{Action, TimerPurpose};
 pub use coordinator::plan::CommitPlan;
@@ -61,3 +67,4 @@ pub use coordinator::table::{shard_of, ShardedTable, TABLE_SHARDS};
 pub use coordinator::Coordinator;
 pub use gateway::{GatewayParticipant, LegacyStore};
 pub use participant::Participant;
+pub use paxos::{PaxosConfig, PaxosNode};

@@ -434,6 +434,18 @@ impl<L: StableLog> Participant<L> {
             Payload::Prepare { txn } => self.on_prepare(from, *txn),
             Payload::Decision { txn, outcome } | Payload::InquiryResponse { txn, outcome } => {
                 if self.active.contains_key(txn) {
+                    // The decision's sender is the coordinator of record
+                    // from here on: under Paxos Commit a failover leader
+                    // (not the coordinator logged in the prepared
+                    // record) may deliver the decision, and the ack must
+                    // reach the site that is still collecting acks. For
+                    // the classic protocols sender and logged
+                    // coordinator coincide, so this is a no-op.
+                    if let Some(PartState::Prepared { coordinator, .. }) =
+                        self.active.get_mut(txn)
+                    {
+                        *coordinator = from;
+                    }
                     self.on_decision(*txn, *outcome)
                 } else {
                     // No memory (already enforced & forgotten, or never
@@ -445,9 +457,17 @@ impl<L: StableLog> Participant<L> {
                     out
                 }
             }
-            Payload::Vote { .. } | Payload::Ack { .. } | Payload::Inquiry { .. } => {
-                // Coordinator-side messages; a participant ignores them
-                // (§2: violations are ignored).
+            Payload::Vote { .. }
+            | Payload::Ack { .. }
+            | Payload::Inquiry { .. }
+            | Payload::PaxosBegin { .. }
+            | Payload::Phase1a { .. }
+            | Payload::Phase1b { .. }
+            | Payload::Phase2a { .. }
+            | Payload::Phase2b { .. }
+            | Payload::PaxosForget { .. } => {
+                // Coordinator/acceptor-side messages; a participant
+                // ignores them (§2: violations are ignored).
                 Vec::new()
             }
         }

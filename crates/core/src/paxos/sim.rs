@@ -1,0 +1,744 @@
+//! Deterministic sim harness for Paxos Commit clusters.
+//!
+//! Site layout: the leader (acceptor rank 0) at site 0, `N`
+//! participants at sites `1..=N` (plain PrN [`Participant`] engines —
+//! Paxos Commit changes the coordinator side only), and the `2f` remote
+//! acceptors at sites `N+1..=N+2f`.
+//!
+//! Unlike [`crate::harness::Scenario`]'s `FailureSchedule`, failures
+//! here distinguish **kills** (permanent fail-stop, never recovered —
+//! the headline leader-`kill -9` case) from **crashes** (fail-stop with
+//! a later recovery that replays the WAL).
+
+use super::{PaxosConfig, PaxosNode};
+use crate::action::Action;
+use crate::harness::{HarnessLog, TimerDelays};
+use crate::participant::Participant;
+
+use acp_acta::{ActaEvent, History};
+use acp_sim::{Context, NetworkConfig, Process, SimTime, Trace, World};
+use acp_types::{CostCounters, Message, Outcome, ProtocolKind, SiteId, TxnId, Vote};
+use acp_wal::{GroupCommitLog, MemLog};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One transaction in a Paxos scenario (all participants take part).
+#[derive(Clone, Debug)]
+pub struct PaxosTxnSpec {
+    /// The transaction id.
+    pub txn: TxnId,
+    /// When the leader starts commit processing.
+    pub start_at: SimTime,
+    /// Per-site votes; sites not listed vote `Yes`.
+    pub votes: BTreeMap<SiteId, Vote>,
+    /// Client abort request at this time.
+    pub abort_at: Option<SimTime>,
+}
+
+/// A complete Paxos Commit experiment description.
+#[derive(Clone, Debug)]
+pub struct PaxosScenario {
+    /// Participant count `N` (sites `1..=N`).
+    pub n_participants: usize,
+    /// Tolerated failures `f` (acceptors: site 0 plus `N+1..=N+2f`).
+    pub f: usize,
+    /// The workload.
+    pub txns: Vec<PaxosTxnSpec>,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// RNG seed (drives latencies, loss).
+    pub seed: u64,
+    /// Timer configuration.
+    pub delays: TimerDelays,
+    /// Safety valve for the event loop.
+    pub max_events: u64,
+    /// Permanent fail-stops: `(site, at)` — the site never recovers.
+    pub kills: Vec<(SiteId, SimTime)>,
+    /// Crash-and-recover: `(site, crash_at, recover_at)`.
+    pub crashes: Vec<(SiteId, SimTime, SimTime)>,
+    /// Bidirectional link severances: `(a, b, from, until)` — both
+    /// directions between `a` and `b` drop messages in `[from, until)`,
+    /// then the link heals.
+    pub partitions: Vec<(SiteId, SiteId, SimTime, SimTime)>,
+}
+
+impl PaxosScenario {
+    /// A clean scenario: `N` participants, tolerance `f`, reliable
+    /// 200us network, no failures, no transactions yet.
+    #[must_use]
+    pub fn new(n_participants: usize, f: usize) -> Self {
+        PaxosScenario {
+            n_participants,
+            f,
+            txns: Vec::new(),
+            network: NetworkConfig::reliable(SimTime::from_micros(200)),
+            seed: 0,
+            delays: TimerDelays::default(),
+            max_events: 1_000_000,
+            kills: Vec::new(),
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The leader's site id (always 0).
+    #[must_use]
+    pub fn leader_site(&self) -> SiteId {
+        SiteId::new(0)
+    }
+
+    /// Participant site ids `1..=N`.
+    #[must_use]
+    pub fn participant_sites(&self) -> Vec<SiteId> {
+        (1..=self.n_participants as u32).map(SiteId::new).collect()
+    }
+
+    /// Remote acceptor site ids `N+1..=N+2f`.
+    #[must_use]
+    pub fn remote_acceptor_sites(&self) -> Vec<SiteId> {
+        let n = self.n_participants as u32;
+        (n + 1..=n + 2 * self.f as u32).map(SiteId::new).collect()
+    }
+
+    /// The cluster configuration (leader first, then remote acceptors).
+    #[must_use]
+    pub fn config(&self) -> PaxosConfig {
+        let mut acceptors = vec![self.leader_site()];
+        acceptors.extend(self.remote_acceptor_sites());
+        PaxosConfig::new(acceptors)
+    }
+
+    /// Add a transaction started at `start_at` with every site voting
+    /// `Yes`.
+    pub fn add_txn(&mut self, txn: TxnId, start_at: SimTime) -> &mut PaxosTxnSpec {
+        self.txns.push(PaxosTxnSpec {
+            txn,
+            start_at,
+            votes: BTreeMap::new(),
+            abort_at: None,
+        });
+        self.txns.last_mut().expect("just pushed")
+    }
+}
+
+/// What a Paxos scenario run produced.
+#[derive(Clone, Debug)]
+pub struct PaxosOutcome {
+    /// The complete ACTA history.
+    pub history: History,
+    /// The simulator trace.
+    pub trace: Trace,
+    /// The decision per transaction (union over acceptor nodes; the
+    /// atomicity checker separately asserts the nodes never disagree).
+    pub decided: BTreeMap<TxnId, Outcome>,
+    /// Decisions per deciding site (leader or failover candidate).
+    pub decided_by_site: BTreeMap<(SiteId, TxnId), Outcome>,
+    /// Outcomes enforced per (participant site, txn).
+    pub enforced: BTreeMap<(SiteId, TxnId), Outcome>,
+    /// Transactions a participant still holds prepared and unresolved
+    /// at quiescence — the blocked/in-doubt survivors 2PC is famous for.
+    pub in_doubt: Vec<(SiteId, TxnId)>,
+    /// Per-transaction costs at the leader.
+    pub leader_costs: BTreeMap<TxnId, CostCounters>,
+    /// Per-transaction costs at each remote acceptor.
+    pub acceptor_costs: BTreeMap<(SiteId, TxnId), CostCounters>,
+    /// Per-transaction costs at each participant.
+    pub participant_costs: BTreeMap<(SiteId, TxnId), CostCounters>,
+    /// Live transactions at each paxos node at the end of the run.
+    pub node_table_sizes: BTreeMap<SiteId, usize>,
+    /// Log records retained per paxos node at the end of the run.
+    pub node_log_retained: BTreeMap<SiteId, usize>,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+}
+
+impl PaxosOutcome {
+    /// Aggregate cost of one transaction across the whole system.
+    #[must_use]
+    pub fn total_costs(&self, txn: TxnId) -> CostCounters {
+        let mut total = self.leader_costs.get(&txn).copied().unwrap_or_default();
+        for ((_, t), c) in self.acceptor_costs.iter().chain(&self.participant_costs) {
+            if *t == txn {
+                total += *c;
+            }
+        }
+        total
+    }
+}
+
+enum PaxosInner {
+    Node {
+        engine: PaxosNode<HarnessLog>,
+        /// Leader only: transactions to start, with client-abort times.
+        starts: Vec<(SimTime, TxnId, Vec<SiteId>, Option<SimTime>)>,
+    },
+    Part(Participant<HarnessLog>),
+}
+
+enum PaxosTimer {
+    Engine(u64),
+    Start(u64),
+    ClientAbort(TxnId),
+}
+
+/// A site process wrapping either a [`PaxosNode`] or a [`Participant`].
+pub struct PaxosProc {
+    inner: PaxosInner,
+    history: Rc<RefCell<History>>,
+    delays: TimerDelays,
+    timer_map: BTreeMap<u64, PaxosTimer>,
+    /// Client requests not yet submitted (survive leader crashes and
+    /// are re-armed by `on_recover`, like the main harness).
+    pending_starts: BTreeMap<u64, (SimTime, TxnId, Vec<SiteId>)>,
+    next_token: u64,
+}
+
+impl PaxosProc {
+    fn node(&self) -> &PaxosNode<HarnessLog> {
+        match &self.inner {
+            PaxosInner::Node { engine, .. } => engine,
+            PaxosInner::Part(_) => panic!("not a paxos node site"),
+        }
+    }
+
+    fn participant(&self) -> &Participant<HarnessLog> {
+        match &self.inner {
+            PaxosInner::Part(p) => p,
+            PaxosInner::Node { .. } => panic!("not a participant site"),
+        }
+    }
+
+    fn handle_actions(&mut self, actions: Vec<Action>, ctx: &mut Context) {
+        for action in actions {
+            match action {
+                Action::Send { to, payload } => ctx.send(to, payload),
+                Action::Enforce { txn, outcome } => {
+                    ctx.note("enforce", format!("{txn} {outcome}"));
+                }
+                Action::SetTimer {
+                    token,
+                    purpose,
+                    attempt,
+                } => {
+                    let harness_token = self.next_token;
+                    self.next_token += 1;
+                    self.timer_map
+                        .insert(harness_token, PaxosTimer::Engine(token));
+                    let salt = (u64::from(ctx.self_id.raw()) << 32) ^ token;
+                    ctx.set_timer(
+                        self.delays.delay_jittered(purpose, attempt, salt),
+                        harness_token,
+                    );
+                }
+                Action::Acta(event) => {
+                    if let ActaEvent::Decide { txn, outcome, .. } = &event {
+                        ctx.note("decide", format!("{txn} {outcome}"));
+                    }
+                    self.history.borrow_mut().push(event);
+                }
+                Action::Gc { .. } => {}
+            }
+        }
+    }
+}
+
+impl Process for PaxosProc {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if let PaxosInner::Node { starts, .. } = &mut self.inner {
+            let starts = std::mem::take(starts);
+            for (at, txn, participants, abort_at) in starts {
+                let start_key = self.next_token;
+                self.next_token += 1;
+                self.pending_starts
+                    .insert(start_key, (at, txn, participants));
+                let harness_token = self.next_token;
+                self.next_token += 1;
+                self.timer_map
+                    .insert(harness_token, PaxosTimer::Start(start_key));
+                ctx.set_timer(at, harness_token);
+                if let Some(abort_at) = abort_at {
+                    let abort_token = self.next_token;
+                    self.next_token += 1;
+                    self.timer_map
+                        .insert(abort_token, PaxosTimer::ClientAbort(txn));
+                    ctx.set_timer(abort_at, abort_token);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, msg: &Message, ctx: &mut Context) {
+        let actions = match &mut self.inner {
+            PaxosInner::Node { engine, .. } => engine.on_message(msg.from, &msg.payload),
+            PaxosInner::Part(p) => p.on_message(msg.from, &msg.payload),
+        };
+        self.handle_actions(actions, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        let Some(entry) = self.timer_map.remove(&token) else {
+            return;
+        };
+        let actions = match entry {
+            PaxosTimer::Engine(engine_token) => match &mut self.inner {
+                PaxosInner::Node { engine, .. } => engine.on_timer(engine_token),
+                PaxosInner::Part(p) => p.on_timer(engine_token),
+            },
+            PaxosTimer::Start(start_key) => {
+                let Some((_, txn, participants)) = self.pending_starts.remove(&start_key) else {
+                    return;
+                };
+                match &mut self.inner {
+                    PaxosInner::Node { engine, .. } => engine.begin_commit(txn, &participants),
+                    PaxosInner::Part(_) => unreachable!("starts only live on the leader"),
+                }
+            }
+            PaxosTimer::ClientAbort(txn) => match &mut self.inner {
+                PaxosInner::Node { engine, .. } => engine.abort_request(txn),
+                PaxosInner::Part(_) => unreachable!("client aborts only live on the leader"),
+            },
+        };
+        self.handle_actions(actions, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.timer_map.clear();
+        match &mut self.inner {
+            PaxosInner::Node { engine, .. } => {
+                self.history.borrow_mut().push(ActaEvent::Crash {
+                    site: engine.site(),
+                });
+                engine.crash();
+            }
+            PaxosInner::Part(p) => {
+                self.history
+                    .borrow_mut()
+                    .push(ActaEvent::Crash { site: p.site() });
+                p.crash();
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context) {
+        let (site, actions) = match &mut self.inner {
+            PaxosInner::Node { engine, .. } => (engine.site(), engine.recover()),
+            PaxosInner::Part(p) => (p.site(), p.recover()),
+        };
+        self.history.borrow_mut().push(ActaEvent::Recover { site });
+        self.handle_actions(actions, ctx);
+        let keys: Vec<u64> = self.pending_starts.keys().copied().collect();
+        for start_key in keys {
+            let (at, _, _) = self.pending_starts[&start_key];
+            let delay = at - ctx.now;
+            let harness_token = self.next_token;
+            self.next_token += 1;
+            self.timer_map
+                .insert(harness_token, PaxosTimer::Start(start_key));
+            ctx.set_timer(delay, harness_token);
+        }
+    }
+}
+
+/// Run a Paxos Commit scenario to quiescence.
+#[must_use]
+pub fn run_paxos_scenario(scenario: &PaxosScenario) -> PaxosOutcome {
+    let history = Rc::new(RefCell::new(History::new()));
+    let mut world: World<PaxosProc> = World::new(scenario.network, scenario.seed);
+    let config = scenario.config();
+    let make_log = || GroupCommitLog::passthrough(MemLog::new());
+
+    let proc_shell = |inner, history: &Rc<RefCell<History>>, delays| PaxosProc {
+        inner,
+        history: Rc::clone(history),
+        delays,
+        timer_map: BTreeMap::new(),
+        pending_starts: BTreeMap::new(),
+        next_token: 0,
+    };
+
+    // The leader (acceptor rank 0) at site 0.
+    let leader = scenario.leader_site();
+    let participants = scenario.participant_sites();
+    let starts: Vec<(SimTime, TxnId, Vec<SiteId>, Option<SimTime>)> = scenario
+        .txns
+        .iter()
+        .map(|t| (t.start_at, t.txn, participants.clone(), t.abort_at))
+        .collect();
+    world.add(
+        leader,
+        proc_shell(
+            PaxosInner::Node {
+                engine: PaxosNode::new(leader, config.clone(), make_log()),
+                starts,
+            },
+            &history,
+            scenario.delays,
+        ),
+    );
+
+    // Participants at sites 1..=N: plain PrN engines.
+    for &site in &participants {
+        let mut engine = Participant::new(site, ProtocolKind::PrN, make_log());
+        for spec in &scenario.txns {
+            if let Some(&vote) = spec.votes.get(&site) {
+                engine.set_intent(spec.txn, vote);
+            }
+        }
+        world.add(
+            site,
+            proc_shell(PaxosInner::Part(engine), &history, scenario.delays),
+        );
+    }
+
+    // Remote acceptors at sites N+1..=N+2f.
+    for site in scenario.remote_acceptor_sites() {
+        world.add(
+            site,
+            proc_shell(
+                PaxosInner::Node {
+                    engine: PaxosNode::new(site, config.clone(), make_log()),
+                    starts: Vec::new(),
+                },
+                &history,
+                scenario.delays,
+            ),
+        );
+    }
+
+    for &(site, at) in &scenario.kills {
+        world.schedule_crash(site, at);
+    }
+    for &(site, crash_at, recover_at) in &scenario.crashes {
+        assert!(recover_at > crash_at, "recovery must follow the crash");
+        world.schedule_crash(site, crash_at);
+        world.schedule_recover(site, recover_at);
+    }
+
+    world.start();
+
+    // Partitions are applied by stepping the world to each breakpoint:
+    // sever at `from`, heal at `until`. The network drops at send time,
+    // so messages already in flight when the link severs still arrive —
+    // matching the socket layer, where severing closes the listener, not
+    // the kernel buffers.
+    let mut breakpoints: Vec<(SimTime, bool, SiteId, SiteId)> = Vec::new();
+    for &(a, b, from, until) in &scenario.partitions {
+        assert!(until > from, "a partition window must be non-empty");
+        breakpoints.push((from, true, a, b));
+        breakpoints.push((until, false, a, b));
+    }
+    breakpoints.sort_by_key(|&(at, sever, _, _)| (at, !sever));
+    for (at, sever, a, b) in breakpoints {
+        world.run_until(at);
+        if sever {
+            world.network_mut().partition(a, b);
+        } else {
+            world.network_mut().heal(a, b);
+        }
+    }
+
+    world.run_until_quiescent(scenario.max_events);
+
+    // ---- collect ----
+    let mut decided = BTreeMap::new();
+    let mut decided_by_site = BTreeMap::new();
+    let mut enforced = BTreeMap::new();
+    let mut in_doubt = Vec::new();
+    let mut leader_costs = BTreeMap::new();
+    let mut acceptor_costs = BTreeMap::new();
+    let mut participant_costs = BTreeMap::new();
+    let mut node_table_sizes = BTreeMap::new();
+    let mut node_log_retained = BTreeMap::new();
+
+    let mut paxos_sites = vec![leader];
+    paxos_sites.extend(scenario.remote_acceptor_sites());
+    for site in paxos_sites {
+        let node = world.process(site).node();
+        node_table_sizes.insert(site, node.protocol_table_size());
+        node_log_retained.insert(site, node.log().inner().retained());
+        for spec in &scenario.txns {
+            if let Some(o) = node.decided(spec.txn) {
+                decided.entry(spec.txn).or_insert(o);
+                decided_by_site.insert((site, spec.txn), o);
+            }
+            if site == leader {
+                leader_costs.insert(spec.txn, node.costs(spec.txn));
+            } else {
+                acceptor_costs.insert((site, spec.txn), node.costs(spec.txn));
+            }
+        }
+    }
+
+    for &site in &participants {
+        let p = world.process(site).participant();
+        for (&txn, &o) in p.enforced_all() {
+            enforced.insert((site, txn), o);
+        }
+        for txn in p.in_doubt_txns() {
+            in_doubt.push((site, txn));
+        }
+        for spec in &scenario.txns {
+            participant_costs.insert((site, spec.txn), p.costs(spec.txn));
+        }
+    }
+
+    let history = history.borrow().clone();
+    PaxosOutcome {
+        history,
+        trace: world.trace().clone(),
+        decided,
+        decided_by_site,
+        enforced,
+        in_doubt,
+        leader_costs,
+        acceptor_costs,
+        participant_costs,
+        node_table_sizes,
+        node_log_retained,
+        events_processed: world.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::predict_paxos;
+    use acp_acta::{check_atomicity, check_safe_state};
+    use acp_types::CoordinatorKind;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    fn assert_clean(outcome: &PaxosOutcome) {
+        let v = check_atomicity(&outcome.history);
+        assert!(v.is_empty(), "atomicity violations: {v:?}");
+        for &(site, txn) in outcome.decided_by_site.keys() {
+            let v = check_safe_state(&outcome.history, site, txn);
+            assert!(v.is_empty(), "safe-state violations at {site}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn clean_commit_matches_the_analytic_model() {
+        for n in 1..=3usize {
+            let mut s = PaxosScenario::new(n, 1);
+            s.add_txn(TxnId::new(1), ms(1));
+            let out = run_paxos_scenario(&s);
+            assert_eq!(out.decided[&TxnId::new(1)], Outcome::Commit);
+            assert!(out.in_doubt.is_empty());
+            assert_clean(&out);
+
+            let model = predict_paxos(n, 1, Outcome::Commit);
+            let leader = out.leader_costs[&TxnId::new(1)];
+            assert_eq!(leader.forced_writes, model.leader_forces, "n={n}");
+            assert_eq!(leader.log_records, model.leader_records, "n={n}");
+            let acc: CostCounters = out
+                .acceptor_costs
+                .values()
+                .fold(CostCounters::default(), |mut a, c| {
+                    a += *c;
+                    a
+                });
+            assert_eq!(acc.forced_writes, model.acceptor_forces, "n={n}");
+            assert_eq!(acc.log_records, model.acceptor_records, "n={n}");
+            let parts: CostCounters = out
+                .participant_costs
+                .values()
+                .fold(CostCounters::default(), |mut a, c| {
+                    a += *c;
+                    a
+                });
+            assert_eq!(parts.forced_writes, model.part_forces, "n={n}");
+            assert_eq!(parts.log_records, model.part_records, "n={n}");
+            assert_eq!(out.total_costs(TxnId::new(1)).messages(), model.messages);
+
+            // Fully reclaimed everywhere at quiescence.
+            assert!(out.node_table_sizes.values().all(|&s| s == 0));
+            assert!(out.node_log_retained.values().all(|&r| r == 0));
+        }
+    }
+
+    /// The headline schedule from the issue, once under each tolerance.
+    ///
+    /// The adversary severs the leader from both participants just
+    /// after the votes are on the wire, then `kill -9`s the leader. The
+    /// leader decides commit and logs it durably, but no participant
+    /// ever hears: under 2PC (`f = 0`) both participants are stuck
+    /// in-doubt forever. With `f = 1` the accepted Prepared bundles
+    /// survive on the acceptor quorum and acceptor rank 1 re-drives the
+    /// *same* commit.
+    fn headline(f: usize) -> PaxosOutcome {
+        let t = TxnId::new(9);
+        let mut s = PaxosScenario::new(2, f);
+        s.add_txn(t, ms(1));
+        let leader = s.leader_site();
+        for p in s.participant_sites() {
+            s.partitions
+                .push((leader, p, SimTime::from_micros(1300), ms(10_000)));
+        }
+        s.kills.push((leader, ms(2)));
+        run_paxos_scenario(&s)
+    }
+
+    #[test]
+    fn headline_leader_kill_blocks_2pc() {
+        let out = headline(0);
+        let t = TxnId::new(9);
+        // The coordinator decided and durably logged commit...
+        assert_eq!(out.decided.get(&t), Some(&Outcome::Commit));
+        // ...but died before any participant heard: both are stuck
+        // in-doubt, with nothing enforced, for the rest of time.
+        assert!(out.enforced.is_empty());
+        let mut stuck = out.in_doubt.clone();
+        stuck.sort();
+        assert_eq!(stuck, vec![(SiteId::new(1), t), (SiteId::new(2), t)]);
+    }
+
+    #[test]
+    fn headline_leader_kill_commits_under_paxos() {
+        let out = headline(1);
+        let t = TxnId::new(9);
+        assert_eq!(out.decided.get(&t), Some(&Outcome::Commit));
+        // Acceptor rank 1 (site 3) completed the failover.
+        assert_eq!(
+            out.decided_by_site.get(&(SiteId::new(3), t)),
+            Some(&Outcome::Commit)
+        );
+        // Both participants enforced commit; nobody is in doubt.
+        assert_eq!(out.enforced.get(&(SiteId::new(1), t)), Some(&Outcome::Commit));
+        assert_eq!(out.enforced.get(&(SiteId::new(2), t)), Some(&Outcome::Commit));
+        assert!(out.in_doubt.is_empty());
+        // The survivors' protocol tables and logs are fully reclaimed.
+        assert_eq!(out.node_table_sizes[&SiteId::new(3)], 0);
+        assert_eq!(out.node_table_sizes[&SiteId::new(4)], 0);
+        assert_eq!(out.node_log_retained[&SiteId::new(3)], 0);
+        assert_eq!(out.node_log_retained[&SiteId::new(4)], 0);
+        assert_clean(&out);
+    }
+
+    #[test]
+    fn acceptor_minority_partition_does_not_block_commit() {
+        // Sever one acceptor of three from everyone for the whole run:
+        // the quorum {leader, rank 1} still decides.
+        let t = TxnId::new(3);
+        let mut s = PaxosScenario::new(2, 1);
+        s.add_txn(t, ms(1));
+        let minority = SiteId::new(4);
+        for site in [SiteId::new(0), SiteId::new(1), SiteId::new(2), SiteId::new(3)] {
+            s.partitions
+                .push((minority, site, SimTime::from_micros(500), ms(5_000)));
+        }
+        let out = run_paxos_scenario(&s);
+        assert_eq!(out.decided.get(&t), Some(&Outcome::Commit));
+        assert!(out.in_doubt.is_empty());
+        assert_clean(&out);
+        // The partitioned acceptor never learned of the transaction.
+        assert_eq!(out.node_table_sizes[&minority], 0);
+    }
+
+    #[test]
+    fn leader_crash_and_recovery_redrives_the_decision() {
+        // f = 0: no failover possible, but the forced bundle means the
+        // recovered leader re-decides the same outcome from its WAL.
+        let t = TxnId::new(5);
+        let mut s = PaxosScenario::new(2, 0);
+        s.add_txn(t, ms(1));
+        // Crash after the decision is logged (1.4ms) but before the
+        // participant acks arrive (1.8ms); recover well after.
+        s.crashes
+            .push((s.leader_site(), SimTime::from_micros(1700), ms(50)));
+        let out = run_paxos_scenario(&s);
+        assert_eq!(out.decided.get(&t), Some(&Outcome::Commit));
+        assert_eq!(out.enforced.get(&(SiteId::new(1), t)), Some(&Outcome::Commit));
+        assert_eq!(out.enforced.get(&(SiteId::new(2), t)), Some(&Outcome::Commit));
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.node_table_sizes[&SiteId::new(0)], 0);
+        assert_eq!(out.node_log_retained[&SiteId::new(0)], 0);
+        assert_clean(&out);
+    }
+
+    #[test]
+    fn lossy_sweep_stays_atomic_and_reclaims() {
+        for seed in 0..6u64 {
+            let mut s = PaxosScenario::new(2, 1);
+            s.network = NetworkConfig::lossy(0.10);
+            s.seed = seed;
+            s.add_txn(TxnId::new(1), ms(1));
+            s.add_txn(TxnId::new(2), ms(2));
+            let out = run_paxos_scenario(&s);
+            assert_clean(&out);
+            assert!(out.in_doubt.is_empty(), "seed {seed}: {:?}", out.in_doubt);
+            for txn in [TxnId::new(1), TxnId::new(2)] {
+                assert!(out.decided.contains_key(&txn), "seed {seed}: {txn} undecided");
+            }
+            assert!(
+                out.node_table_sizes.values().all(|&n| n == 0),
+                "seed {seed}: tables not reclaimed: {:?}",
+                out.node_table_sizes
+            );
+        }
+    }
+
+    /// Satellite 3: with one acceptor, Paxos Commit *is* 2PC. Decisions,
+    /// enforcement and every cost counter must match PrN on a shared
+    /// schedule corpus. (The all-ReadOnly corner is excluded by design:
+    /// Paxos still runs consensus so a failover candidate can never
+    /// contradict the leader — see the module docs.)
+    #[test]
+    fn f0_degenerates_to_prn_on_a_shared_corpus() {
+        // (n, no-voter, client-abort-at)
+        let corpus: [(usize, Option<u32>, Option<SimTime>); 5] = [
+            (1, None, None),
+            (2, None, None),
+            (3, None, None),
+            (2, Some(1), None),
+            (2, None, Some(SimTime::from_micros(1300))),
+        ];
+        for (i, &(n, no_voter, abort_at)) in corpus.iter().enumerate() {
+            let t = TxnId::new(1 + i as u64);
+
+            let mut ps = PaxosScenario::new(n, 0);
+            let spec = ps.add_txn(t, ms(1));
+            if let Some(site) = no_voter {
+                spec.votes.insert(SiteId::new(site), Vote::No);
+            }
+            spec.abort_at = abort_at;
+            let paxos = run_paxos_scenario(&ps);
+
+            let protocols = vec![ProtocolKind::PrN; n];
+            let mut cs = crate::harness::Scenario::new(
+                CoordinatorKind::Single(ProtocolKind::PrN),
+                &protocols,
+            );
+            let spec = cs.add_txn(t, ms(1));
+            if let Some(site) = no_voter {
+                spec.votes.insert(SiteId::new(site), Vote::No);
+            }
+            spec.abort_at = abort_at;
+            let prn = crate::harness::run_scenario(&cs);
+
+            assert_eq!(paxos.decided, prn.decided, "case {i}");
+            assert_eq!(paxos.enforced, prn.enforced, "case {i}");
+            assert_eq!(
+                paxos.leader_costs[&t], prn.coordinator_costs[&t],
+                "case {i}: coordinator costs diverge"
+            );
+            assert_eq!(
+                paxos.participant_costs, prn.participant_costs,
+                "case {i}: participant costs diverge"
+            );
+            assert_eq!(
+                paxos.node_table_sizes[&ps.leader_site()],
+                prn.coordinator_table_size,
+                "case {i}"
+            );
+            assert_eq!(
+                paxos.node_log_retained[&ps.leader_site()],
+                prn.coordinator_log_retained,
+                "case {i}"
+            );
+        }
+    }
+}

@@ -27,6 +27,8 @@ pub struct NetDelays {
     pub inquiry_retry: Duration,
     /// Gateway legacy-apply retry interval.
     pub apply_retry: Duration,
+    /// Paxos acceptor completion watchdog (leader-failover trigger).
+    pub paxos_completion: Duration,
 }
 
 impl Default for NetDelays {
@@ -36,6 +38,7 @@ impl Default for NetDelays {
             ack_resend: Duration::from_millis(100),
             inquiry_retry: Duration::from_millis(120),
             apply_retry: Duration::from_millis(100),
+            paxos_completion: Duration::from_millis(300),
         }
     }
 }
@@ -60,11 +63,36 @@ impl NetDelays {
             TimerPurpose::AckResend => self.ack_resend,
             TimerPurpose::InquiryRetry => self.inquiry_retry,
             TimerPurpose::ApplyRetry => self.apply_retry,
+            TimerPurpose::PaxosCompletion => self.paxos_completion,
         };
         // Bounded exponential backoff: min(base << attempt, MAX_BACKOFF).
         base.saturating_mul(1u32 << attempt.min(BACKOFF_SHIFT_CAP).min(31))
             .min(MAX_BACKOFF)
             .max(base)
+    }
+
+    /// Like [`delay`](Self::delay), but retries (`attempt > 0`) carry a
+    /// deterministic ±12.5% jitter derived from `salt` (site/timer
+    /// identity), so the synchronized inquiry-retry storm after a crash
+    /// spreads out instead of arriving as one burst per backoff round.
+    /// Attempt-0 armings are returned exactly — clean schedules are
+    /// unchanged by jitter. Mirrors the simulator harness's
+    /// `TimerDelays::delay_jittered`.
+    #[must_use]
+    pub fn delay_jittered(&self, p: TimerPurpose, attempt: u32, salt: u64) -> Duration {
+        let d = self.delay(p, attempt);
+        if attempt == 0 {
+            return d;
+        }
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let span = us / 4;
+        if span == 0 {
+            return d;
+        }
+        let offset = acp_core::harness::jitter_hash(salt, p as u64, u64::from(attempt)) % (span + 1);
+        let jittered = us - span / 2 + offset;
+        let base = u64::try_from(self.delay(p, 0).as_micros()).unwrap_or(u64::MAX);
+        Duration::from_micros(jittered.max(base))
     }
 }
 
@@ -957,5 +985,60 @@ pub(crate) fn deliver_decisions(
         if let Some(tx) = replies.remove(&txn) {
             let _ = tx.send(outcome);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PURPOSES: [TimerPurpose; 5] = [
+        TimerPurpose::VoteTimeout,
+        TimerPurpose::AckResend,
+        TimerPurpose::InquiryRetry,
+        TimerPurpose::ApplyRetry,
+        TimerPurpose::PaxosCompletion,
+    ];
+
+    #[test]
+    fn jitter_leaves_first_armings_exact() {
+        let d = NetDelays::default();
+        for p in PURPOSES {
+            for salt in [0u64, 1, 7, u64::MAX] {
+                assert_eq!(d.delay_jittered(p, 0, salt), d.delay(p, 0), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_stays_inside_the_band() {
+        let d = NetDelays::default();
+        for p in PURPOSES {
+            for attempt in 1..=6u32 {
+                let base = d.delay(p, attempt).as_micros() as i128;
+                for salt in [3u64, 0x00C0FFEE, 0xDEAD_BEEF_0BAD_F00D] {
+                    let j = d.delay_jittered(p, attempt, salt);
+                    assert_eq!(j, d.delay_jittered(p, attempt, salt), "reproducible");
+                    let off = (j.as_micros() as i128 - base).abs();
+                    // ±12.5% of the backed-off delay, rounded.
+                    assert!(off <= base / 8 + 1, "{p:?}@{attempt}: off={off} base={base}");
+                    // Never below the un-backed-off base delay.
+                    assert!(j >= d.delay(p, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_distinct_salts_apart() {
+        let d = NetDelays::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for salt in 0..32u64 {
+            seen.insert(d.delay_jittered(TimerPurpose::InquiryRetry, 3, salt));
+        }
+        // 32 sites retrying the same backoff round must not collapse
+        // onto one instant (that is the thundering herd the jitter
+        // exists to break up).
+        assert!(seen.len() > 16, "only {} distinct delays", seen.len());
     }
 }

@@ -40,6 +40,13 @@ pub struct ClusterConfig {
     /// [`Envelope::ProtocolBatch`]. When `false` (the default) the
     /// runtime behaves exactly as before, byte for byte.
     pub group_commit: bool,
+    /// Replicated-coordinator shape: `Some(f)` replaces the single
+    /// coordinator at site 0 with a Paxos Commit leader/acceptor and
+    /// adds `2f` remote acceptor sites at `N+1 ..= N+2f` (where `N` is
+    /// the participant count), tolerating `f` acceptor fail-stops.
+    /// `kind` is ignored in that case. Only the socket backend hosts
+    /// acceptors; the in-process backends reject the shape.
+    pub paxos_f: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -52,7 +59,22 @@ impl ClusterConfig {
             gateways: Vec::new(),
             delays: NetDelays::default(),
             group_commit: false,
+            paxos_f: None,
         }
+    }
+
+    /// The Paxos acceptor roster implied by `paxos_f`: site 0 (the
+    /// initial leader) plus the `2f` dedicated acceptor sites past the
+    /// participants. Empty when the cluster runs a classic coordinator.
+    #[must_use]
+    pub fn paxos_acceptor_sites(&self) -> Vec<SiteId> {
+        let Some(f) = self.paxos_f else {
+            return Vec::new();
+        };
+        let n = self.participant_protocols.len() as u32;
+        std::iter::once(SiteId::new(0))
+            .chain((n + 1..=n + 2 * f as u32).map(SiteId::new))
+            .collect()
     }
 }
 
@@ -124,6 +146,10 @@ impl Cluster {
     }
 
     fn spawn_inner(config: &ClusterConfig, sink: Option<Arc<dyn TraceSink>>) -> Cluster {
+        assert!(
+            config.paxos_f.is_none(),
+            "the threaded backend hosts no paxos acceptors; use the socket backend"
+        );
         let t0 = std::time::Instant::now();
         let obs_for = |proto: ProtoLabel| {
             sink.as_ref().map(|s| NetObs {

@@ -58,4 +58,4 @@ pub use reactor::{
 };
 pub use timer::{TimerId, TimerWheel};
 #[cfg(unix)]
-pub use wire::{AddressBook, NodeConfig, NodeReport, SocketNode, WireFaults, WireMsg};
+pub use wire::{AddressBook, FaultRule, NodeConfig, NodeReport, SocketNode, WireFaults, WireMsg};

@@ -202,6 +202,10 @@ impl MultiReactorCluster {
         sink: Option<Arc<dyn TraceSink>>,
         observed: bool,
     ) -> MultiReactorCluster {
+        assert!(
+            config.reactor.cluster.paxos_f.is_none(),
+            "the reactor backends host no paxos acceptors; use the socket backend"
+        );
         let n = config.reactors.max(1);
         let t0 = Instant::now();
         let dir = TempDir::new("multi-reactor").expect("tempdir");

@@ -1206,6 +1206,10 @@ impl ReactorCluster {
         registry: Option<Arc<MetricsRegistry>>,
         timeline: Option<Arc<MetricsTimeline>>,
     ) -> ReactorCluster {
+        assert!(
+            config.cluster.paxos_f.is_none(),
+            "the reactor backends host no paxos acceptors; use the socket backend"
+        );
         let t0 = Instant::now();
         let dir = TempDir::new("reactor").expect("tempdir");
         let (tx, rx) = unbounded();

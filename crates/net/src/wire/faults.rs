@@ -78,11 +78,30 @@ impl FaultRule {
     }
 }
 
+/// A time-windowed link cut: outbound frames to `peer` sent while
+/// `from <= elapsed < until` (elapsed measured from node spawn) are
+/// dropped, then the link heals on its own. One window severs only the
+/// *outbound* half — a node controls only what it sends — so a
+/// bidirectional partition is the same window installed on **both**
+/// endpoints' [`WireFaults`]. Frames queued on a connection before the
+/// window opens still flush (their fate was decided at send time),
+/// which matches the simulator's partition semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    /// The peer to cut off.
+    pub peer: SiteId,
+    /// Window start, measured from node spawn.
+    pub from: Duration,
+    /// Window end (exclusive); the link heals here.
+    pub until: Duration,
+}
+
 /// An ordered rule list consulted for every outbound frame. First rule
 /// that matches (and is not spent) decides; no match means deliver.
 #[derive(Clone, Debug, Default)]
 pub struct WireFaults {
     rules: Vec<FaultRule>,
+    partitions: Vec<Partition>,
 }
 
 impl WireFaults {
@@ -99,11 +118,30 @@ impl WireFaults {
         self
     }
 
+    /// Cut the link to `peer` for `[from, until)` since node spawn
+    /// (builder style). Install the mirrored window on the peer's node
+    /// to sever both directions.
+    #[must_use]
+    pub fn partition(mut self, peer: SiteId, from: Duration, until: Duration) -> Self {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(Partition { peer, from, until });
+        self
+    }
+
     /// Are any rules installed? (The hot path skips the scan entirely
     /// on a clean wire.)
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.rules.is_empty() && self.partitions.is_empty()
+    }
+
+    /// Is the outbound link to `to` inside an active partition window
+    /// at `elapsed` since node spawn?
+    #[must_use]
+    pub fn partitioned(&self, elapsed: Duration, to: SiteId) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.peer == to && p.from <= elapsed && elapsed < p.until)
     }
 
     /// Decide the fate of one outbound frame. `None` = deliver
@@ -159,6 +197,22 @@ mod tests {
         assert_eq!(faults.decide(SiteId::new(2), &msg), None); // spent
         // Other destinations never matched.
         assert_eq!(faults.decide(SiteId::new(3), &prepare_to(3)), None);
+    }
+
+    #[test]
+    fn partition_window_severs_then_heals() {
+        let faults = WireFaults::none().partition(
+            SiteId::new(2),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        );
+        assert!(!faults.is_empty());
+        assert!(!faults.partitioned(Duration::from_millis(9), SiteId::new(2)));
+        assert!(faults.partitioned(Duration::from_millis(10), SiteId::new(2)));
+        assert!(faults.partitioned(Duration::from_millis(19), SiteId::new(2)));
+        assert!(!faults.partitioned(Duration::from_millis(20), SiteId::new(2)));
+        // Other peers are unaffected throughout.
+        assert!(!faults.partitioned(Duration::from_millis(15), SiteId::new(3)));
     }
 
     #[test]

@@ -172,6 +172,51 @@ const PAY_DECISION: u8 = 3;
 const PAY_ACK: u8 = 4;
 const PAY_INQUIRY: u8 = 5;
 const PAY_INQUIRY_RESPONSE: u8 = 6;
+const PAY_PAXOS_BEGIN: u8 = 7;
+const PAY_PHASE1A: u8 = 8;
+const PAY_PHASE1B: u8 = 9;
+const PAY_PHASE2A: u8 = 10;
+const PAY_PHASE2B: u8 = 11;
+const PAY_PAXOS_FORGET: u8 = 12;
+
+fn put_instances(out: &mut Vec<u8>, instances: &[(SiteId, bool)]) {
+    put_u32(out, u32::try_from(instances.len()).expect("instance count"));
+    for (site, prepared) in instances {
+        put_u32(out, site.raw());
+        put_u8(out, u8::from(*prepared));
+    }
+}
+
+fn read_instances(r: &mut Reader<'_>) -> Result<Vec<(SiteId, bool)>, WalError> {
+    let n = r.u32("instance count")? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let site = SiteId::new(r.u32("instance site")?);
+        let prepared = match r.u8("instance value")? {
+            0 => false,
+            1 => true,
+            v => return Err(bad("instance value", v)),
+        };
+        out.push((site, prepared));
+    }
+    Ok(out)
+}
+
+fn put_sites(out: &mut Vec<u8>, sites: &[SiteId]) {
+    put_u32(out, u32::try_from(sites.len()).expect("site count"));
+    for s in sites {
+        put_u32(out, s.raw());
+    }
+}
+
+fn read_sites(r: &mut Reader<'_>) -> Result<Vec<SiteId>, WalError> {
+    let n = r.u32("site count")? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(SiteId::new(r.u32("site")?));
+    }
+    Ok(out)
+}
 
 fn put_message(out: &mut Vec<u8>, m: &Message) {
     put_u32(out, m.from.raw());
@@ -205,6 +250,59 @@ fn put_message(out: &mut Vec<u8>, m: &Message) {
             put_u64(out, txn.raw());
             put_outcome(out, *outcome);
         }
+        Payload::PaxosBegin { txn, participants } => {
+            put_u8(out, PAY_PAXOS_BEGIN);
+            put_u64(out, txn.raw());
+            put_sites(out, participants);
+        }
+        Payload::Phase1a { txn, ballot } => {
+            put_u8(out, PAY_PHASE1A);
+            put_u64(out, txn.raw());
+            put_u64(out, *ballot);
+        }
+        Payload::Phase1b {
+            txn,
+            ballot,
+            forgotten,
+            participants,
+            accepted,
+        } => {
+            put_u8(out, PAY_PHASE1B);
+            put_u64(out, txn.raw());
+            put_u64(out, *ballot);
+            put_u8(out, u8::from(*forgotten));
+            put_sites(out, participants);
+            put_u32(out, u32::try_from(accepted.len()).expect("accepted count"));
+            for (site, bal, prepared) in accepted {
+                put_u32(out, site.raw());
+                put_u64(out, *bal);
+                put_u8(out, u8::from(*prepared));
+            }
+        }
+        Payload::Phase2a {
+            txn,
+            ballot,
+            instances,
+        } => {
+            put_u8(out, PAY_PHASE2A);
+            put_u64(out, txn.raw());
+            put_u64(out, *ballot);
+            put_instances(out, instances);
+        }
+        Payload::Phase2b {
+            txn,
+            ballot,
+            instances,
+        } => {
+            put_u8(out, PAY_PHASE2B);
+            put_u64(out, txn.raw());
+            put_u64(out, *ballot);
+            put_instances(out, instances);
+        }
+        Payload::PaxosForget { txn } => {
+            put_u8(out, PAY_PAXOS_FORGET);
+            put_u64(out, txn.raw());
+        }
     }
 }
 
@@ -232,6 +330,53 @@ fn read_message(r: &mut Reader<'_>) -> Result<Message, WalError> {
             txn,
             outcome: read_outcome(r)?,
         },
+        PAY_PAXOS_BEGIN => Payload::PaxosBegin {
+            txn,
+            participants: read_sites(r)?,
+        },
+        PAY_PHASE1A => Payload::Phase1a {
+            txn,
+            ballot: r.u64("ballot")?,
+        },
+        PAY_PHASE1B => {
+            let ballot = r.u64("ballot")?;
+            let forgotten = match r.u8("forgotten")? {
+                0 => false,
+                1 => true,
+                v => return Err(bad("forgotten flag", v)),
+            };
+            let participants = read_sites(r)?;
+            let n = r.u32("accepted count")? as usize;
+            let mut accepted = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let site = SiteId::new(r.u32("accepted site")?);
+                let bal = r.u64("accepted ballot")?;
+                let prepared = match r.u8("accepted value")? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(bad("accepted value", v)),
+                };
+                accepted.push((site, bal, prepared));
+            }
+            Payload::Phase1b {
+                txn,
+                ballot,
+                forgotten,
+                participants,
+                accepted,
+            }
+        }
+        PAY_PHASE2A => Payload::Phase2a {
+            txn,
+            ballot: r.u64("ballot")?,
+            instances: read_instances(r)?,
+        },
+        PAY_PHASE2B => Payload::Phase2b {
+            txn,
+            ballot: r.u64("ballot")?,
+            instances: read_instances(r)?,
+        },
+        PAY_PAXOS_FORGET => Payload::PaxosForget { txn },
         t => return Err(bad("payload tag", t)),
     };
     Ok(Message::new(from, to, payload))

@@ -38,6 +38,6 @@ pub mod node;
 
 pub(crate) mod conn;
 
-pub use faults::{FaultAction, FaultRule, WireFaults};
+pub use faults::{FaultAction, FaultRule, Partition, WireFaults};
 pub use frame::{encode_wire_frame, FrameDecoder, WireMsg, MAX_FRAME_BODY, WIRE_MAGIC};
 pub use node::{shared_history, AddressBook, NodeConfig, NodeReport, SharedHistory, SocketNode};

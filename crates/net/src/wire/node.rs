@@ -42,7 +42,7 @@ use crate::envelope::Envelope;
 use crate::reactor::ReactorStats;
 use crate::timer::{TimerId, TimerWheel};
 use acp_acta::{ActaEvent, History};
-use acp_core::{Action, Coordinator, Participant, TimerPurpose};
+use acp_core::{Action, Coordinator, Participant, PaxosConfig, PaxosNode, TimerPurpose};
 use acp_engine::SiteEngine;
 use acp_obs::{ProtoLabel, ProtocolEvent, TraceSink, WireMetrics, WireSnapshot};
 use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
@@ -202,6 +202,8 @@ struct Wire {
     next_token: u64,
     peers: AddressBook,
     faults: WireFaults,
+    /// Node spawn instant: partition windows are measured from here.
+    t0: Instant,
     /// Frames under an active delay fault: released (re-enqueued) once
     /// their instant passes — by then later frames have overtaken them.
     delayed: Vec<(Instant, SiteId, Vec<u8>)>,
@@ -219,6 +221,15 @@ impl Wire {
         conn.next_seq += 1;
         let frame = encode_wire_frame(seq, &msg);
         if !self.faults.is_empty() {
+            // Partition windows first: a severed link drops everything,
+            // regardless of what the per-kind rules would say.
+            if self
+                .faults
+                .partitioned(now.saturating_duration_since(self.t0), to)
+            {
+                self.metrics.inc(&self.metrics.fault_drops);
+                return;
+            }
             match self.faults.decide(to, &msg) {
                 Some(FaultAction::Drop) => {
                     self.metrics.inc(&self.metrics.fault_drops);
@@ -443,6 +454,11 @@ enum Task {
     Coord {
         engine: Coordinator<NetLog>,
     },
+    /// One member of a replicated Paxos Commit coordinator: the leader
+    /// at site 0 (takes client commits) or a remote acceptor.
+    Paxos {
+        engine: PaxosNode<NetLog>,
+    },
     Part {
         engine: Participant<NetLog>,
         storage: SiteEngine<FileLog>,
@@ -542,7 +558,12 @@ fn run_site_actions(host: &mut Host, ctx: &mut Ctx, actions: Vec<Action>) -> Vec
                 if let Some(obs) = &host.obs {
                     observe_retry(obs, host.site, purpose, attempt);
                 }
-                let fire_at = ctx.now + ctx.delays.delay(purpose, attempt);
+                // Jittered backoff: retries from different sites (or
+                // different timers on one site) spread out instead of
+                // thundering in lockstep after a partition heals. The
+                // salt is deterministic, so a run is reproducible.
+                let salt = (u64::from(host.site.raw()) << 32) ^ token;
+                let fire_at = ctx.now + ctx.delays.delay_jittered(purpose, attempt, salt);
                 let id = ctx.wheel.arm(fire_at, (host.site, token, purpose));
                 host.timer_ids.insert(token, id);
             }
@@ -712,6 +733,11 @@ impl Node {
                     run_site_actions(host, &mut self.ctx, actions);
                     drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
                 }
+                Task::Paxos { engine } => {
+                    let actions = engine.recover();
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
                 Task::Part {
                     engine, storage, ..
                 } => {
@@ -751,6 +777,11 @@ impl Node {
                     run_site_actions(host, &mut self.ctx, actions);
                     drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
                 }
+                Task::Paxos { engine } => {
+                    let actions = engine.recover();
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
                 Task::Part {
                     engine, storage, ..
                 } => {
@@ -784,6 +815,11 @@ impl Node {
             self.ctx.stats.timers_fired += 1;
             match task {
                 Task::Coord { engine } => {
+                    let actions = engine.on_timer(token);
+                    run_site_actions(host, &mut self.ctx, actions);
+                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                }
+                Task::Paxos { engine } => {
                     let actions = engine.on_timer(token);
                     run_site_actions(host, &mut self.ctx, actions);
                     drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
@@ -844,6 +880,7 @@ impl Node {
                     }
                     match task {
                         Task::Coord { engine } => engine.crash(),
+                        Task::Paxos { engine } => engine.crash(),
                         Task::Part {
                             engine, storage, ..
                         } => {
@@ -882,21 +919,39 @@ impl Node {
                 participants,
                 reply,
             } => {
-                let Task::Coord { engine } = task else {
-                    return;
+                // Same misuse guards as the other backends; a commit
+                // lands on a classic coordinator or a Paxos leader.
+                let (decided, rejected) = match task {
+                    Task::Coord { engine } => (
+                        engine.decided(txn),
+                        participants.is_empty() || engine.in_flight(txn),
+                    ),
+                    Task::Paxos { engine } => (
+                        engine.decided(txn),
+                        participants.is_empty() || engine.in_flight(txn),
+                    ),
+                    Task::Part { .. } => return,
                 };
-                // Same misuse guards as the other backends.
-                if let Some(outcome) = engine.decided(txn) {
+                if let Some(outcome) = decided {
                     let _ = reply.send(outcome);
-                } else if participants.is_empty() || engine.in_flight(txn) {
+                } else if rejected {
                     drop(reply);
                 } else {
                     self.ctx.replies.insert(txn, reply);
                     self.ctx.stats.max_inflight =
                         self.ctx.stats.max_inflight.max(self.ctx.replies.len());
-                    let actions = engine.begin_commit(txn, &participants);
+                    let actions = match task {
+                        Task::Coord { engine } => engine.begin_commit(txn, &participants),
+                        Task::Paxos { engine } => engine.begin_commit(txn, &participants),
+                        Task::Part { .. } => unreachable!("guarded above"),
+                    };
                     run_site_actions(host, &mut self.ctx, actions);
-                    drain_cancellations(host, &mut self.ctx, engine.take_cancelled_timers());
+                    let retired = match task {
+                        Task::Coord { engine } => engine.take_cancelled_timers(),
+                        Task::Paxos { engine } => engine.take_cancelled_timers(),
+                        Task::Part { .. } => unreachable!("guarded above"),
+                    };
+                    drain_cancellations(host, &mut self.ctx, retired);
                 }
             }
             Envelope::Protocol(msg) => Self::protocol_message(host, task, &mut self.ctx, msg),
@@ -918,6 +973,11 @@ impl Node {
         }
         match task {
             Task::Coord { engine } => {
+                let actions = engine.on_message(msg.from, &msg.payload);
+                run_site_actions(host, ctx, actions);
+                drain_cancellations(host, ctx, engine.take_cancelled_timers());
+            }
+            Task::Paxos { engine } => {
                 let actions = engine.on_message(msg.from, &msg.payload);
                 run_site_actions(host, ctx, actions);
                 drain_cancellations(host, ctx, engine.take_cancelled_timers());
@@ -958,6 +1018,7 @@ impl Node {
             }
             let log = match task {
                 Task::Coord { engine } => engine.log_mut(),
+                Task::Paxos { engine } => engine.log_mut(),
                 Task::Part { engine, .. } => engine.log_mut(),
             };
             if !log.batching() {
@@ -999,12 +1060,32 @@ impl Node {
             return;
         };
         let NodeSite { host, task } = &mut self.sites[i];
-        let Task::Coord { engine } = task else { return };
-        if host.defer_sends && engine.log().open_occupancy() > 0 {
-            return;
-        }
         let before = self.ctx.replies.len();
-        deliver_decisions(engine, &mut self.ctx.replies);
+        match task {
+            Task::Coord { engine } => {
+                if host.defer_sends && engine.log().open_occupancy() > 0 {
+                    return;
+                }
+                deliver_decisions(engine, &mut self.ctx.replies);
+            }
+            Task::Paxos { engine } => {
+                if host.defer_sends && engine.log().open_occupancy() > 0 {
+                    return;
+                }
+                let decided: Vec<(TxnId, Outcome)> = self
+                    .ctx
+                    .replies
+                    .keys()
+                    .filter_map(|&txn| engine.decided(txn).map(|o| (txn, o)))
+                    .collect();
+                for (txn, outcome) in decided {
+                    if let Some(tx) = self.ctx.replies.remove(&txn) {
+                        let _ = tx.send(outcome);
+                    }
+                }
+            }
+            Task::Part { .. } => return,
+        }
         let delivered = (before - self.ctx.replies.len()) as u64;
         self.ctx.stats.decisions_delivered += delivered;
     }
@@ -1277,6 +1358,18 @@ impl Node {
                         committed: BTreeMap::new(),
                     });
                 }
+                Task::Paxos { engine } => {
+                    if site == SocketNode::COORDINATOR {
+                        coordinator_table_size = engine.protocol_table_size();
+                    }
+                    absorb(engine.log());
+                    sites.push(SiteSummary {
+                        site,
+                        enforced: BTreeMap::new(),
+                        log_pinned: engine.log_pinned(),
+                        committed: BTreeMap::new(),
+                    });
+                }
                 Task::Part {
                     engine, storage, ..
                 } => {
@@ -1424,8 +1517,23 @@ impl SocketNode {
 
         let mut sites = Vec::new();
         let mut owned = BTreeMap::new();
+        let paxos_sites = cc.paxos_acceptor_sites();
         for &site in &hosted {
-            if site == Self::COORDINATOR {
+            if paxos_sites.contains(&site) {
+                // A member of the replicated coordinator: the leader at
+                // site 0 or a dedicated remote acceptor. Each keeps its
+                // own WAL, so a killed process recovers from its log.
+                let (log, existed) =
+                    open_or_create(wal_dir.join(format!("paxos-{}.wal", site.raw())))?;
+                let mut engine =
+                    PaxosNode::new(site, PaxosConfig::new(paxos_sites.clone()), wrap(log));
+                engine.set_track_cancellations(true);
+                owned.insert(site, sites.len());
+                sites.push(NodeSite {
+                    host: host_for(site, obs_for(ProtoLabel::Paxos), existed),
+                    task: Task::Paxos { engine },
+                });
+            } else if site == Self::COORDINATOR {
                 let (log, existed) = open_or_create(wal_dir.join("coord.wal"))?;
                 let mut engine = Coordinator::new(Self::COORDINATOR, cc.kind, wrap(log));
                 for (i, &p) in cc.participant_protocols.iter().enumerate() {
@@ -1485,6 +1593,7 @@ impl SocketNode {
                     next_token: TOKEN_FIRST_CONN,
                     peers,
                     faults,
+                    t0,
                     delayed: Vec::new(),
                     metrics: Arc::clone(&metrics),
                     max_queue: max_conn_queue_bytes,

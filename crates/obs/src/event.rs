@@ -30,6 +30,8 @@ pub enum ProtoLabel {
     C2pc,
     /// Presumed Any coordinator (§4).
     PrAny,
+    /// Paxos Commit acceptor/leader (replicated coordinator).
+    Paxos,
     /// A gateway fronting a legacy system (Figure 5's non-externalized
     /// branch).
     Gateway,
@@ -41,13 +43,14 @@ pub enum ProtoLabel {
 impl ProtoLabel {
     /// All labels, in the fixed order used by the metrics registry and
     /// every JSON dump.
-    pub const ALL: [ProtoLabel; 8] = [
+    pub const ALL: [ProtoLabel; 9] = [
         ProtoLabel::PrN,
         ProtoLabel::PrA,
         ProtoLabel::PrC,
         ProtoLabel::U2pc,
         ProtoLabel::C2pc,
         ProtoLabel::PrAny,
+        ProtoLabel::Paxos,
         ProtoLabel::Gateway,
         ProtoLabel::Other,
     ];
@@ -62,6 +65,7 @@ impl ProtoLabel {
             ProtoLabel::U2pc => "U2PC",
             ProtoLabel::C2pc => "C2PC",
             ProtoLabel::PrAny => "PrAny",
+            ProtoLabel::Paxos => "paxos",
             ProtoLabel::Gateway => "gateway",
             ProtoLabel::Other => "other",
         }
@@ -77,8 +81,9 @@ impl ProtoLabel {
             ProtoLabel::U2pc => 3,
             ProtoLabel::C2pc => 4,
             ProtoLabel::PrAny => 5,
-            ProtoLabel::Gateway => 6,
-            ProtoLabel::Other => 7,
+            ProtoLabel::Paxos => 6,
+            ProtoLabel::Gateway => 7,
+            ProtoLabel::Other => 8,
         }
     }
 

@@ -30,6 +30,9 @@ pub struct CostCounters {
     pub inquiries: u64,
     /// Recovery inquiry responses sent.
     pub responses: u64,
+    /// Paxos Commit consensus messages sent (begin/phase1a/phase1b/
+    /// phase2a/phase2b/forget) — zero for the classic 2PC protocols.
+    pub paxos: u64,
 }
 
 impl CostCounters {
@@ -42,7 +45,13 @@ impl CostCounters {
     /// Total messages of all kinds.
     #[must_use]
     pub fn messages(&self) -> u64 {
-        self.prepares + self.votes + self.decisions + self.acks + self.inquiries + self.responses
+        self.prepares
+            + self.votes
+            + self.decisions
+            + self.acks
+            + self.inquiries
+            + self.responses
+            + self.paxos
     }
 
     /// Non-forced log records.
@@ -69,6 +78,9 @@ impl CostCounters {
             "ack" => self.acks += 1,
             "inquiry" => self.inquiries += 1,
             "inquiry-response" => self.responses += 1,
+            "paxos-begin" | "phase1a" | "phase1b" | "phase2a" | "phase2b" | "paxos-forget" => {
+                self.paxos += 1;
+            }
             other => panic!("unknown message kind {other:?}"),
         }
     }
@@ -93,6 +105,7 @@ impl AddAssign for CostCounters {
         self.acks += rhs.acks;
         self.inquiries += rhs.inquiries;
         self.responses += rhs.responses;
+        self.paxos += rhs.paxos;
     }
 }
 
@@ -100,7 +113,7 @@ impl fmt::Display for CostCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "forces={} records={} msgs={} (prep={} vote={} dec={} ack={} inq={} resp={})",
+            "forces={} records={} msgs={} (prep={} vote={} dec={} ack={} inq={} resp={} paxos={})",
             self.forced_writes,
             self.log_records,
             self.messages(),
@@ -110,6 +123,7 @@ impl fmt::Display for CostCounters {
             self.acks,
             self.inquiries,
             self.responses,
+            self.paxos,
         )
     }
 }

@@ -55,6 +55,69 @@ pub enum Payload {
         /// The outcome the coordinator reports (possibly by presumption).
         outcome: Outcome,
     },
+
+    // ----- Paxos Commit (Gray & Lamport) -----
+    /// Leader → remote acceptor: a transaction's commit protocol has
+    /// begun. Carries the participant roster so the acceptor can watch
+    /// for completion and run leader failover if the leader dies before
+    /// any phase-2a proposal reaches it.
+    PaxosBegin {
+        /// The transaction.
+        txn: TxnId,
+        /// Participant sites (one Paxos instance each).
+        participants: Vec<SiteId>,
+    },
+    /// Candidate leader → acceptor: phase-1a ballot solicitation for
+    /// every participant instance of the transaction at once.
+    Phase1a {
+        /// The transaction.
+        txn: TxnId,
+        /// The candidate's ballot number.
+        ballot: u64,
+    },
+    /// Acceptor → candidate leader: phase-1b promise. Reports, per
+    /// participant instance with an accepted value, the ballot it was
+    /// accepted at and the value (`true` = Prepared). `forgotten` means
+    /// the transaction already completed here and was garbage collected
+    /// — the candidate should stand down.
+    Phase1b {
+        /// The transaction.
+        txn: TxnId,
+        /// The ballot being promised.
+        ballot: u64,
+        /// The transaction already completed and was forgotten here.
+        forgotten: bool,
+        /// Participant roster as known by this acceptor.
+        participants: Vec<SiteId>,
+        /// Accepted values: (instance participant, ballot, prepared).
+        accepted: Vec<(SiteId, u64, bool)>,
+    },
+    /// Leader → acceptor: bundled phase-2a proposal — one value per
+    /// participant instance (`true` = Prepared, `false` = Aborted).
+    Phase2a {
+        /// The transaction.
+        txn: TxnId,
+        /// The proposing leader's ballot.
+        ballot: u64,
+        /// Proposed value per participant instance.
+        instances: Vec<(SiteId, bool)>,
+    },
+    /// Acceptor → leader: bundled phase-2b acceptance of every
+    /// participant instance, externalized after one forced log write.
+    Phase2b {
+        /// The transaction.
+        txn: TxnId,
+        /// The ballot the values were accepted at.
+        ballot: u64,
+        /// Accepted value per participant instance.
+        instances: Vec<(SiteId, bool)>,
+    },
+    /// Leader → acceptor: every participant acknowledged the decision;
+    /// the acceptor may forget the transaction.
+    PaxosForget {
+        /// The transaction.
+        txn: TxnId,
+    },
 }
 
 impl Payload {
@@ -68,6 +131,12 @@ impl Payload {
             | Payload::Ack { txn }
             | Payload::Inquiry { txn, .. }
             | Payload::InquiryResponse { txn, .. } => txn,
+            Payload::PaxosBegin { txn, .. }
+            | Payload::Phase1a { txn, .. }
+            | Payload::Phase1b { txn, .. }
+            | Payload::Phase2a { txn, .. }
+            | Payload::Phase2b { txn, .. }
+            | Payload::PaxosForget { txn } => txn,
         }
     }
 
@@ -81,7 +150,28 @@ impl Payload {
             Payload::Ack { .. } => "ack",
             Payload::Inquiry { .. } => "inquiry",
             Payload::InquiryResponse { .. } => "inquiry-response",
+            Payload::PaxosBegin { .. } => "paxos-begin",
+            Payload::Phase1a { .. } => "phase1a",
+            Payload::Phase1b { .. } => "phase1b",
+            Payload::Phase2a { .. } => "phase2a",
+            Payload::Phase2b { .. } => "phase2b",
+            Payload::PaxosForget { .. } => "paxos-forget",
         }
+    }
+
+    /// Is this one of the Paxos Commit message kinds (as opposed to the
+    /// classic 2PC vocabulary shared by the presumption protocols)?
+    #[must_use]
+    pub fn is_paxos(&self) -> bool {
+        matches!(
+            self,
+            Payload::PaxosBegin { .. }
+                | Payload::Phase1a { .. }
+                | Payload::Phase1b { .. }
+                | Payload::Phase2a { .. }
+                | Payload::Phase2b { .. }
+                | Payload::PaxosForget { .. }
+        )
     }
 }
 
@@ -96,6 +186,34 @@ impl fmt::Display for Payload {
             Payload::InquiryResponse { txn, outcome } => {
                 write!(f, "inquiry-response({txn}, {outcome})")
             }
+            Payload::PaxosBegin { txn, participants } => {
+                write!(f, "paxos-begin({txn}, {} instances)", participants.len())
+            }
+            Payload::Phase1a { txn, ballot } => write!(f, "phase1a({txn}, b{ballot})"),
+            Payload::Phase1b {
+                txn,
+                ballot,
+                forgotten,
+                accepted,
+                ..
+            } => {
+                if *forgotten {
+                    write!(f, "phase1b({txn}, b{ballot}, forgotten)")
+                } else {
+                    write!(f, "phase1b({txn}, b{ballot}, {} accepted)", accepted.len())
+                }
+            }
+            Payload::Phase2a {
+                txn,
+                ballot,
+                instances,
+            } => write!(f, "phase2a({txn}, b{ballot}, {} instances)", instances.len()),
+            Payload::Phase2b {
+                txn,
+                ballot,
+                instances,
+            } => write!(f, "phase2b({txn}, b{ballot}, {} instances)", instances.len()),
+            Payload::PaxosForget { txn } => write!(f, "paxos-forget({txn})"),
         }
     }
 }

@@ -76,6 +76,22 @@ pub enum LogPayload {
         /// The transaction.
         txn: TxnId,
     },
+    /// Forced Paxos-Commit acceptor record: one acceptor's accepted
+    /// value for *every* participant instance of a transaction, written
+    /// with a single force (Gray & Lamport's bundling — one synchronous
+    /// write per acceptor per transaction, not one per instance). An
+    /// empty instance list records a bare phase-1 promise: the acceptor
+    /// must remember the ballot across a crash so it never accepts a
+    /// proposal from a superseded leader.
+    PaxosAccept {
+        /// The transaction.
+        txn: TxnId,
+        /// The ballot the values were accepted (or promised) at.
+        ballot: u64,
+        /// Accepted value per participant instance (`true` = Prepared);
+        /// empty for a promise-only record.
+        instances: Vec<(SiteId, bool)>,
+    },
 
     // ----- participant-side protocol records -----
     /// Forced prepared record written before voting "Yes".
@@ -133,6 +149,7 @@ impl LogPayload {
             LogPayload::Initiation { txn, .. }
             | LogPayload::CoordDecision { txn, .. }
             | LogPayload::End { txn }
+            | LogPayload::PaxosAccept { txn, .. }
             | LogPayload::Prepared { txn, .. }
             | LogPayload::PartDecision { txn, .. }
             | LogPayload::PartEnd { txn }
@@ -155,6 +172,7 @@ impl LogPayload {
                 ..
             } => "abort",
             LogPayload::End { .. } => "end",
+            LogPayload::PaxosAccept { .. } => "paxos-accept",
             LogPayload::Prepared { .. } => "prepared",
             LogPayload::PartDecision {
                 outcome: Outcome::Commit,
@@ -201,6 +219,17 @@ impl fmt::Display for LogPayload {
                 write!(f, "decision({txn}, {outcome})")
             }
             LogPayload::End { txn } => write!(f, "end({txn})"),
+            LogPayload::PaxosAccept {
+                txn,
+                ballot,
+                instances,
+            } => {
+                if instances.is_empty() {
+                    write!(f, "paxos-promise({txn}, b{ballot})")
+                } else {
+                    write!(f, "paxos-accept({txn}, b{ballot}, {} instances)", instances.len())
+                }
+            }
             LogPayload::Prepared { txn, coordinator } => {
                 write!(f, "prepared({txn}, coord={coordinator})")
             }

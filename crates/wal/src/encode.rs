@@ -36,6 +36,7 @@ const TAG_PART_DECISION: u8 = 0x05;
 const TAG_PART_END: u8 = 0x06;
 const TAG_UPDATE: u8 = 0x07;
 const TAG_CHECKPOINT: u8 = 0x08;
+const TAG_PAXOS_ACCEPT: u8 = 0x09;
 
 // ---------------------------------------------------------------------
 // primitive writers / readers
@@ -262,6 +263,23 @@ pub fn encode_payload(p: &LogPayload) -> Vec<u8> {
             put_u8(&mut out, TAG_END);
             put_u64(&mut out, txn.raw());
         }
+        LogPayload::PaxosAccept {
+            txn,
+            ballot,
+            instances,
+        } => {
+            put_u8(&mut out, TAG_PAXOS_ACCEPT);
+            put_u64(&mut out, txn.raw());
+            put_u64(&mut out, *ballot);
+            put_u32(
+                &mut out,
+                u32::try_from(instances.len()).expect("too many instances"),
+            );
+            for (site, prepared) in instances {
+                put_u32(&mut out, site.raw());
+                put_u8(&mut out, u8::from(*prepared));
+            }
+        }
         LogPayload::Prepared { txn, coordinator } => {
             put_u8(&mut out, TAG_PREPARED);
             put_u64(&mut out, txn.raw());
@@ -343,6 +361,31 @@ pub fn decode_payload(buf: &[u8]) -> Result<LogPayload, WalError> {
         TAG_END => LogPayload::End {
             txn: TxnId::new(r.u64("txn")?),
         },
+        TAG_PAXOS_ACCEPT => {
+            let txn = TxnId::new(r.u64("txn")?);
+            let ballot = r.u64("ballot")?;
+            let n = r.u32("instance count")? as usize;
+            let mut instances = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let site = SiteId::new(r.u32("instance site")?);
+                let prepared = match r.u8("instance value")? {
+                    0 => false,
+                    1 => true,
+                    v => {
+                        return Err(WalError::Corrupt {
+                            offset: r.pos as u64,
+                            detail: format!("bad instance value {v}"),
+                        })
+                    }
+                };
+                instances.push((site, prepared));
+            }
+            LogPayload::PaxosAccept {
+                txn,
+                ballot,
+                instances,
+            }
+        }
         TAG_PREPARED => {
             let txn = TxnId::new(r.u64("txn")?);
             let coordinator = SiteId::new(r.u32("coordinator")?);

@@ -37,6 +37,12 @@ pub struct TxnLogSummary {
     /// Whether a participant end record exists.
     pub part_ended: bool,
 
+    // ----- Paxos acceptor records -----
+    /// Paxos-Commit acceptances in log order: `(ballot, instances)`.
+    /// An empty instance list is a promise-only record. The latest
+    /// entry carries the acceptor's current promise/acceptance state.
+    pub paxos_accepts: Vec<(u64, Vec<(SiteId, bool)>)>,
+
     // ----- engine data records -----
     /// Data updates in log order (for redo/undo).
     pub updates: Vec<UpdateImage>,
@@ -87,6 +93,9 @@ pub fn analyze(records: &[LogRecord]) -> BTreeMap<TxnId, TxnLogSummary> {
                 entry.decision_participants = participants.clone();
             }
             LogPayload::End { .. } => entry.ended = true,
+            LogPayload::PaxosAccept {
+                ballot, instances, ..
+            } => entry.paxos_accepts.push((*ballot, instances.clone())),
             LogPayload::Prepared { coordinator, .. } => entry.prepared = Some(*coordinator),
             LogPayload::PartDecision { outcome, .. } => entry.part_decision = Some(*outcome),
             LogPayload::PartEnd { .. } => entry.part_ended = true,

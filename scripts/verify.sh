@@ -84,6 +84,17 @@ echo "== socket smoke: multi-process cluster over real TCP (kill -9 + recovery)"
 # tests/socket_wire.rs in the suite above.
 ACP_SOCKET_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_socket | tail -3
 
+echo "== paxos smoke: replicated coordinator (cost grid + leader kill -9 matrix)"
+# Part A checks the sim's measured counters against the closed-form
+# Paxos Commit cost model on a 9-cell n x f grid. Part B runs the
+# coordinator-kill matrix over real OS processes: with f=0 the cluster
+# provably blocks in-doubt after the leader dies; with f=1 (3
+# acceptors) an acceptor's watchdog completes the commit with the
+# leader still dead. The binary exits non-zero on any mismatch,
+# blocked/unblocked inversion, ACTA violation or missing recovery
+# evidence.
+ACP_PAXOS_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_paxos | tail -3
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

@@ -24,6 +24,7 @@ fn glacial() -> NetDelays {
         ack_resend: Duration::from_secs(60),
         inquiry_retry: Duration::from_secs(60),
         apply_retry: Duration::from_secs(60),
+        paxos_completion: Duration::from_secs(60),
     }
 }
 
