@@ -1,0 +1,641 @@
+//! E17 — open-loop extreme traffic: driving the reactor through its
+//! overload knee, with and without admission control.
+//!
+//! The generator is *open-loop*: seeded Poisson arrivals fire at their
+//! scheduled instants whether or not earlier transactions finished, so
+//! offered load is an independent variable — exactly the regime where
+//! a no-wait 2PL system misbehaves. Past the knee every extra admitted
+//! transaction mostly collides (zipfian keys concentrate the traffic
+//! on a few hot rows), aborts, and retries, so *goodput falls as
+//! offered load rises*. Admission control bounds the in-flight
+//! population and sheds the excess at the door before it costs any
+//! forces, messages or lock footprint; the generator's retry policy
+//! observes each shed (the reply channel drops — a fast failure, never
+//! a stall) and resubmits after a backoff.
+//!
+//! Attempt lifecycle, mirroring the lock discipline:
+//!
+//! * an **aborted** attempt had its locks released by the abort
+//!   decision, so the retry is a *fresh transaction id* that re-stages
+//!   its writes — and the retry policy may abandon it;
+//! * a **shed** attempt never entered the protocol, but its staged
+//!   writes still hold locks at the participants, so the retry
+//!   resubmits the *same id* without re-staging and never gives up —
+//!   abandoning a shed transaction would leak its locks forever.
+//!
+//! The wasted-work bill for aborted attempts is an analytic
+//! protocol-shape estimate (`participants - 1` prepared forces, `2 x
+//! participants` messages for the prepare/vote rounds), not a measured
+//! quantity: the reactor's counters aggregate per protocol, not per
+//! attempt.
+//!
+//! The generator also *observes* the backpressure: with the door
+//! bounded it parks fresh arrivals in a client-side backlog while its
+//! outstanding window sits at the bound, deferring the write staging
+//! itself. The door alone cannot protect the lock table — a commit is
+//! shed only after its writes are staged and locked — so door sheds
+//! and generator backpressure are two halves of one controller.
+//!
+//! Goodput is measured over a fixed horizon — the arrival span plus a
+//! one-second drain allowance — counting only the commits that
+//! complete inside it. Measuring to full resolution instead would
+//! reward fail-fast collapse: a run that abandons a third of its
+//! transactions "finishes" sooner and shows an inflated rate.
+//!
+//! The sweep crosses offered load x zipfian skew x partition count x
+//! admission {off, bounded}, recording goodput, abort rate, lifecycle
+//! ledgers and client/commit latency tails into `BENCH_workload.json`.
+//!
+//! Acceptance (exits non-zero when violated): at the highest offered
+//! load with the hottest skew, goodput with admission control must be
+//! at least goodput without it, and the admission run must actually
+//! shed (otherwise the cell never left the easy regime and proves
+//! nothing).
+//!
+//! `ACP_WORKLOAD_SMOKE=1` runs just that extreme cell pair (used by
+//! `scripts/verify.sh`); the full campaign is machine-timed and
+//! regenerated manually like the other BENCH_*.json files.
+//!
+//! ```sh
+//! cargo run --release -p acp-bench --bin exp_workload
+//! ```
+
+use acp_bench::{row, sep};
+use acp_net::{AdmissionConfig, NetDelays, ReactorCluster, ReactorConfig};
+use acp_obs::LatencyHistogram;
+use acp_types::{CoordinatorKind, Outcome, ProtocolKind, SelectionPolicy, TxnId};
+use acp_workload::{
+    AttemptOutcome, LifecycleLedger, OpenLoopArrivals, OpenLoopPlan, PlannedTxn, RetryPolicy,
+    TxnShape,
+};
+use crossbeam::channel::{Receiver, TryRecvError};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Offered-load sweep, arrivals per second.
+const RATES: [f64; 4] = [500.0, 2000.0, 8000.0, 24_000.0];
+
+/// Zipfian skew sweep (0 = uniform; 1.2 puts ~18% of draws on the
+/// hottest of a million keys).
+const SKEWS: [f64; 3] = [0.0, 0.99, 1.2];
+
+/// Partition-count sweep (protocol mix cycles PrN/PrA/PrC).
+const PARTITIONS: [usize; 2] = [3, 6];
+
+/// In-flight bound for the admission-on cells: near the knee, far
+/// below the uncontrolled in-flight population at the top rates.
+const ADMISSION_BOUND: u64 = 32;
+
+/// Keys in the zipfian population.
+const KEY_POPULATION: u64 = 1_000_000;
+
+fn kind() -> CoordinatorKind {
+    CoordinatorKind::PrAny(SelectionPolicy::PaperStrict)
+}
+
+fn protos(partitions: usize) -> Vec<ProtocolKind> {
+    const MIX: [ProtocolKind; 3] = [ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC];
+    (0..partitions).map(|i| MIX[i % MIX.len()]).collect()
+}
+
+/// Long protocol timeouts: the campaign measures load behaviour, not
+/// timeout handling, so no protocol timer may fire during a run.
+fn bench_delays() -> NetDelays {
+    NetDelays {
+        vote_timeout: Duration::from_secs(30),
+        ack_resend: Duration::from_secs(10),
+        inquiry_retry: Duration::from_secs(10),
+        apply_retry: Duration::from_secs(10),
+        ..NetDelays::default()
+    }
+}
+
+/// Retry policy for aborted attempts: backed-off and bounded — an
+/// abort released its locks, so abandoning the transaction is safe.
+fn abort_policy() -> RetryPolicy {
+    RetryPolicy::CappedBackoff {
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(25),
+        give_up_after: 12,
+    }
+}
+
+/// Retry policy for shed attempts: same backoff arithmetic, but
+/// effectively unbounded — a shed attempt's staged writes hold locks,
+/// so the generator must resubmit until the door admits it.
+fn shed_policy() -> RetryPolicy {
+    RetryPolicy::CappedBackoff {
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        give_up_after: u32::MAX,
+    }
+}
+
+/// Transactions per cell: a fixed-duration arrival window at each
+/// rate, clamped so cheap cells still measure something and expensive
+/// cells stay within the measurement horizon's drain allowance.
+fn count_for(rate: f64) -> usize {
+    ((rate * 0.4) as usize).clamp(200, 600)
+}
+
+/// Drain allowance after the last scheduled arrival: goodput counts
+/// the commits that complete inside `span + DRAIN` and divides by that
+/// fixed horizon. Measuring to full resolution instead would reward
+/// fail-fast collapse — a run that abandons a third of its
+/// transactions "finishes" sooner and shows an inflated rate.
+const DRAIN_US: u64 = 1_000_000;
+
+/// One in-flight attempt awaiting its decision. `attempt` counts all
+/// attempts (for the ledger's first-vs-retried split); `aborted`
+/// counts only aborted attempts — the abort policy's give-up budget
+/// must not be consumed by sheds, which cost the system nothing.
+struct Pending {
+    txn: TxnId,
+    rx: Receiver<Outcome>,
+    idx: usize,
+    attempt: u32,
+    aborted: u32,
+}
+
+/// A scheduled retry.
+enum Due {
+    /// Post-abort retry: fresh transaction id, writes re-staged.
+    Fresh {
+        idx: usize,
+        attempt: u32,
+        aborted: u32,
+    },
+    /// Post-shed resubmit: same id, writes already staged and locked.
+    Resubmit {
+        txn: TxnId,
+        idx: usize,
+        attempt: u32,
+        aborted: u32,
+    },
+}
+
+/// Stage a planned transaction's writes (keys round-robin over its
+/// participants) and start the commit.
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    cluster: &mut ReactorCluster,
+    t: &PlannedTxn,
+    idx: usize,
+    attempt: u32,
+    aborted: u32,
+    stage_writes: bool,
+    txn: Option<TxnId>,
+    pending: &mut Vec<Pending>,
+) {
+    let txn = txn.unwrap_or_else(|| cluster.next_txn());
+    if stage_writes {
+        for (i, key) in t.keys.iter().enumerate() {
+            let site = t.participants[i % t.participants.len()];
+            cluster.apply(site, txn, key.as_bytes(), b"v");
+        }
+    }
+    let rx = cluster.commit_async(txn, &t.participants);
+    pending.push(Pending {
+        txn,
+        rx,
+        idx,
+        attempt,
+        aborted,
+    });
+}
+
+/// One sweep cell's results.
+struct Cell {
+    admission: Option<u64>,
+    rate: f64,
+    skew: f64,
+    partitions: usize,
+    ledger: LifecycleLedger,
+    unresolved: u64,
+    admission_sheds: u64,
+    max_inflight: usize,
+    elapsed_ms: u64,
+    /// Commits completed inside the fixed measurement horizon.
+    committed_by_horizon: u64,
+    /// The horizon itself: arrival span plus the drain allowance.
+    horizon_ms: u64,
+    /// `committed_by_horizon / horizon` — the fixed-window goodput.
+    goodput_per_sec: f64,
+    /// Client-observed arrival-to-commit latency (includes queueing,
+    /// sheds and retries), microseconds.
+    client: (u64, u64, u64),
+    /// Reactor-side admission-to-delivery commit latency of admitted
+    /// transactions, microseconds.
+    commit: (u64, u64, u64),
+}
+
+/// Drive one cell: open-loop arrivals against a fresh cluster.
+fn run_cell(rate: f64, skew: f64, partitions: usize, admission: Option<u64>, count: usize) -> Cell {
+    let plan = OpenLoopPlan {
+        arrivals: OpenLoopArrivals {
+            rate_per_sec: rate,
+            count,
+            seed: 0xE17,
+        },
+        key_population: KEY_POPULATION,
+        key_skew: skew,
+        shape: TxnShape {
+            min_partitions: 2.min(partitions),
+            max_partitions: partitions,
+            keys_per_partition: 1,
+        },
+    };
+
+    let mix = protos(partitions);
+    let mut config = ReactorConfig::new(kind(), &mix);
+    config.cluster.delays = bench_delays();
+    config.cluster.group_commit = true;
+    config.admission = admission.map(AdmissionConfig::bounded);
+    let mut cluster = ReactorCluster::spawn(&config);
+    let sites = cluster.participants();
+    let txns = plan.generate(&sites);
+    let total = txns.len();
+    let span_us = txns.last().map_or(0, |t| t.arrival_us);
+    let horizon_us = span_us + DRAIN_US;
+    let deadline = Duration::from_micros(span_us) + Duration::from_secs(60);
+
+    let aborts = abort_policy();
+    let sheds = shed_policy();
+    // The generator's backpressure response: with the door bounded, it
+    // parks fresh arrivals in a client-side backlog while its own
+    // outstanding window sits at twice the bound. Deferring an arrival
+    // defers its write *staging* — the lock footprint — which is the
+    // part the door alone cannot protect (a commit is shed only after
+    // its writes are already staged and locked). The door still sheds
+    // whatever lands in the band between the bound and the window.
+    let backlog_gate = admission.map(|b| b as usize);
+    let client_lat = LatencyHistogram::new();
+    let mut ledger = LifecycleLedger::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut retries: Vec<(u64, Due)> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut done = 0usize;
+    let mut committed_by_horizon = 0u64;
+    let start = Instant::now();
+
+    loop {
+        let now_us = start.elapsed().as_micros() as u64;
+
+        // Open loop: arrivals fire on schedule — but a backpressured
+        // generator parks them client-side instead of staging locks.
+        while next_arrival < total
+            && txns[next_arrival].arrival_us <= now_us
+            && backlog_gate.map_or(true, |g| pending.len() < g)
+        {
+            ledger.offer();
+            submit(
+                &mut cluster,
+                &txns[next_arrival],
+                next_arrival,
+                1,
+                0,
+                true,
+                None,
+                &mut pending,
+            );
+            next_arrival += 1;
+        }
+
+        // Due retries.
+        let mut i = 0;
+        while i < retries.len() {
+            if retries[i].0 <= now_us {
+                ledger.retry();
+                match retries.swap_remove(i).1 {
+                    Due::Fresh {
+                        idx,
+                        attempt,
+                        aborted,
+                    } => {
+                        submit(
+                            &mut cluster,
+                            &txns[idx],
+                            idx,
+                            attempt,
+                            aborted,
+                            true,
+                            None,
+                            &mut pending,
+                        );
+                    }
+                    Due::Resubmit {
+                        txn,
+                        idx,
+                        attempt,
+                        aborted,
+                    } => {
+                        submit(
+                            &mut cluster,
+                            &txns[idx],
+                            idx,
+                            attempt,
+                            aborted,
+                            false,
+                            Some(txn),
+                            &mut pending,
+                        );
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Decisions and sheds.
+        let mut j = 0;
+        while j < pending.len() {
+            match pending[j].rx.try_recv() {
+                Ok(outcome) => {
+                    let p = pending.swap_remove(j);
+                    let t = &txns[p.idx];
+                    match outcome {
+                        Outcome::Commit => {
+                            ledger.finish_attempt(p.attempt, AttemptOutcome::Committed, 0, 0);
+                            client_lat.record(now_us.saturating_sub(t.arrival_us));
+                            if now_us <= horizon_us {
+                                committed_by_horizon += 1;
+                            }
+                            done += 1;
+                        }
+                        Outcome::Abort => {
+                            let parts = t.participants.len() as u64;
+                            ledger.finish_attempt(
+                                p.attempt,
+                                AttemptOutcome::Aborted,
+                                parts.saturating_sub(1),
+                                2 * parts,
+                            );
+                            match aborts.next_delay(p.aborted + 1, t.salt) {
+                                Some(d) => retries.push((
+                                    now_us + d.as_micros() as u64,
+                                    Due::Fresh {
+                                        idx: p.idx,
+                                        attempt: p.attempt + 1,
+                                        aborted: p.aborted + 1,
+                                    },
+                                )),
+                                None => {
+                                    ledger.give_up();
+                                    done += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    let p = pending.swap_remove(j);
+                    ledger.finish_attempt(p.attempt, AttemptOutcome::Shed, 0, 0);
+                    let d = sheds
+                        .next_delay(p.attempt, txns[p.idx].salt)
+                        .expect("shed policy never abandons");
+                    retries.push((
+                        now_us + d.as_micros() as u64,
+                        Due::Resubmit {
+                            txn: p.txn,
+                            idx: p.idx,
+                            attempt: p.attempt + 1,
+                            aborted: p.aborted,
+                        },
+                    ));
+                }
+                Err(TryRecvError::Empty) => j += 1,
+            }
+        }
+
+        if done == total || start.elapsed() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let elapsed = start.elapsed();
+    let report = cluster.shutdown();
+    let client = client_lat.snapshot();
+    let q = |s: &acp_obs::HistogramSnapshot| {
+        (
+            s.p50().unwrap_or(0),
+            s.p99().unwrap_or(0),
+            s.p999().unwrap_or(0),
+        )
+    };
+    Cell {
+        admission,
+        rate,
+        skew,
+        partitions,
+        ledger,
+        unresolved: (total - done) as u64,
+        admission_sheds: report.stats.admission_sheds,
+        max_inflight: report.stats.max_inflight,
+        elapsed_ms: elapsed.as_millis() as u64,
+        committed_by_horizon,
+        horizon_ms: horizon_us / 1000,
+        goodput_per_sec: committed_by_horizon as f64 / (horizon_us as f64 / 1e6),
+        client: q(&client),
+        commit: q(&report.latency),
+    }
+}
+
+fn print_cell(c: &Cell, widths: &[usize]) {
+    println!(
+        "{}",
+        row(
+            &[
+                c.admission.map_or("off".into(), |b| format!("<= {b}")),
+                format!("{:.0}", c.rate),
+                format!("{:.2}", c.skew),
+                c.partitions.to_string(),
+                format!("{}/{}", c.ledger.committed(), c.ledger.offered),
+                format!("{:.0}", c.goodput_per_sec),
+                format!("{:.3}", c.ledger.abort_rate()),
+                c.ledger.shed_attempts.to_string(),
+                c.ledger.give_ups.to_string(),
+                c.client.1.to_string(),
+                format!("{}ms", c.elapsed_ms),
+            ],
+            widths
+        )
+    );
+}
+
+fn bench_json(cells: &[Cell], pass: bool, knee: &str) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"workload\",");
+    let _ = writeln!(
+        j,
+        "  \"setup\": \"open-loop Poisson arrivals, zipfian keys over {KEY_POPULATION} rows, \
+         PrAny(PaperStrict) over a PrN/PrA/PrC mix, group commit on, abort retries \
+         capped-backoff x4, shed retries unbounded\","
+    );
+    let _ = writeln!(j, "  \"admission_bound\": {ADMISSION_BOUND},");
+    let _ = writeln!(j, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let l = &c.ledger;
+        let _ = writeln!(
+            j,
+            "    {{\"admission\": {}, \"offered_per_sec\": {:.0}, \"skew\": {:.2}, \
+             \"partitions\": {}, \"offered\": {}, \"committed\": {}, \
+             \"first_attempt_commits\": {}, \"retried_commits\": {}, \"give_ups\": {}, \
+             \"unresolved\": {}, \"aborted_attempts\": {}, \"shed_attempts\": {}, \
+             \"retries\": {}, \"abort_rate\": {:.4}, \"wasted_forces\": {}, \
+             \"wasted_msgs\": {}, \"admission_sheds\": {}, \"max_inflight\": {}, \
+             \"elapsed_ms\": {}, \"horizon_ms\": {}, \"committed_by_horizon\": {}, \
+             \"goodput_per_sec\": {:.1}, \
+             \"client_latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}}, \
+             \"commit_latency_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}}}}{comma}",
+            c.admission
+                .map_or("null".to_string(), |b| b.to_string()),
+            c.rate,
+            c.skew,
+            c.partitions,
+            l.offered,
+            l.committed(),
+            l.first_attempt_commits,
+            l.retried_commits,
+            l.give_ups,
+            c.unresolved,
+            l.aborted_attempts,
+            l.shed_attempts,
+            l.retries,
+            l.abort_rate(),
+            l.wasted_forces,
+            l.wasted_msgs,
+            c.admission_sheds,
+            c.max_inflight,
+            c.elapsed_ms,
+            c.horizon_ms,
+            c.committed_by_horizon,
+            c.goodput_per_sec,
+            c.client.0,
+            c.client.1,
+            c.client.2,
+            c.commit.0,
+            c.commit.1,
+            c.commit.2,
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(
+        j,
+        "    \"criterion\": \"at the highest offered load and hottest skew, goodput with \
+         admission >= goodput without, and the admission cell actually sheds\","
+    );
+    let _ = writeln!(j, "    \"knee\": \"{knee}\",");
+    let _ = writeln!(j, "    \"pass\": {pass}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// The acceptance comparison: the extreme cell pair (highest rate,
+/// hottest skew, smallest partition set) with admission off vs on.
+fn acceptance(cells: &[Cell]) -> (bool, f64, f64, u64) {
+    let top_rate = cells.iter().map(|c| c.rate).fold(0.0, f64::max);
+    let top_skew = cells.iter().map(|c| c.skew).fold(0.0, f64::max);
+    let extreme = |adm: bool| {
+        cells
+            .iter()
+            .filter(|c| {
+                c.rate == top_rate && c.skew == top_skew && c.admission.is_some() == adm
+            })
+            .min_by_key(|c| c.partitions)
+    };
+    let (Some(off), Some(on)) = (extreme(false), extreme(true)) else {
+        return (false, 0.0, 0.0, 0);
+    };
+    let pass = on.goodput_per_sec >= off.goodput_per_sec && on.admission_sheds > 0;
+    (pass, off.goodput_per_sec, on.goodput_per_sec, on.admission_sheds)
+}
+
+fn main() {
+    let smoke = std::env::var_os("ACP_WORKLOAD_SMOKE").is_some();
+
+    println!("E17 — open-loop extreme traffic: the overload knee, admission off vs on");
+    println!(
+        "PrAny(PaperStrict), PrN/PrA/PrC mix, zipfian keys over {KEY_POPULATION} rows, \
+         group commit on\n"
+    );
+    let widths = [8, 8, 6, 5, 12, 10, 7, 7, 8, 10, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "adm".into(),
+                "rate/s".into(),
+                "skew".into(),
+                "parts".into(),
+                "committed".into(),
+                "goodput/s".into(),
+                "abrate".into(),
+                "sheds".into(),
+                "giveups".into(),
+                "cli-p99".into(),
+                "elapsed".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", sep(&widths));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    if smoke {
+        // Just the extreme pair, scaled down but still well past the
+        // knee: the contrast the acceptance criterion needs.
+        let (rate, skew, parts, count) = (20_000.0, 1.2, 3, 600);
+        for admission in [None, Some(ADMISSION_BOUND)] {
+            let c = run_cell(rate, skew, parts, admission, count);
+            print_cell(&c, &widths);
+            cells.push(c);
+        }
+    } else {
+        for &partitions in &PARTITIONS {
+            for &skew in &SKEWS {
+                for &rate in &RATES {
+                    for admission in [None, Some(ADMISSION_BOUND)] {
+                        let c = run_cell(rate, skew, partitions, admission, count_for(rate));
+                        print_cell(&c, &widths);
+                        cells.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    let (pass, goodput_off, goodput_on, sheds) = acceptance(&cells);
+    let knee = format!(
+        "at the top cell goodput falls to {goodput_off:.0}/s uncontrolled vs {goodput_on:.0}/s \
+         with the door bounded at {ADMISSION_BOUND} ({sheds} sheds)"
+    );
+
+    println!("\n{knee}");
+    println!(
+        "acceptance (goodput with admission >= without at the extreme cell, sheds > 0): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    if smoke {
+        eprintln!("smoke mode: skipping the full campaign and BENCH_workload.json");
+        if !pass {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let json = bench_json(&cells, pass, &knee);
+    let bench_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_workload.json");
+    std::fs::write(&bench_path, &json).expect("write BENCH_workload.json");
+    eprintln!("wrote BENCH_workload.json");
+
+    if !pass {
+        std::process::exit(1);
+    }
+}

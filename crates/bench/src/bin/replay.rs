@@ -6,13 +6,16 @@
 //! Two corpora are replayed:
 //!
 //! 1. `results/figures/traces.jsonl` — the eight committed figure
-//!    panels. Each panel's `ProtocolEvent` stream is re-validated
+//!    panels plus the E17 overload panel. Each figure panel's
+//!    `ProtocolEvent` stream is re-validated
 //!    against event-level renditions of the paper's log rules: forces
 //!    precede externalisation, presumptions excuse exactly the forces
 //!    the paper says they excuse, and the coordinator only forgets
-//!    (GCs) after it is safe to do so. A set of mutation controls then
-//!    proves the predicates have teeth: each seeded corruption must be
-//!    flagged.
+//!    (GCs) after it is safe to do so. The multi-transaction overload
+//!    panel routes to its own checker (admission sheds are free,
+//!    loud, and fed back to the retry policy). A set of mutation
+//!    controls then proves the predicates have teeth: each seeded
+//!    corruption must be flagged.
 //! 2. The Theorem 1 counterexample traces — a crash sweep over the
 //!    U2PC/PrC coordinator regenerates histories with atomicity
 //!    violations; `check_atomicity` + `check_all_safe_states` must
@@ -24,7 +27,10 @@
 
 use acp_acta::check_atomicity;
 use acp_acta::safe_state::check_all_safe_states;
-use acp_bench::trace_check::{check_panel, load_panels, mutations};
+use acp_bench::figures::OVERLOAD_SLUG;
+use acp_bench::trace_check::{
+    check_overload_panel, check_panel, load_panels, mutations, overload_mutations,
+};
 use acp_bench::{row, sep};
 use acp_core::harness::{run_scenario, Scenario};
 use acp_sim::{FailureSchedule, SimTime};
@@ -89,7 +95,11 @@ fn main() {
     println!("{}", sep(&widths));
 
     for p in &panels {
-        let v = check_panel(&p.events);
+        let v = if p.slug == OVERLOAD_SLUG {
+            check_overload_panel(&p.events)
+        } else {
+            check_panel(&p.events)
+        };
         println!(
             "{}",
             row(
@@ -102,21 +112,38 @@ fn main() {
         }
         failures += v.len() as u32;
     }
-    if panels.len() != 8 {
-        println!("!! expected 8 committed panels, found {}", panels.len());
+    if panels.len() != 9 {
+        println!("!! expected 9 committed panels, found {}", panels.len());
         failures += 1;
     }
 
-    // Mutation controls over the first panel: every seeded corruption
-    // must be flagged, or the predicates are vacuous.
+    // Mutation controls: every seeded corruption of the first figure
+    // panel must be flagged, and silently dropping the overload
+    // panel's shed must be flagged too — or the predicates are
+    // vacuous.
     println!("\nMutation controls (each must be flagged):\n");
     let clean = &panels.first().expect("at least one panel").events;
+    let mut controls = 0u32;
     for (name, mutated) in mutations(clean) {
+        controls += 1;
         let caught = !check_panel(&mutated).is_empty();
         println!("  {:36} {}", name, if caught { "flagged" } else { "MISSED" });
         if !caught {
             failures += 1;
         }
+    }
+    if let Some(overload) = panels.iter().find(|p| p.slug == OVERLOAD_SLUG) {
+        for (name, mutated) in overload_mutations(&overload.events) {
+            controls += 1;
+            let caught = !check_overload_panel(&mutated).is_empty();
+            println!("  {:36} {}", name, if caught { "flagged" } else { "MISSED" });
+            if !caught {
+                failures += 1;
+            }
+        }
+    } else {
+        println!("  !! no {OVERLOAD_SLUG} panel to mutate");
+        failures += 1;
     }
 
     // Theorem 1 counterexample traces: the incompatible-presumption
@@ -145,5 +172,8 @@ fn main() {
         println!("\nreplay FAILED: {failures} check(s)");
         exit(1);
     }
-    println!("\nreplay OK: {} panels, 4 mutation controls, {runs} + {runs_ok} theorem-1 runs", panels.len());
+    println!(
+        "\nreplay OK: {} panels, {controls} mutation controls, {runs} + {runs_ok} theorem-1 runs",
+        panels.len()
+    );
 }

@@ -11,12 +11,16 @@
 //! golden test plus a CI drift check keep them honest.
 
 use crate::{one_txn_scenario, parallel_map, site_label};
-use acp_core::harness::run_scenario;
+use acp_core::harness::{run_scenario, Scenario};
+use acp_net::{AdmissionConfig, AdmissionController};
 use acp_obs::{
-    event_to_json, render_ascii, render_mermaid, MetricsRegistry, ProtocolEvent,
+    event_to_json, parse_flat_json, render_ascii, render_mermaid, MetricsRegistry, ProtocolEvent,
 };
-use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId};
+use acp_sim::SimTime;
+use acp_types::{CoordinatorKind, ProtocolKind, SelectionPolicy, SiteId, TxnId, Vote};
+use acp_workload::RetryPolicy;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// One panel of a paper figure: a scenario plus naming.
 pub struct FigurePanel {
@@ -107,6 +111,183 @@ pub fn paper_panels() -> Vec<FigurePanel> {
     ]
 }
 
+/// Slug of the E17 overload panel in `traces.jsonl` (the `replay`
+/// binary routes it to the multi-transaction overload checker instead
+/// of the single-transaction schedule predicates).
+pub const OVERLOAD_SLUG: &str = "e17_overload";
+
+/// Title of the E17 overload panel.
+pub const OVERLOAD_TITLE: &str =
+    "E17 — overload: admission shed + workload retries under contention";
+
+/// Admission bound the overload panel models (chosen so one in-flight
+/// transaction is enough to shed the next arrival).
+const OVERLOAD_LIMIT: u64 = 1;
+
+/// The microsecond value of a workload retry delay.
+fn delay_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).expect("retry delay fits u64 microseconds")
+}
+
+/// Per-transaction lifetimes visible in an event stream: first event
+/// stamp and decision stamp (coordinator `decision_reached`).
+fn txn_spans(events: &[ProtocolEvent]) -> BTreeMap<u64, (u64, Option<u64>)> {
+    let mut spans: BTreeMap<u64, (u64, Option<u64>)> = BTreeMap::new();
+    for ev in events {
+        let map = parse_flat_json(&event_to_json(ev)).expect("trace dialect");
+        let Some(txn) = map.get("txn").and_then(acp_obs::JsonValue::as_u64) else {
+            continue;
+        };
+        let span = spans.entry(txn).or_insert((ev.at_us(), None));
+        span.0 = span.0.min(ev.at_us());
+        if let ProtocolEvent::DecisionReached { at_us, .. } = ev {
+            span.1 = Some(*at_us);
+        }
+    }
+    spans
+}
+
+/// The E17 overload panel: one deterministic multi-transaction
+/// schedule exhibiting the overload mechanics the campaign measures.
+///
+/// A PrAny coordinator over a PrA and a PrC participant runs four
+/// client attempts:
+///
+/// * **T1** (arrives 1000µs) — commits cleanly.
+/// * **T2** (arrives 2000µs) — the PrA participant votes **No** (the
+///   panel's stand-in for a no-wait lock conflict), so T2 aborts. The
+///   workload layer observes the abort and schedules a retry
+///   (`retry_scheduled`, purpose `workload-retry`); the retry runs as
+///   **T3** — a *new* transaction id, because an abort decision
+///   released T2's locks and the protocol is finished with it.
+/// * **T4** — arrives while T2 is still in flight. With the panel's
+///   admission bound of one, the door model
+///   ([`AdmissionController`]) refuses it: an `admission_shed` event
+///   carries the in-flight census and the bound, and the panel shows
+///   no protocol work for T4 before the shed (no forces, no votes, no
+///   messages — that is the whole point of shedding at the door). The
+///   workload layer retries the shed attempt with the *same* id after
+///   a backoff, and the resubmitted T4 commits.
+///
+/// The shed/retry bookkeeping events are synthesized by the same
+/// [`AdmissionController`] predicate and
+/// [`RetryPolicy`] arithmetic the live runtime uses, against the
+/// in-flight census computed from the simulator's own event stream —
+/// the panel asserts the controller really would shed at that instant
+/// before writing the event.
+///
+/// # Panics
+/// If the schedule drifts from the mechanics it documents (wrong
+/// outcomes, an in-flight census the controller would admit): the
+/// panel is a committed artifact, so drift must fail regeneration
+/// loudly rather than commit a lie.
+#[must_use]
+pub fn overload_panel_events() -> Vec<ProtocolEvent> {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let protos = [ProtocolKind::PrA, ProtocolKind::PrC];
+    let policy = RetryPolicy::CappedBackoff {
+        base: Duration::from_micros(1500),
+        cap: Duration::from_millis(10),
+        give_up_after: 4,
+    };
+
+    // Pass 1: run T1 + T2 alone to learn when T2's abort decision
+    // lands — the instant the workload layer can schedule the retry —
+    // and place the shed strictly inside T2's in-flight window.
+    let mut probe = Scenario::new(kind, &protos);
+    probe.max_events = 10_000;
+    probe.add_txn(TxnId::new(1), SimTime::from_micros(1000));
+    probe
+        .add_txn(TxnId::new(2), SimTime::from_micros(2000))
+        .votes
+        .insert(SiteId::new(1), Vote::No);
+    let probe_out = run_scenario(&probe);
+    let spans = txn_spans(&probe_out.events);
+    let abort_at = spans[&2].1.expect("T2 decides in the probe run");
+    let shed_at = (spans[&2].0 + abort_at) / 2;
+
+    // The retried attempts: the aborted T2 comes back as a fresh T3
+    // (its locks were released by the decision); the shed T4 comes
+    // back as T4 itself (it never entered the protocol, so there is
+    // nothing to rename).
+    let abort_retry_at = abort_at + delay_us(policy.next_delay(1, 2).expect("retry 1 of T2"));
+    let shed_retry_at = shed_at + delay_us(policy.next_delay(1, 4).expect("retry 1 of T4"));
+
+    let mut s = Scenario::new(kind, &protos);
+    s.max_events = 10_000;
+    s.add_txn(TxnId::new(1), SimTime::from_micros(1000));
+    s.add_txn(TxnId::new(2), SimTime::from_micros(2000))
+        .votes
+        .insert(SiteId::new(1), Vote::No);
+    s.add_txn(TxnId::new(3), SimTime::from_micros(abort_retry_at));
+    s.add_txn(TxnId::new(4), SimTime::from_micros(shed_retry_at));
+    let out = run_scenario(&s);
+    for (txn, want) in [(1u64, "commit"), (2, "abort"), (3, "commit"), (4, "commit")] {
+        let got = out.decided[&TxnId::new(txn)];
+        let got = if got == acp_types::Outcome::Commit { "commit" } else { "abort" };
+        assert_eq!(got, want, "overload panel: T{txn} outcome drifted");
+    }
+
+    let spans = txn_spans(&out.events);
+    assert_eq!(
+        spans[&2].1,
+        Some(abort_at),
+        "later arrivals must not perturb T2's decision time"
+    );
+
+    // The in-flight census at the shed instant, from the stream itself:
+    // transactions already begun but not yet decided.
+    let inflight = spans
+        .values()
+        .filter(|(first, decided)| *first <= shed_at && decided.map_or(true, |d| d > shed_at))
+        .count() as u64;
+    let door = AdmissionController::new(AdmissionConfig::bounded(OVERLOAD_LIMIT));
+    assert!(
+        !door.admit(inflight, 0),
+        "overload panel: the controller would have admitted T4 \
+         (inflight {inflight} under bound {OVERLOAD_LIMIT})"
+    );
+
+    let proto = out
+        .events
+        .iter()
+        .find_map(|e| match e {
+            ProtocolEvent::DecisionReached { site: 0, proto, .. } => Some(*proto),
+            _ => None,
+        })
+        .expect("coordinator decision event");
+
+    let mut events = out.events;
+    events.push(ProtocolEvent::AdmissionShed {
+        at_us: shed_at,
+        site: 0,
+        proto,
+        txn: Some(4),
+        inflight,
+        limit: OVERLOAD_LIMIT,
+    });
+    events.push(ProtocolEvent::RetryScheduled {
+        at_us: shed_at,
+        site: 0,
+        proto,
+        purpose: "workload-retry",
+        attempt: 1,
+        txn: Some(4),
+    });
+    events.push(ProtocolEvent::RetryScheduled {
+        at_us: abort_at,
+        site: 0,
+        proto,
+        purpose: "workload-retry",
+        attempt: 1,
+        txn: Some(2),
+    });
+    // Stable by timestamp: simulator events keep their emission order,
+    // synthesized bookkeeping lands after protocol work at each stamp.
+    events.sort_by_key(ProtocolEvent::at_us);
+    events
+}
+
 /// Everything the figure regeneration produces, keyed by file name
 /// (relative to `results/figures/`). Deterministic: same scenarios →
 /// byte-identical map, at any thread count.
@@ -176,6 +357,22 @@ pub fn render_paper_figures(threads: usize) -> FigureArtifacts {
         }
     }
 
+    // Ninth panel: the E17 overload schedule. Trace-only — its story
+    // is the event bookkeeping (shed, retries), not a paper figure, so
+    // it gets no ASCII/Mermaid rendering.
+    let overload = overload_panel_events();
+    traces.push_str(&format!(
+        "{{\"meta\":\"panel\",\"slug\":\"{}\",\"title\":\"{}\",\"events\":{}}}\n",
+        OVERLOAD_SLUG,
+        OVERLOAD_TITLE,
+        overload.len()
+    ));
+    for ev in &overload {
+        traces.push_str(&event_to_json(ev));
+        traces.push('\n');
+        registry.record(ev);
+    }
+
     files.insert(
         "fig5_taxonomy.txt".to_string(),
         acp_types::taxonomy::render_taxonomy(),
@@ -183,7 +380,7 @@ pub fn render_paper_figures(threads: usize) -> FigureArtifacts {
     files.insert("traces.jsonl".to_string(), traces);
     files.insert(
         "metrics.json".to_string(),
-        registry.to_json("figures (E1-E4 schedule panels)"),
+        registry.to_json("figures (E1-E4 schedule panels + E17 overload)"),
     );
 
     FigureArtifacts { files }

@@ -272,6 +272,157 @@ pub fn check_panel(events: &[Ev]) -> Vec<String> {
     v
 }
 
+/// Safe-state predicates for the multi-transaction E17 overload panel.
+///
+/// [`check_panel`] assumes one transaction per stream (its GC-age
+/// predicate keys every `log_gc` off the *first* decision), so the
+/// overload panel gets its own checker. The shared invariants stay:
+/// monotone per-site clocks, one decision per transaction, write-ahead
+/// yes votes. On top, the overload mechanics themselves become
+/// predicates: the panel must exhibit real contention (both outcomes
+/// present), every shed must be a genuine refusal at the door (no
+/// protocol work for that transaction before the shed, and an
+/// in-flight census at or over the advertised bound), and no refusal
+/// or abort may vanish silently — each must be followed by a
+/// `workload-retry` schedule for the same transaction.
+#[must_use]
+pub fn check_overload_panel(events: &[Ev]) -> Vec<String> {
+    let mut v = Vec::new();
+
+    // 1. Per-site clocks are monotone in trace order.
+    let mut clocks: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        let c = clocks.entry(e.site()).or_insert(0);
+        if e.at_us() < *c {
+            v.push(format!(
+                "site {} clock regressed: {} -> {}",
+                e.site(),
+                *c,
+                e.at_us()
+            ));
+        }
+        *c = (*c).max(e.at_us());
+    }
+
+    // 2. Every transaction decides exactly once, and the panel shows
+    //    genuine contention: at least one abort AND at least one
+    //    commit.
+    let mut decisions: BTreeMap<u64, (u64, String)> = BTreeMap::new();
+    for e in events {
+        if e.ty() == "decision_reached" {
+            if let Some((_, prev)) = decisions.get(&e.txn()) {
+                v.push(format!(
+                    "txn {} decided twice ({} then {})",
+                    e.txn(),
+                    prev,
+                    e.str("outcome")
+                ));
+            }
+            decisions.insert(e.txn(), (e.at_us(), e.str("outcome").to_string()));
+        }
+    }
+    let commits = decisions.values().filter(|(_, o)| o == "commit").count();
+    let aborts = decisions.values().filter(|(_, o)| o == "abort").count();
+    if commits == 0 || aborts == 0 {
+        v.push(format!(
+            "overload panel must show both outcomes (commits={commits} aborts={aborts})"
+        ));
+    }
+
+    // 3. Sheds are genuine refusals at the door: at least one
+    //    admission_shed; each carries an in-flight census at or over
+    //    its bound, and its transaction has done no protocol work
+    //    before the refusal (no forces, votes, messages — shedding is
+    //    free by construction).
+    let sheds: Vec<(usize, u64, u64)> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.ty() == "admission_shed")
+        .map(|(i, e)| (i, e.txn(), e.at_us()))
+        .collect();
+    if sheds.is_empty() {
+        v.push("overload panel has no admission_shed event".into());
+    }
+    for &(i, txn, _) in &sheds {
+        let e = &events[i];
+        if e.num("inflight") < e.num("limit") {
+            v.push(format!(
+                "txn {txn} shed while under the bound (inflight {} < limit {})",
+                e.num("inflight"),
+                e.num("limit")
+            ));
+        }
+        let worked = events[..i]
+            .iter()
+            .any(|p| p.txn() == txn && p.ty() != "admission_shed" && p.ty() != "retry_scheduled");
+        if worked {
+            v.push(format!(
+                "txn {txn} was shed after protocol work — a shed must cost nothing"
+            ));
+        }
+    }
+
+    // 4. No silent losses: every abort decision and every shed is
+    //    followed (at or after its stamp) by a workload-retry schedule
+    //    for that transaction — the generator always learns.
+    let mut losses: Vec<(u64, u64, &str)> = decisions
+        .iter()
+        .filter(|(_, (_, o))| o == "abort")
+        .map(|(&txn, &(at, _))| (txn, at, "abort"))
+        .collect();
+    losses.extend(sheds.iter().map(|&(_, txn, at)| (txn, at, "shed")));
+    for (txn, at, what) in losses {
+        let retried = events.iter().any(|e| {
+            e.ty() == "retry_scheduled"
+                && e.str("purpose") == "workload-retry"
+                && e.txn() == txn
+                && e.at_us() >= at
+        });
+        if !retried {
+            v.push(format!(
+                "txn {txn} {what} was never fed back to the workload retry policy"
+            ));
+        }
+    }
+
+    // 5. Log rule, unchanged under load: a yes vote only after that
+    //    site's forced prepared record.
+    for (i, e) in events.iter().enumerate() {
+        if e.ty() == "vote_cast" && e.str("vote") == "yes" {
+            let forced = events[..i].iter().any(|p| {
+                p.ty() == "force_write"
+                    && p.site() == e.site()
+                    && p.txn() == e.txn()
+                    && p.str("record") == "prepared"
+            });
+            if !forced {
+                v.push(format!(
+                    "site {} voted yes on txn {} without a forced prepared record",
+                    e.site(),
+                    e.txn()
+                ));
+            }
+        }
+    }
+
+    v
+}
+
+/// Seeded corruption for the overload panel: silently dropping the
+/// shed must be caught by [`check_overload_panel`] (predicate 3 —
+/// refusals are never silent), proving the overload predicates have
+/// teeth too. Returns (name, mutated events) pairs.
+#[must_use]
+pub fn overload_mutations(clean: &[Ev]) -> Vec<(&'static str, Vec<Ev>)> {
+    let mut out = Vec::new();
+    let mut m = clean.to_vec();
+    if let Some(i) = m.iter().position(|e| e.ty() == "admission_shed") {
+        m.remove(i);
+        out.push(("silently dropped shed", m));
+    }
+    out
+}
+
 /// Seeded corruptions: each must be caught by [`check_panel`], proving
 /// the predicates can actually fail. Returns (name, mutated events).
 #[must_use]

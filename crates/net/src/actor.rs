@@ -972,20 +972,25 @@ pub fn run_coordinator(
 }
 
 /// Send the decision to any waiting client whose transaction has been
-/// decided.
+/// decided. Returns the delivered transaction ids so hosts that track
+/// per-transaction latency (the reactor's commit histogram) can close
+/// their books.
 pub(crate) fn deliver_decisions(
     engine: &Coordinator<NetLog>,
     replies: &mut BTreeMap<TxnId, Sender<Outcome>>,
-) {
+) -> Vec<TxnId> {
     let decided: Vec<(TxnId, Outcome)> = replies
         .keys()
         .filter_map(|&txn| engine.decided(txn).map(|o| (txn, o)))
         .collect();
+    let mut delivered = Vec::with_capacity(decided.len());
     for (txn, outcome) in decided {
         if let Some(tx) = replies.remove(&txn) {
             let _ = tx.send(outcome);
         }
+        delivered.push(txn);
     }
+    delivered
 }
 
 #[cfg(test)]

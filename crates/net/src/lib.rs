@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod admission;
 pub mod cluster;
 pub mod envelope;
 pub mod multi_reactor;
@@ -48,6 +49,7 @@ pub mod timer;
 pub mod wire;
 
 pub use actor::{NetDelays, NetObs};
+pub use admission::{AdmissionConfig, AdmissionController};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, SiteSummary};
 pub use envelope::Envelope;
 pub use multi_reactor::{

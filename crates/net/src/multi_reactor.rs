@@ -58,7 +58,8 @@ use crate::reactor::{
 };
 use acp_acta::History;
 use acp_obs::{
-    CountingSink, FanoutSink, MetricsRegistry, MetricsSnapshot, MetricsTimeline, TraceSink,
+    CountingSink, FanoutSink, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    MetricsTimeline, TraceSink,
 };
 use acp_types::{Outcome, SiteId, TxnId, Vote};
 use acp_wal::tempdir::TempDir;
@@ -146,6 +147,11 @@ pub struct MultiReactorReport {
     /// Each shard's metrics registry (empty unless observed). Protocol
     /// cost totals for the whole cluster are per-cell sums over these.
     pub registries: Vec<Arc<MetricsRegistry>>,
+    /// Cluster-wide commit-latency histogram: every shard's
+    /// admission-to-delivery samples merged bucket-wise (histograms
+    /// aggregate commutatively, like the counter grid), so the p50 /
+    /// p99 / p999 tails cover all delivered decisions.
+    pub latency: HistogramSnapshot,
 }
 
 /// A running multi-reactor cluster: same client API as
@@ -395,10 +401,12 @@ impl MultiReactorCluster {
         let mut coord_pinned: Vec<TxnId> = Vec::new();
         let mut participant_sites: BTreeMap<u32, SiteSummary> = BTreeMap::new();
         let mut per_shard = Vec::new();
+        let mut latency = HistogramSnapshot::new();
 
         for (shard, r) in reports.into_iter().enumerate() {
             stats.merge(&r.stats);
             fsync.merge(&r.fsync);
+            latency.merge(&r.latency);
             group_commit.merge(&r.cluster.group_commit);
             logical_forces += r.cluster.logical_forces;
             physical_syncs += r.cluster.physical_syncs;
@@ -449,6 +457,7 @@ impl MultiReactorCluster {
             max_inflight: self.inflight.peak(),
             timeline,
             registries: self.registries,
+            latency,
         }
     }
 }

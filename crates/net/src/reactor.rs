@@ -34,13 +34,17 @@ use crate::actor::{
     observe_recover, observe_recv, observe_retry, observe_send, protocol_outcomes, NetDelays,
     NetLog, NetObs, SharedHistory,
 };
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::cluster::{ClusterConfig, ClusterReport, SiteSummary};
 use crate::envelope::Envelope;
 use crate::timer::{TimerId, TimerWheel};
 use acp_acta::{ActaEvent, History};
 use acp_core::{Action, Coordinator, GatewayParticipant, LegacyStore, Participant, TimerPurpose};
 use acp_engine::SiteEngine;
-use acp_obs::{MetricsRegistry, MetricsTimeline, ProtoLabel, ProtocolEvent, TraceSink};
+use acp_obs::{
+    HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsTimeline, ProtoLabel,
+    ProtocolEvent, TraceSink,
+};
 use acp_types::{Message, Outcome, Payload, SiteId, TxnId, Vote};
 use acp_wal::tempdir::TempDir;
 use acp_wal::{DomainStats, FileLog, FsyncDomain, GroupCommitLog, GroupCommitStats};
@@ -75,6 +79,12 @@ pub struct ReactorConfig {
     pub snapshot_every_ticks: u64,
     /// Also snapshot after this many delivered decisions (0 = off).
     pub snapshot_every_commits: u64,
+    /// Admission bounds (`None` = admit everything, the historical
+    /// behavior). A refused commit is a counted, observable shed — see
+    /// [`crate::admission`]. Clean single-transaction runs are
+    /// admission-invariant: an idle cluster admits under any bound, so
+    /// enabling this does not perturb committed traces.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ReactorConfig {
@@ -91,6 +101,7 @@ impl ReactorConfig {
             adaptive_window: true,
             snapshot_every_ticks: 0,
             snapshot_every_commits: 0,
+            admission: None,
         }
     }
 }
@@ -122,6 +133,9 @@ pub struct ReactorStats {
     /// Envelopes handed to another reactor's mailbox (cross-shard
     /// routing; always 0 on a single-reactor cluster).
     pub mailbox_sends: u64,
+    /// Client commits refused at the door by the admission controller
+    /// (always 0 with `admission: None`).
+    pub admission_sheds: u64,
 }
 
 impl ReactorStats {
@@ -138,6 +152,7 @@ impl ReactorStats {
         self.max_inflight = self.max_inflight.max(other.max_inflight);
         self.decisions_delivered += other.decisions_delivered;
         self.mailbox_sends += other.mailbox_sends;
+        self.admission_sheds += other.admission_sheds;
     }
 }
 
@@ -247,6 +262,10 @@ pub struct ReactorReport {
     /// This reactor's fsync-domain coalescing counters (all zero when
     /// group commit is off — passthrough logs never stage a batch).
     pub fsync: DomainStats,
+    /// Commit latency of every decision this reactor delivered,
+    /// admission-to-delivery in microseconds. Merge per-shard
+    /// snapshots bucket-wise for the cluster-wide tail.
+    pub latency: HistogramSnapshot,
 }
 
 // ---------------------------------------------------------------------------
@@ -323,6 +342,11 @@ struct Ctx {
     domain: FsyncDomain,
     /// Cluster-wide in-flight commit gauge (shared across shards).
     inflight: Arc<InflightGauge>,
+    /// When each in-flight commit was admitted, for the latency
+    /// histogram (keys mirror `replies`).
+    admitted_at: BTreeMap<TxnId, Instant>,
+    /// Admission-to-delivery latency of this shard's commits.
+    latency: LatencyHistogram,
 }
 
 impl Ctx {
@@ -495,6 +519,7 @@ struct Reactor {
     owned: BTreeMap<SiteId, usize>,
     ctx: Ctx,
     config: ReactorConfig,
+    admission: Option<AdmissionController>,
     rx: Receiver<(SiteId, Envelope)>,
     t0: Instant,
     registry: Option<Arc<MetricsRegistry>>,
@@ -699,8 +724,31 @@ impl Reactor {
                     let _ = reply.send(outcome);
                 } else if participants.is_empty() || engine.in_flight(txn) {
                     drop(reply);
+                } else if let Some(over) = self.admission.as_ref().and_then(|adm| {
+                    let inflight = self.ctx.inflight.current();
+                    let queue = self.ctx.local.len() + self.rx.len();
+                    (!adm.admit(inflight, queue))
+                        .then_some((inflight, adm.config().max_inflight))
+                }) {
+                    // Refused at the door: count it, narrate it, and
+                    // fail the client fast — the dropped reply channel
+                    // reads as a shed on the generator side (its recv
+                    // disconnects immediately), never a silent stall.
+                    self.ctx.stats.admission_sheds += 1;
+                    if let Some(obs) = &host.obs {
+                        obs.sink.record(&ProtocolEvent::AdmissionShed {
+                            at_us: obs.now_us(),
+                            site: host.site.raw(),
+                            proto: obs.proto,
+                            txn: Some(txn.raw()),
+                            inflight: over.0,
+                            limit: over.1,
+                        });
+                    }
+                    drop(reply);
                 } else {
                     self.ctx.replies.insert(txn, reply);
+                    self.ctx.admitted_at.insert(txn, now);
                     self.ctx.inflight.inc();
                     self.ctx.stats.max_inflight =
                         self.ctx.stats.max_inflight.max(self.ctx.replies.len());
@@ -846,9 +894,17 @@ impl Reactor {
         if host.defer_sends && engine.log().open_occupancy() > 0 {
             return;
         }
-        let before = self.ctx.replies.len();
-        deliver_decisions(engine, &mut self.ctx.replies);
-        let delivered = (before - self.ctx.replies.len()) as u64;
+        let done = deliver_decisions(engine, &mut self.ctx.replies);
+        let delivered = done.len() as u64;
+        for txn in done {
+            if let Some(admitted) = self.ctx.admitted_at.remove(&txn) {
+                let us = u64::try_from(
+                    self.ctx.now.saturating_duration_since(admitted).as_micros(),
+                )
+                .unwrap_or(u64::MAX);
+                self.ctx.latency.record(us);
+            }
+        }
         self.ctx.stats.decisions_delivered += delivered;
         self.ctx.inflight.dec_by(delivered);
         self.cadence.on_commits(delivered);
@@ -960,6 +1016,7 @@ impl Reactor {
             },
             stats: self.ctx.stats,
             fsync: self.ctx.domain.stats(),
+            latency: self.ctx.latency.snapshot(),
         }
     }
 }
@@ -1144,7 +1201,10 @@ pub(crate) fn spawn_shard(spec: ShardSpec, dir: &Path) -> JoinHandle<ReactorRepo
             peers,
             domain: FsyncDomain::new(),
             inflight,
+            admitted_at: BTreeMap::new(),
+            latency: LatencyHistogram::new(),
         },
+        admission: config.admission.map(AdmissionController::new),
         config,
         rx,
         t0,

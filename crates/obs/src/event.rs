@@ -265,6 +265,26 @@ pub enum ProtocolEvent {
         /// Forced appends the single physical force covered.
         occupancy: u64,
     },
+    /// An overloaded host refused a new transaction at the door: the
+    /// admission controller found the in-flight population or the
+    /// mailbox backlog above its bound and shed the commit request
+    /// before any protocol work (no votes, no forces, no messages).
+    /// The rejection is counted and observable — never a silent drop —
+    /// so the load generator can feed it back into its retry policy.
+    AdmissionShed {
+        /// Event time in microseconds.
+        at_us: u64,
+        /// The shedding site (the coordinator's host).
+        site: u32,
+        /// The protocol the coordinator runs.
+        proto: ProtoLabel,
+        /// The refused transaction.
+        txn: Option<u64>,
+        /// In-flight transactions at the moment of refusal.
+        inflight: u64,
+        /// The admission bound that was exceeded.
+        limit: u64,
+    },
     /// A site fail-stopped.
     CrashObserved {
         /// Event time in microseconds.
@@ -303,6 +323,7 @@ impl ProtocolEvent {
             | ProtocolEvent::LogGc { at_us, .. }
             | ProtocolEvent::RetryScheduled { at_us, .. }
             | ProtocolEvent::BatchCommit { at_us, .. }
+            | ProtocolEvent::AdmissionShed { at_us, .. }
             | ProtocolEvent::CrashObserved { at_us, .. }
             | ProtocolEvent::RecoveryStep { at_us, .. } => *at_us,
         }
@@ -321,6 +342,7 @@ impl ProtocolEvent {
             | ProtocolEvent::LogGc { site, .. }
             | ProtocolEvent::RetryScheduled { site, .. }
             | ProtocolEvent::BatchCommit { site, .. }
+            | ProtocolEvent::AdmissionShed { site, .. }
             | ProtocolEvent::CrashObserved { site, .. }
             | ProtocolEvent::RecoveryStep { site, .. } => *site,
         }
@@ -339,6 +361,7 @@ impl ProtocolEvent {
             | ProtocolEvent::LogGc { proto, .. }
             | ProtocolEvent::RetryScheduled { proto, .. }
             | ProtocolEvent::BatchCommit { proto, .. }
+            | ProtocolEvent::AdmissionShed { proto, .. }
             | ProtocolEvent::CrashObserved { proto, .. }
             | ProtocolEvent::RecoveryStep { proto, .. } => *proto,
         }
@@ -357,6 +380,7 @@ impl ProtocolEvent {
             ProtocolEvent::LogGc { .. } => "log_gc",
             ProtocolEvent::RetryScheduled { .. } => "retry_scheduled",
             ProtocolEvent::BatchCommit { .. } => "batch_commit",
+            ProtocolEvent::AdmissionShed { .. } => "admission_shed",
             ProtocolEvent::CrashObserved { .. } => "crash_observed",
             ProtocolEvent::RecoveryStep { .. } => "recovery_step",
         }

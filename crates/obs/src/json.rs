@@ -92,6 +92,15 @@ pub fn event_to_json(ev: &ProtocolEvent) -> String {
         ProtocolEvent::BatchCommit { occupancy, .. } => {
             let _ = write!(s, ",\"occupancy\":{occupancy}");
         }
+        ProtocolEvent::AdmissionShed {
+            txn,
+            inflight,
+            limit,
+            ..
+        } => {
+            push_txn(&mut s, *txn);
+            let _ = write!(s, ",\"inflight\":{inflight},\"limit\":{limit}");
+        }
         ProtocolEvent::CrashObserved { .. } => {}
         ProtocolEvent::RecoveryStep { detail, .. } => {
             let _ = write!(s, ",\"detail\":\"{}\"", escape(detail));

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod render;
@@ -48,6 +49,7 @@ pub mod sink;
 pub mod wire;
 
 pub use event::{ProtoLabel, ProtocolEvent};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use json::{event_to_json, parse_flat_json, JsonValue};
 pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot, MetricsTimeline};
 pub use render::{render_ascii, render_mermaid};

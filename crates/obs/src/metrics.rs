@@ -75,11 +75,23 @@ pub enum Counter {
     /// hosts sample it per tick; the E14 report uses it to show table
     /// load stays balanced across reactor shards.
     TablePeakShardOccupancy,
+    /// Transactions refused at the door by the admission controller
+    /// (bounded in-flight / mailbox-depth shedding) before any
+    /// protocol work. A counted rejection, never a silent drop: the
+    /// overload campaign's evidence that load past the knee was shed,
+    /// not queued.
+    AdmissionShed,
+    /// Outbound wire frames the socket backend shed because a peer's
+    /// bounded write queue overflowed (transport backpressure). Fed
+    /// from [`crate::wire::WireSnapshot::backpressure_drops`] with
+    /// [`MetricsRegistry::set_max`] at snapshot points, so the grid
+    /// surfaces transport overload next to protocol-level shedding.
+    BackpressureDrops,
 }
 
 impl Counter {
     /// All counters, in JSON-dump order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::ForcedWrites,
         Counter::LazyWrites,
         Counter::MsgsSent,
@@ -103,6 +115,8 @@ impl Counter {
         Counter::BatchedForces,
         Counter::BatchOccupancy,
         Counter::TablePeakShardOccupancy,
+        Counter::AdmissionShed,
+        Counter::BackpressureDrops,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -132,6 +146,8 @@ impl Counter {
             Counter::BatchedForces => "batched_forces",
             Counter::BatchOccupancy => "batch_occupancy",
             Counter::TablePeakShardOccupancy => "table_peak_shard_occupancy",
+            Counter::AdmissionShed => "admission_shed",
+            Counter::BackpressureDrops => "backpressure_drops",
         }
     }
 
@@ -224,6 +240,7 @@ impl MetricsRegistry {
                 self.add(p, Counter::BatchedForces, 1);
                 self.add(p, Counter::BatchOccupancy, *occupancy);
             }
+            ProtocolEvent::AdmissionShed { .. } => self.add(p, Counter::AdmissionShed, 1),
             ProtocolEvent::CrashObserved { .. } => self.add(p, Counter::Crashes, 1),
             ProtocolEvent::RecoveryStep { .. } => self.add(p, Counter::Recoveries, 1),
         }

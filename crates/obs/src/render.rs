@@ -64,6 +64,12 @@ pub fn describe(ev: &ProtocolEvent, labels: &BTreeMap<u32, String>) -> String {
         ProtocolEvent::BatchCommit { occupancy, .. } => {
             format!("group-commit force ({occupancy} records)")
         }
+        ProtocolEvent::AdmissionShed {
+            txn,
+            inflight,
+            limit,
+            ..
+        } => format!("SHED at door ({inflight}/{limit} in flight){}", txn_suffix(*txn)),
         ProtocolEvent::CrashObserved { .. } => "CRASH".to_string(),
         ProtocolEvent::RecoveryStep { detail, .. } => format!("recover: {detail}"),
     }
@@ -196,6 +202,11 @@ pub fn render_mermaid(
             }
             ProtocolEvent::BatchCommit { occupancy, .. } => {
                 let _ = writeln!(out, "    Note over S{s}: group-commit x{occupancy}");
+            }
+            ProtocolEvent::AdmissionShed {
+                inflight, limit, ..
+            } => {
+                let _ = writeln!(out, "    Note over S{s}: shed ({inflight}/{limit} in flight)");
             }
             ProtocolEvent::CrashObserved { .. } => {
                 let _ = writeln!(out, "    Note over S{s}: CRASH");

@@ -4,10 +4,16 @@
 //! *protocol* quantities — forces, messages, acks — whose values are
 //! pinned by committed goldens and must not depend on the transport.
 //! The socket backend's own health (bytes moved, frames framed,
-//! reconnect churn, backpressure sheds) is a different axis, so it gets
-//! its own lock-free struct instead of new [`crate::metrics::Counter`]
-//! variants: adding transport rows to the grid would churn every
-//! committed metrics golden without changing a single protocol cost.
+//! reconnect churn, backpressure sheds) is a different axis, so it
+//! lives in its own lock-free struct rather than one grid row per
+//! transport quantity. The single exception is overload evidence:
+//! [`WireSnapshot::surface_into`] mirrors `backpressure_drops` into
+//! [`crate::metrics::Counter::BackpressureDrops`] so a metrics
+//! snapshot shows transport shedding next to the admission
+//! controller's protocol-level `admission_shed` — overload must be
+//! observable on the one surface campaigns already read. Clean runs
+//! never shed, so the surfaced cell stays zero everywhere a golden
+//! pins it.
 //!
 //! One [`WireMetrics`] instance describes one node (one event loop);
 //! clone the `Arc` into tests or reports and read a coherent-enough
@@ -111,6 +117,24 @@ impl WireMetrics {
     /// Bump a counter by `n` (relaxed).
     pub fn add(&self, c: &AtomicU64, n: u64) {
         c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl WireSnapshot {
+    /// Mirror this node's transport overload evidence into the
+    /// protocol-cost grid: raise
+    /// [`crate::metrics::Counter::BackpressureDrops`] (attributed to
+    /// [`crate::event::ProtoLabel::Other`] — the transport is not a
+    /// protocol) to the drop count of this snapshot. Uses
+    /// [`crate::metrics::MetricsRegistry::set_max`] because the wire
+    /// counter is already cumulative; surfacing twice must not double
+    /// count.
+    pub fn surface_into(&self, registry: &crate::metrics::MetricsRegistry) {
+        registry.set_max(
+            crate::event::ProtoLabel::Other,
+            crate::metrics::Counter::BackpressureDrops,
+            self.backpressure_drops,
+        );
     }
 }
 

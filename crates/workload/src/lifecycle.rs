@@ -1,0 +1,189 @@
+//! Per-transaction lifecycle accounting.
+//!
+//! A goodput number alone hides the cost structure of an overloaded
+//! run: two systems can commit the same number of transactions while
+//! one of them burned 3x the forced writes getting there. The ledger
+//! separates *offered* work from *useful* work — first-attempt commits
+//! vs commits that needed retries, attempts aborted by the no-wait
+//! lock table vs attempts shed at the admission door, transactions
+//! abandoned by the retry policy — and keeps a running bill of the
+//! forces and messages wasted on attempts that did not commit.
+
+/// How one attempt of one transaction ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt committed.
+    Committed,
+    /// The attempt aborted (conflict, No vote, timeout).
+    Aborted,
+    /// The attempt never entered the system: shed by admission
+    /// control before any protocol work.
+    Shed,
+}
+
+/// Aggregate lifecycle accounting for a generator run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LifecycleLedger {
+    /// Transactions the generator offered (first attempts).
+    pub offered: u64,
+    /// Transactions that committed on their first attempt.
+    pub first_attempt_commits: u64,
+    /// Transactions that committed after at least one retry.
+    pub retried_commits: u64,
+    /// Transactions abandoned by the retry policy without committing.
+    pub give_ups: u64,
+    /// Attempts that aborted inside the system.
+    pub aborted_attempts: u64,
+    /// Attempts rejected at the admission door.
+    pub shed_attempts: u64,
+    /// Retry attempts issued (total attempts minus first attempts).
+    pub retries: u64,
+    /// Forced log writes spent on attempts that did not commit.
+    pub wasted_forces: u64,
+    /// Messages spent on attempts that did not commit.
+    pub wasted_msgs: u64,
+}
+
+impl LifecycleLedger {
+    /// A zeroed ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        LifecycleLedger::default()
+    }
+
+    /// Record that a new transaction was offered.
+    pub fn offer(&mut self) {
+        self.offered += 1;
+    }
+
+    /// Record that a retry attempt was issued.
+    pub fn retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Record the end of an attempt. `attempt` counts from 1;
+    /// `wasted_forces`/`wasted_msgs` bill the protocol work this
+    /// attempt consumed if it failed (ignored for commits — that work
+    /// was useful).
+    pub fn finish_attempt(
+        &mut self,
+        attempt: u32,
+        outcome: AttemptOutcome,
+        wasted_forces: u64,
+        wasted_msgs: u64,
+    ) {
+        match outcome {
+            AttemptOutcome::Committed => {
+                if attempt <= 1 {
+                    self.first_attempt_commits += 1;
+                } else {
+                    self.retried_commits += 1;
+                }
+            }
+            AttemptOutcome::Aborted => {
+                self.aborted_attempts += 1;
+                self.wasted_forces += wasted_forces;
+                self.wasted_msgs += wasted_msgs;
+            }
+            AttemptOutcome::Shed => {
+                // A shed costs no protocol work by construction; the
+                // wasted bill stays untouched.
+                self.shed_attempts += 1;
+            }
+        }
+    }
+
+    /// Record that the retry policy abandoned a transaction.
+    pub fn give_up(&mut self) {
+        self.give_ups += 1;
+    }
+
+    /// Transactions that eventually committed (any attempt).
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.first_attempt_commits + self.retried_commits
+    }
+
+    /// Total attempts issued (first attempts plus retries).
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        self.offered + self.retries
+    }
+
+    /// Fraction of attempts that aborted inside the system.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.aborted_attempts as f64 / self.attempts() as f64
+        }
+    }
+
+    /// Fold another ledger into this one (for merging per-generator
+    /// ledgers into a run total).
+    pub fn merge(&mut self, other: &LifecycleLedger) {
+        self.offered += other.offered;
+        self.first_attempt_commits += other.first_attempt_commits;
+        self.retried_commits += other.retried_commits;
+        self.give_ups += other.give_ups;
+        self.aborted_attempts += other.aborted_attempts;
+        self.shed_attempts += other.shed_attempts;
+        self.retries += other.retries;
+        self.wasted_forces += other.wasted_forces;
+        self.wasted_msgs += other.wasted_msgs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_split_by_attempt_number() {
+        let mut l = LifecycleLedger::new();
+        l.offer();
+        l.finish_attempt(1, AttemptOutcome::Committed, 0, 0);
+        l.offer();
+        l.finish_attempt(1, AttemptOutcome::Aborted, 3, 8);
+        l.retry();
+        l.finish_attempt(2, AttemptOutcome::Committed, 0, 0);
+        assert_eq!(l.first_attempt_commits, 1);
+        assert_eq!(l.retried_commits, 1);
+        assert_eq!(l.committed(), 2);
+        assert_eq!(l.attempts(), 3);
+        assert_eq!(l.wasted_forces, 3);
+        assert_eq!(l.wasted_msgs, 8);
+    }
+
+    #[test]
+    fn sheds_cost_nothing_and_abort_rate_counts_attempts() {
+        let mut l = LifecycleLedger::new();
+        l.offer();
+        l.finish_attempt(1, AttemptOutcome::Shed, 99, 99);
+        l.retry();
+        l.finish_attempt(2, AttemptOutcome::Aborted, 1, 2);
+        l.give_up();
+        assert_eq!(l.shed_attempts, 1);
+        assert_eq!(l.wasted_forces, 1);
+        assert_eq!(l.give_ups, 1);
+        assert!((l.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = LifecycleLedger::new();
+        a.offer();
+        a.finish_attempt(1, AttemptOutcome::Committed, 0, 0);
+        let mut b = LifecycleLedger::new();
+        b.offer();
+        b.finish_attempt(1, AttemptOutcome::Aborted, 2, 5);
+        b.give_up();
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(total.offered, 2);
+        assert_eq!(total.committed(), 1);
+        assert_eq!(total.give_ups, 1);
+        assert_eq!(total.wasted_msgs, 5);
+    }
+}

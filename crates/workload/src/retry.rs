@@ -1,0 +1,155 @@
+//! Retry policies for aborted or shed transactions.
+//!
+//! Under no-wait 2PL an abort is routine — the protocol's answer to a
+//! lock conflict — and under admission control a shed is routine too.
+//! What the *client* does next decides whether the system recovers or
+//! collapses: immediate retry of every failure re-offers the whole
+//! conflict to the lock table and amplifies the abort storm, while a
+//! backed-off retry spreads the re-offers out. The policies here are
+//! pure functions of `(attempt, salt)` — same deterministic jitter
+//! idiom as the runtimes' timer wheels (`jitter_hash`, ±12.5%) — so a
+//! campaign run is reproducible from its configuration alone.
+
+use std::time::Duration;
+
+/// Largest backoff any policy will return, matching the runtimes' own
+/// backoff ceiling order of magnitude.
+const MAX_BACKOFF: Duration = Duration::from_secs(10);
+
+/// Hash-purpose discriminant for retry jitter, distinct from the timer
+/// purposes the runtimes feed to the same hash.
+const RETRY_PURPOSE: u64 = 0x5752; // "WR"
+
+/// What a generator does after an attempt fails (abort or shed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Retry instantly, up to `give_up_after` total attempts. The
+    /// pathological baseline: every conflict is immediately re-offered.
+    Immediate {
+        /// Total attempts before the transaction is abandoned.
+        give_up_after: u32,
+    },
+    /// Exponential backoff `base << (attempt-1)` capped at `cap`, with
+    /// deterministic ±12.5% jitter, up to `give_up_after` attempts.
+    CappedBackoff {
+        /// First retry delay.
+        base: Duration,
+        /// Backoff ceiling.
+        cap: Duration,
+        /// Total attempts before the transaction is abandoned.
+        give_up_after: u32,
+    },
+    /// Never retry: one attempt, failures are final.
+    GiveUp,
+}
+
+impl RetryPolicy {
+    /// The delay before the next attempt, or `None` when the policy
+    /// abandons the transaction. `attempt` counts completed attempts
+    /// (so the first failure passes 1); `salt` is a per-transaction
+    /// identity that decorrelates jitter across transactions.
+    #[must_use]
+    pub fn next_delay(&self, attempt: u32, salt: u64) -> Option<Duration> {
+        match *self {
+            RetryPolicy::Immediate { give_up_after } => {
+                (attempt < give_up_after).then_some(Duration::ZERO)
+            }
+            RetryPolicy::CappedBackoff {
+                base,
+                cap,
+                give_up_after,
+            } => {
+                if attempt >= give_up_after {
+                    return None;
+                }
+                let shift = attempt.saturating_sub(1).min(31);
+                let raw = base
+                    .saturating_mul(1u32 << shift)
+                    .min(cap)
+                    .min(MAX_BACKOFF)
+                    .max(base);
+                Some(jittered(raw, attempt, salt))
+            }
+            RetryPolicy::GiveUp => None,
+        }
+    }
+
+    /// Maximum number of attempts this policy will make (including the
+    /// first), saturating at `u32::MAX` for unbounded configurations.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        match *self {
+            RetryPolicy::Immediate { give_up_after }
+            | RetryPolicy::CappedBackoff { give_up_after, .. } => give_up_after.max(1),
+            RetryPolicy::GiveUp => 1,
+        }
+    }
+}
+
+/// ±12.5% deterministic jitter, the same shape the runtimes apply to
+/// their retry timers: `jitter_hash` picks an offset in a span of one
+/// quarter of the delay, centred on the nominal value.
+fn jittered(d: Duration, attempt: u32, salt: u64) -> Duration {
+    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    let span = us / 4;
+    if span == 0 {
+        return d;
+    }
+    let offset =
+        acp_core::harness::jitter_hash(salt, RETRY_PURPOSE, u64::from(attempt)) % (span + 1);
+    Duration::from_micros(us - span / 2 + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_retries_until_budget_then_gives_up() {
+        let p = RetryPolicy::Immediate { give_up_after: 3 };
+        assert_eq!(p.next_delay(1, 7), Some(Duration::ZERO));
+        assert_eq!(p.next_delay(2, 7), Some(Duration::ZERO));
+        assert_eq!(p.next_delay(3, 7), None);
+        assert_eq!(p.max_attempts(), 3);
+    }
+
+    #[test]
+    fn capped_backoff_doubles_then_caps() {
+        let p = RetryPolicy::CappedBackoff {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(40),
+            give_up_after: 10,
+        };
+        // Jitter is ±12.5%, so test against nominal windows.
+        let within = |d: Duration, nominal_ms: u64| {
+            let us = d.as_micros() as u64;
+            let nominal = nominal_ms * 1000;
+            us >= nominal - nominal / 8 && us <= nominal + nominal / 8
+        };
+        assert!(within(p.next_delay(1, 42).unwrap(), 10));
+        assert!(within(p.next_delay(2, 42).unwrap(), 20));
+        assert!(within(p.next_delay(3, 42).unwrap(), 40));
+        // Capped from here on.
+        assert!(within(p.next_delay(6, 42).unwrap(), 40));
+        assert_eq!(p.next_delay(10, 42), None);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_salt_sensitive() {
+        let p = RetryPolicy::CappedBackoff {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(1),
+            give_up_after: 8,
+        };
+        assert_eq!(p.next_delay(2, 1), p.next_delay(2, 1));
+        // Distinct transactions spread out (not a guarantee for every
+        // pair of salts, but these two differ).
+        assert_ne!(p.next_delay(2, 1), p.next_delay(2, 2));
+    }
+
+    #[test]
+    fn give_up_never_retries() {
+        assert_eq!(RetryPolicy::GiveUp.next_delay(1, 0), None);
+        assert_eq!(RetryPolicy::GiveUp.max_attempts(), 1);
+    }
+}

@@ -95,6 +95,14 @@ echo "== paxos smoke: replicated coordinator (cost grid + leader kill -9 matrix)
 # evidence.
 ACP_PAXOS_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_paxos | tail -3
 
+echo "== workload smoke: open-loop overload (admission on vs off at the knee)"
+# One overloaded cell run twice — admission off, then bounded: the
+# bounded run must shed (the door actually cycles) and must commit at
+# least the uncontrolled goodput inside the fixed measurement horizon.
+# The full 48-cell sweep (BENCH_workload.json) is machine-timed, so it
+# is regenerated manually, not here.
+ACP_WORKLOAD_SMOKE=1 cargo run --release --offline -q -p acp-bench --bin exp_workload | tail -5
+
 echo "== smoke: exp_theorem1 (U2PC must violate, PrAny must not)"
 out="$(cargo run --release --offline -q -p acp-bench --bin exp_theorem1)"
 echo "$out" | head -12

@@ -69,8 +69,8 @@ pub mod prelude {
     };
     pub use acp_core::{select_mode, Action, CommitPlan, Coordinator, Participant};
     pub use acp_net::{
-        Cluster, ClusterConfig, MultiReactorCluster, MultiReactorConfig, ReactorCluster,
-        ReactorConfig,
+        AdmissionConfig, AdmissionController, Cluster, ClusterConfig, MultiReactorCluster,
+        MultiReactorConfig, ReactorCluster, ReactorConfig,
     };
     #[cfg(unix)]
     pub use acp_net::{AddressBook, NodeConfig, SocketNode, WireFaults};
@@ -84,7 +84,10 @@ pub mod prelude {
         TxnId, Vote,
     };
     pub use acp_wal::{FileLog, MemLog, StableLog};
-    pub use acp_workload::{FailurePlan, PopulationMix, TxnMix, TxnPlan};
+    pub use acp_workload::{
+        AttemptOutcome, FailurePlan, LifecycleLedger, OpenLoopArrivals, OpenLoopPlan, PlannedTxn,
+        PopulationMix, RetryPolicy, TxnMix, TxnPlan, TxnShape, ZipfKeyspace,
+    };
 }
 
 #[cfg(test)]

@@ -342,5 +342,18 @@ fn bounded_write_queue_sheds_under_backpressure() {
         wire.dials >= 1 && wire.connects == 0,
         "the dead address must never connect: {wire:?}"
     );
+    // The transport's overload evidence surfaces into the protocol
+    // counter grid: a forced-overflow run reports a nonzero count, and
+    // re-surfacing a cumulative snapshot never double-counts.
+    let registry = MetricsRegistry::new();
+    wire.surface_into(&registry);
+    wire.surface_into(&registry);
+    assert_eq!(
+        registry
+            .snapshot(0)
+            .total(presumed_any::obs::Counter::BackpressureDrops),
+        wire.backpressure_drops,
+        "wire drops must surface exactly once into the metrics grid"
+    );
     let _ = coord.shutdown();
 }

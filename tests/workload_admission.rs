@@ -1,0 +1,273 @@
+//! End-to-end tests for the open-loop workload engine and admission
+//! control (experiment E17): clean runs are admission-invariant byte
+//! for byte, forced overflow sheds loudly (counted, narrated, and
+//! observable at the client), and the generator's plans drive 1 and N
+//! reactors to identical outcomes and protocol costs.
+
+use presumed_any::net::NetDelays;
+use presumed_any::obs::{event_to_json, parse_flat_json, Counter, JsonValue};
+use presumed_any::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Delays so large that any timer firing in a clean run is a bug.
+fn glacial() -> NetDelays {
+    NetDelays {
+        vote_timeout: Duration::from_secs(60),
+        ack_resend: Duration::from_secs(60),
+        inquiry_retry: Duration::from_secs(60),
+        apply_retry: Duration::from_secs(60),
+        paxos_completion: Duration::from_secs(60),
+    }
+}
+
+/// Per-site event lines with wall-clock fields masked (the projection
+/// the runtime-parity tests compare).
+fn masked_site_traces(events: &[ProtocolEvent]) -> BTreeMap<u64, Vec<String>> {
+    let mut by_site: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for ev in events {
+        let mut map = parse_flat_json(&event_to_json(ev)).expect("trace dialect");
+        map.remove("at_us");
+        map.remove("since_decision_us");
+        let site = map["site"].as_u64().expect("site field");
+        let line = map
+            .iter()
+            .map(|(k, v)| match v {
+                JsonValue::Num(n) => format!("\"{k}\":{n}"),
+                JsonValue::Str(s) => format!("\"{k}\":{s:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        by_site.entry(site).or_default().push(format!("{{{line}}}"));
+    }
+    by_site
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: clean single-transaction traces are admission-invariant
+
+/// One clean transaction must produce the same per-site trace, byte
+/// for byte modulo timestamps, with admission control off and with any
+/// admission bound enabled: an idle cluster admits everything, so the
+/// controller may not perturb the schedule.
+#[test]
+fn single_txn_trace_byte_identical_with_admission_enabled() {
+    let kind = CoordinatorKind::PrAny(SelectionPolicy::PaperStrict);
+    let protos = [ProtocolKind::PrA];
+
+    let run = |admission: Option<AdmissionConfig>| {
+        let sink = Arc::new(VecSink::new());
+        let mut config = ReactorConfig::new(kind, &protos);
+        config.admission = admission;
+        let mut cluster = ReactorCluster::spawn_with_sink(&config, Arc::clone(&sink) as _);
+        let txn = cluster.next_txn();
+        let parts = cluster.participants();
+        cluster.apply(parts[0], txn, b"k", b"v");
+        assert_eq!(cluster.commit(txn, &parts), Some(Outcome::Commit));
+        cluster.settle(Duration::from_millis(300));
+        let report = cluster.shutdown();
+        assert_eq!(report.stats.admission_sheds, 0, "clean run never sheds");
+        masked_site_traces(&sink.snapshot())
+    };
+
+    let baseline = run(None);
+    for bound in [1, 4, 1024] {
+        let gated = run(Some(AdmissionConfig::bounded(bound)));
+        assert_eq!(
+            baseline, gated,
+            "bound {bound}: admission perturbed a clean single-txn trace"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: forced overflow sheds loudly
+
+/// Saturate a tiny admission bound with a burst of commits while the
+/// only participant is down (votes can't arrive, so admitted work
+/// stays in flight): the excess must be refused at the door — counted
+/// in the reactor stats, mirrored into the metrics grid, and observed
+/// by each shed client as an immediately failed reply, never a stall.
+#[test]
+fn forced_overflow_sheds_are_counted_and_observable() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(CountingSink::new(Arc::clone(&registry)));
+    let mut config = ReactorConfig::new(
+        CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+        &[ProtocolKind::PrA],
+    );
+    config.cluster.delays = glacial();
+    config.admission = Some(AdmissionConfig::bounded(2));
+    let mut cluster = ReactorCluster::spawn_with_sink(&config, sink as _);
+    let parts = cluster.participants();
+
+    // Take the participant down so admitted commits park in flight
+    // awaiting votes that cannot arrive within the test.
+    cluster.crash(parts[0], Duration::from_secs(30));
+    cluster.settle(Duration::from_millis(50));
+
+    const BURST: usize = 6;
+    let pending: Vec<_> = (0..BURST)
+        .map(|_| {
+            let txn = cluster.next_txn();
+            (txn, cluster.commit_async(txn, &parts))
+        })
+        .collect();
+
+    // The first two occupy the bound; the other four disconnect fast.
+    let mut shed_observed = 0;
+    for (txn, rx) in &pending[2..] {
+        assert!(
+            rx.recv_timeout(Duration::from_secs(5)).is_err(),
+            "txn {txn}: shed client must see a failed reply"
+        );
+        shed_observed += 1;
+    }
+    assert_eq!(shed_observed, BURST - 2);
+
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.stats.admission_sheds,
+        (BURST - 2) as u64,
+        "every overflow commit is counted as a shed"
+    );
+    assert_eq!(
+        registry.snapshot(0).total(Counter::AdmissionShed),
+        (BURST - 2) as u64,
+        "sheds are mirrored into the metrics grid"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the generator drives 1 and N reactors identically
+
+/// A seeded open-loop plan (zipfian keys, mixed shapes) issued
+/// transaction by transaction must produce identical outcomes and
+/// identical protocol cost counters on 1 and 2 reactor shards — the
+/// workload engine introduces no nondeterminism of its own.
+#[test]
+fn generator_plan_drives_1_vs_n_reactors_identically() {
+    let plan = OpenLoopPlan {
+        arrivals: OpenLoopArrivals {
+            rate_per_sec: 1000.0,
+            count: 24,
+            seed: 17,
+        },
+        key_population: 100_000,
+        key_skew: 1.1,
+        shape: TxnShape {
+            min_partitions: 1,
+            max_partitions: 3,
+            keys_per_partition: 2,
+        },
+    };
+
+    let run = |n: usize| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(CountingSink::new(Arc::clone(&registry)));
+        let mut config = MultiReactorConfig::new(
+            ReactorConfig::new(
+                CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+                &[ProtocolKind::PrN, ProtocolKind::PrA, ProtocolKind::PrC],
+            ),
+            n,
+        );
+        config.reactor.cluster.delays = glacial();
+        config.reactor.admission = Some(AdmissionConfig::bounded(64));
+        let mut cluster = MultiReactorCluster::spawn_with_sink(&config, sink as _);
+        let sites = cluster.participants();
+        let txns = plan.generate(&sites);
+        let mut outcomes = Vec::with_capacity(txns.len());
+        for t in &txns {
+            let txn = cluster.next_txn();
+            for (i, key) in t.keys.iter().enumerate() {
+                let site = t.participants[i % t.participants.len()];
+                cluster.apply(site, txn, key.as_bytes(), b"v");
+            }
+            let outcome = cluster.commit(txn, &t.participants);
+            outcomes.push((txn, outcome));
+            // Let decisions reach every participant (releasing locks)
+            // before the next arrival stages its writes, so the lock
+            // state each transaction sees is schedule-independent.
+            cluster.settle(Duration::from_millis(2));
+        }
+        cluster.settle(Duration::from_millis(300));
+        let report = cluster.shutdown();
+        assert!(check_atomicity(&report.cluster.history).is_empty());
+        (outcomes, registry)
+    };
+
+    let (outcomes_1, registry_1) = run(1);
+    assert!(
+        outcomes_1.iter().all(|(_, o)| o == &Some(Outcome::Commit)),
+        "sequential clean plan commits everywhere"
+    );
+    let (outcomes_2, registry_2) = run(2);
+    assert_eq!(outcomes_1, outcomes_2, "outcomes diverged 1 vs 2 shards");
+    for proto in ProtoLabel::ALL {
+        for counter in Counter::ALL {
+            match counter {
+                // Scheduling-dependent amortization accounting, as in
+                // the multi-reactor stress parity test.
+                Counter::GcLatencyUsSum
+                | Counter::GcLatencySamples
+                | Counter::GcRuns
+                | Counter::BatchedForces
+                | Counter::BatchOccupancy
+                | Counter::TablePeakShardOccupancy => continue,
+                _ => {}
+            }
+            assert_eq!(
+                registry_1.get(proto, counter),
+                registry_2.get(proto, counter),
+                "{proto:?}/{counter:?} diverged 1 vs 2 shards"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: commit-latency histogram is populated and merged
+
+/// The reactor's per-transaction commit latencies land in the report's
+/// histogram, and the multi-reactor report merges every shard's
+/// histogram (count equals total delivered decisions).
+#[test]
+fn latency_histograms_cover_every_delivered_decision() {
+    let mut config = MultiReactorConfig::new(
+        ReactorConfig::new(
+            CoordinatorKind::PrAny(SelectionPolicy::PaperStrict),
+            &[ProtocolKind::PrA, ProtocolKind::PrC],
+        ),
+        2,
+    );
+    config.reactor.cluster.delays = glacial();
+    let mut cluster = MultiReactorCluster::spawn(&config);
+    let parts = cluster.participants();
+    const TXNS: u64 = 16;
+    let mut pending = Vec::new();
+    for i in 0..TXNS {
+        let txn = cluster.next_txn();
+        for &p in &parts {
+            cluster.apply(p, txn, format!("key-{i}").as_bytes(), b"v");
+        }
+        pending.push(cluster.commit_async(txn, &parts));
+    }
+    for rx in pending {
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).ok(),
+            Some(Outcome::Commit)
+        );
+    }
+    cluster.settle(Duration::from_millis(200));
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.latency.count(),
+        TXNS,
+        "one latency sample per delivered decision"
+    );
+    let p50 = report.latency.p50().expect("non-empty histogram");
+    let p999 = report.latency.p999().expect("non-empty histogram");
+    assert!(p50 <= p999, "quantiles are monotone: p50={p50} p999={p999}");
+}

@@ -138,6 +138,15 @@ pub mod channel {
             self.0.queue.lock().expect("channel lock").is_empty()
         }
 
+        /// Messages currently queued. (Racy by nature, like the real
+        /// crossbeam API — a load-signal, not a synchronization point;
+        /// the reactor's admission controller reads it as backlog
+        /// depth.)
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().expect("channel lock").len()
+        }
+
         /// Dequeue, blocking until a message or disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut q = self.0.queue.lock().expect("channel lock");

@@ -1,0 +1,314 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! The crates-io mirror is unreachable in this environment, so the
+//! workspace vendors the three distributions the workload generator
+//! needs, built directly on the vendored [`rand`] shim:
+//!
+//! * [`Zipf`] — power-law ranks over populations of millions of keys,
+//!   sampled in O(1) by Hörmann & Derflinger's rejection-inversion
+//!   (the same algorithm as upstream `rand_distr` and Apache Commons'
+//!   `RejectionInversionZipfSampler`). No per-key tables, so a
+//!   10-million-key population costs three floats of state.
+//! * [`Exp`] — exponential inter-arrival gaps by inversion, the
+//!   building block of an open-loop Poisson arrival process.
+//! * [`Poisson`] — Knuth's product-of-uniforms counter, fine for the
+//!   small-λ event counts the tests pin.
+//!
+//! Everything is deterministic per seed: each distribution consumes
+//! the generator stream in a fixed order, so a fixed-seed `StdRng`
+//! reproduces the same arrival schedule and key sequence on every run
+//! and every platform (strict IEEE-754 double arithmetic only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one value from `rng`.
+    fn sample<G: Rng + ?Sized>(&self, rng: &mut G) -> T;
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+
+/// Zipf-distributed ranks in `1..=n`: `P(k) ∝ 1 / k^s`.
+///
+/// `s = 0` degenerates to the uniform distribution over ranks; larger
+/// `s` concentrates mass on the smallest ranks (rank 1 is the hottest
+/// key). Sampling is rejection-inversion over the integral bound
+/// `H(x) = ∫ x^{-s} dx`, which needs no setup proportional to `n`.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    accept_s: f64,
+}
+
+impl Zipf {
+    /// A Zipf distribution over ranks `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf population must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be >= 0");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let accept_s = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf { n, s, h_x1, h_n, accept_s }
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+}
+
+/// `H(x) = ∫_1^x t^{-s} dt + 1`: `ln(x)` at `s = 1`, else
+/// `(x^{1-s} - 1) / (1 - s)`, both shifted so `H` is monotone over the
+/// sampling interval.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (s - 1.0).abs() < 1e-12 {
+        log_x
+    } else {
+        ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+    }
+}
+
+/// The density bound `h(x) = x^{-s}`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.exp()
+    } else {
+        let t = (x * (1.0 - s)).max(-1.0);
+        (t.ln_1p() / (1.0 - s)).exp()
+    }
+}
+
+impl Distribution<u64> for Zipf {
+    fn sample<G: Rng + ?Sized>(&self, rng: &mut G) -> u64 {
+        loop {
+            let u: f64 = rng.random::<f64>();
+            let u = self.h_n + u * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let k = ((x + 0.5) as u64).clamp(1, self.n);
+            // Accept in the flat region near k, or by the exact
+            // rejection test against the density bound.
+            let kf = k as f64;
+            if kf - x <= self.accept_s
+                || u >= h_integral(kf + 0.5, self.s) - h(kf, self.s)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exp
+
+/// Exponentially distributed non-negative reals with rate `lambda`
+/// (mean `1 / lambda`): the inter-arrival gap of a Poisson process.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// If `lambda` is not a positive finite number.
+    #[must_use]
+    pub fn new(lambda: f64) -> Exp {
+        assert!(lambda > 0.0 && lambda.is_finite(), "Exp rate must be positive");
+        Exp { lambda }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<G: Rng + ?Sized>(&self, rng: &mut G) -> f64 {
+        // Inversion: -ln(1 - U) / λ. `1 - U` is in (0, 1], so ln is
+        // finite; U itself could be exactly 0.
+        let u: f64 = rng.random::<f64>();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+
+/// Poisson-distributed event counts with mean `lambda`.
+///
+/// Knuth's product-of-uniforms method: O(λ) per sample, which is fine
+/// for the small means the workload tests use (λ ≤ 30 or so). The
+/// open-loop generator itself never draws counts — it draws [`Exp`]
+/// gaps — so this stays off the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    exp_neg_lambda: f64,
+}
+
+impl Poisson {
+    /// A Poisson distribution with mean `lambda > 0`.
+    ///
+    /// # Panics
+    /// If `lambda` is not a positive finite number.
+    #[must_use]
+    pub fn new(lambda: f64) -> Poisson {
+        assert!(lambda > 0.0 && lambda.is_finite(), "Poisson mean must be positive");
+        Poisson { exp_neg_lambda: (-lambda).exp() }
+    }
+}
+
+impl Distribution<u64> for Poisson {
+    fn sample<G: Rng + ?Sized>(&self, rng: &mut G) -> u64 {
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= self.exp_neg_lambda {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::{Distribution, Exp, Poisson, Zipf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Zipf rank frequencies track the analytic mass `k^{-s} / H_{n,s}`
+    /// at a fixed seed: check the head ranks within a few percent.
+    #[test]
+    fn zipf_head_frequencies_match_analytic_mass() {
+        let n = 1_000_000u64;
+        for &s in &[0.8, 0.99, 1.0, 1.2] {
+            let zipf = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(0xD15C);
+            let draws = 200_000usize;
+            let mut head = [0u64; 8];
+            for _ in 0..draws {
+                let k = zipf.sample(&mut rng);
+                assert!((1..=n).contains(&k));
+                if k <= 8 {
+                    head[(k - 1) as usize] += 1;
+                }
+            }
+            // Generalized harmonic number H_{n,s} by the integral
+            // approximation plus the exact head: good to << 1% here.
+            let mut h_ns = 0.0f64;
+            for k in 1..=1000u64 {
+                h_ns += (k as f64).powf(-s);
+            }
+            h_ns += if (s - 1.0).abs() < 1e-9 {
+                (n as f64 / 1000.0).ln()
+            } else {
+                ((n as f64).powf(1.0 - s) - 1000f64.powf(1.0 - s)) / (1.0 - s)
+            };
+            for (i, &count) in head.iter().enumerate() {
+                let k = (i + 1) as f64;
+                let expect = k.powf(-s) / h_ns * draws as f64;
+                let got = count as f64;
+                assert!(
+                    (got - expect).abs() < 0.08 * expect + 30.0,
+                    "s={s}: rank {k} frequency {got} vs analytic {expect}"
+                );
+            }
+        }
+    }
+
+    /// s = 0 must be uniform over ranks: the hottest rank carries no
+    /// extra mass.
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 100_000usize;
+        let mut first_decile = 0u64;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) <= 100 {
+                first_decile += 1;
+            }
+        }
+        let frac = first_decile as f64 / draws as f64;
+        assert!((frac - 0.1).abs() < 0.01, "first decile carried {frac}");
+    }
+
+    /// Exponential gaps have the right mean and variance (both 1/λ and
+    /// 1/λ² analytically) at a fixed seed.
+    #[test]
+    fn exp_mean_and_variance_match() {
+        let lambda = 4.0;
+        let exp = Exp::new(lambda);
+        let mut rng = StdRng::seed_from_u64(99);
+        let draws = 200_000usize;
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        for _ in 0..draws {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / draws as f64;
+        let var = sum_sq / draws as f64 - mean * mean;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.0625).abs() < 0.005, "variance {var}");
+    }
+
+    /// Poisson counts have mean ≈ variance ≈ λ at a fixed seed.
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let lambda = 12.0;
+        let poisson = Poisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = 50_000usize;
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        for _ in 0..draws {
+            let k = poisson.sample(&mut rng) as f64;
+            sum += k;
+            sum_sq += k * k;
+        }
+        let mean = sum / draws as f64;
+        let var = sum_sq / draws as f64 - mean * mean;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.35, "variance {var}");
+    }
+
+    /// Same seed, same stream: the samplers are deterministic.
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let zipf = Zipf::new(1 << 22, 0.99);
+        let exp = Exp::new(100.0);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+            assert!((exp.sample(&mut a) - exp.sample(&mut b)).abs() == 0.0);
+        }
+    }
+}
